@@ -1,0 +1,25 @@
+"""pytest-benchmark configuration for the experiment harness.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+reduced-but-faithful scale and prints the comparison table.  One round
+each: these are end-to-end experiment replications, not microbenchmarks
+that need statistical repetition.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,70 @@
+"""Benchmark: design-choice ablations (DESIGN.md §6)."""
+
+from repro.bench.ablations import (
+    run_batch_size_ablation,
+    run_compression_ablation,
+    run_lru_reorder_ablation,
+    run_prefetch_ablation,
+    run_steal_ablation,
+    run_tracker_ablation,
+)
+
+
+def test_ablation_lru_reorder(once):
+    result = once(run_lru_reorder_ablation, graph_scale=11, seed=42)
+    print()
+    print(result.table_text())
+    insertion, reordered = result.data
+    # True LRU ordering is no worse than the paper's static order.
+    assert reordered[1] >= insertion[1] * 0.95
+
+
+def test_ablation_tracker(once):
+    result = once(run_tracker_ablation, seed=42)
+    print()
+    print(result.table_text())
+    with_tracker, without = result.data
+    assert with_tracker[3] == 0
+    assert without[3] > 0
+
+
+def test_ablation_steal(once):
+    result = once(run_steal_ablation, seed=42)
+    print()
+    print(result.table_text())
+    steal, no_steal = result.data
+    assert steal[1] < no_steal[1]      # lower average latency
+    assert steal[3] < no_steal[3]      # fewer remote reads
+
+
+def test_ablation_batch_size(once):
+    result = once(run_batch_size_ablation, seed=42)
+    print()
+    print(result.table_text())
+    ramcloud = [row for row in result.data if row[0] == "ramcloud"]
+    # On RAMCloud, batches collapse write round trips: the multi-write
+    # count shrinks as batch size grows.
+    assert ramcloud[0][3] > ramcloud[-1][3]
+
+
+def test_ablation_prefetch(once):
+    result = once(run_prefetch_ablation, seed=42)
+    print()
+    print(result.table_text())
+    rows = {(row[0], row[1]): row for row in result.data}
+    # Sequential scans get much faster with prefetch...
+    assert rows[("sequential", 4)][2] < 0.7 * rows[("sequential", 0)][2]
+    assert rows[("sequential", 4)][3] < rows[("sequential", 0)][3]
+    # ...random access does not benefit (most prefetches are wasted).
+    assert rows[("random", 4)][2] > 0.9 * rows[("random", 0)][2]
+
+
+def test_ablation_compression(once):
+    result = once(run_compression_ablation, seed=42)
+    print()
+    print(result.table_text())
+    raw, compressed = result.data
+    # Compression roughly halves remote bytes at a CPU latency cost.
+    assert compressed[2] < 0.6 * raw[2]
+    assert compressed[1] > raw[1]
+    assert compressed[1] < 1.5 * raw[1]

@@ -1,0 +1,141 @@
+"""Benchmark: the extension features (migration, policy, autoscaler)."""
+
+from repro.core import (
+    AutoscaleConfig,
+    Autoscaler,
+    FluidMemConfig,
+    Monitor,
+    SharePolicy,
+    ShareSpec,
+    migrate_vm,
+)
+from repro.kernel import UffdLatency, UffdOps, Userfaultfd
+from repro.mem import MIB, PAGE_SIZE, FrameAllocator
+from repro.sim import RandomStreams
+
+from repro.bench.platform import build_platform
+
+
+def _dest_monitor(env, lru_pages, seed=321):
+    streams = RandomStreams(seed=seed)
+    uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd-b"))
+    ops = UffdOps(env, UffdLatency(), streams.stream("ops-b"),
+                  FrameAllocator.for_bytes(64 * MIB))
+    monitor = Monitor(env, uffd, ops,
+                      config=FluidMemConfig(lru_capacity_pages=lru_pages),
+                      rng=streams.stream("monitor-b"), name="dest")
+    monitor.start()
+    return monitor
+
+
+def _migrate_once(squeeze_to=None):
+    platform = build_platform("fluidmem-ramcloud",
+                              memory_scale=1.0 / 64, seed=5)
+    if squeeze_to is not None:
+        platform.monitor.set_lru_capacity(squeeze_to)
+
+        def shrink(env):
+            yield from platform.monitor.shrink_to_capacity()
+
+        platform.run(shrink(platform.env))
+    dest = _dest_monitor(platform.env, platform.shape.local_pages)
+
+    def gen(env):
+        report = yield from migrate_vm(
+            platform.vm, platform.monitor, platform.registration, dest
+        )
+        return report
+
+    return platform.run(gen(platform.env))
+
+
+def test_migration_blackout_scales_with_residency(once):
+    def experiment():
+        full = _migrate_once()
+        squeezed = _migrate_once(squeeze_to=64)
+        return full, squeezed
+
+    full, squeezed = once(experiment)
+    print(f"\nfull-footprint migration: {full.pages_pushed} pages, "
+          f"blackout {full.blackout_ms:.2f} ms")
+    print(f"squeezed-first migration: {squeezed.pages_pushed} pages, "
+          f"blackout {squeezed.blackout_ms:.2f} ms")
+    assert squeezed.pages_pushed < full.pages_pushed / 4
+    assert squeezed.blackout_us < full.blackout_us / 4
+    assert full.seen_pages > 0
+
+
+def test_policy_isolation_under_noisy_neighbour(once):
+    def experiment():
+        platform = build_platform("fluidmem-ramcloud",
+                                  memory_scale=1.0 / 256, seed=5)
+        monitor = platform.monitor
+        policy = SharePolicy()
+        monitor.victim_policy = policy
+        policy.set_share(platform.registration,
+                         ShareSpec(weight=1.0, min_pages=96))
+        # A noisy co-tenant floods the shared budget.
+        from repro.kv import DramStore
+        from repro.vm import BootProfile, GuestVM, QemuProcess
+        from repro.core import FluidMemoryPort
+
+        noisy_vm = GuestVM(platform.env, "noisy", memory_bytes=16 * MIB,
+                           boot_profile=BootProfile(total_pages=16))
+        noisy_qemu = QemuProcess(noisy_vm)
+        noisy_reg = monitor.register_vm(noisy_qemu,
+                                        DramStore(platform.env))
+        noisy_vm.attach_port(FluidMemoryPort(
+            platform.env, noisy_vm, noisy_qemu, monitor, noisy_reg))
+
+        def flood(env):
+            yield from noisy_vm.boot()
+            base = noisy_vm.first_free_guest_addr()
+            for index in range(1500):
+                yield from noisy_vm.require_port().access(
+                    base + index * PAGE_SIZE, is_write=True)
+
+        platform.run(flood(platform.env))
+        return monitor.lru.count_for(platform.registration)
+
+    protected_pages = once(experiment)
+    print(f"\nprotected tenant kept {protected_pages} pages under flood")
+    assert protected_pages >= 96  # the guarantee held
+
+
+def test_autoscaler_tracks_demand(once):
+    def experiment():
+        platform = build_platform("fluidmem-ramcloud",
+                                  memory_scale=1.0 / 256, seed=5)
+        monitor = platform.monitor
+        monitor.set_lru_capacity(64)
+        scaler = Autoscaler(platform.env, monitor, AutoscaleConfig(
+            interval_us=1000.0, grow_threshold=1.0,
+            shrink_threshold=0.05, step_pages=64,
+            min_pages=64, max_pages=4096,
+        ))
+        scaler.start()
+        vm = platform.vm
+        base = vm.first_free_guest_addr()
+        port = vm.require_port()
+
+        def phases(env):
+            # Phase 1: thrash over 512 pages.
+            for _ in range(6):
+                for index in range(512):
+                    yield from port.access(base + index * PAGE_SIZE,
+                                           True)
+            # Phase 2: idle.
+            yield env.timeout(60_000.0)
+
+        platform.env.process(phases(platform.env))
+        platform.env.run(until=platform.env.now + 300_000.0)
+        scaler.stop()
+        platform.env.run()
+        peak = max(capacity for _t, capacity, _r in scaler.history)
+        return peak, monitor.lru.capacity
+
+    peak, final = once(experiment)
+    print(f"\nautoscaler: peak budget {peak} pages, "
+          f"harvested back to {final}")
+    assert peak >= 256    # grew toward the 512-page working set
+    assert final == 64    # gave the idle DRAM back

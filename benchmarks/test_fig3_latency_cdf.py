@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (pmbench latency CDFs, 6 backends)."""
+
+from repro.bench.fig3_latency_cdf import PAPER_FIG3_AVERAGES_US, run_fig3
+
+
+def test_fig3_latency_cdf(once):
+    result = once(run_fig3, measured_accesses=12000, seed=42)
+    print()
+    print(result.table_text())
+    # Every backend within 25% of the paper's average.
+    for name, paper in PAPER_FIG3_AVERAGES_US.items():
+        measured = result.average(name)
+        assert 0.75 <= measured / paper <= 1.25, (name, measured, paper)
+    # Headline claims (§I): ~40% and ~77% faster.
+    assert 0.30 <= result.speedup_over(
+        "fluidmem-ramcloud", "swap-nvmeof"
+    ) <= 0.55
+    assert 0.65 <= result.speedup_over(
+        "fluidmem-ramcloud", "swap-ssd"
+    ) <= 0.88

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 4 (Graph500 TEPS, 6 configs x 4 WSS)."""
+
+from repro.bench.fig4_graph500 import run_fig4
+
+
+def test_fig4_graph500(once):
+    result = once(run_fig4, graph_scale=12, num_bfs_roots=1, seed=42)
+    print()
+    print(result.table_text())
+
+    # (a) all-local: FluidMem's overhead is small (paper: 2.6%).
+    assert abs(result.overhead_at_local()) < 0.08
+
+    # (b) WSS 120%: FluidMem dominates; even the Memcached backend
+    # beats NVMeoF and SSD swap.
+    assert result.value(1.2, "fluidmem-dram") > \
+        result.value(1.2, "swap-dram")
+    assert result.value(1.2, "fluidmem-memcached") > \
+        result.value(1.2, "swap-nvmeof")
+    assert result.value(1.2, "fluidmem-memcached") > \
+        result.value(1.2, "swap-ssd")
+
+    # (c)/(d): FluidMem->RAMCloud keeps beating swap->NVMeoF.
+    for fraction in (2.4, 4.8):
+        assert result.value(fraction, "fluidmem-ramcloud") > \
+            result.value(fraction, "swap-nvmeof")

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table I (code-path latencies)."""
+
+import pytest
+
+from repro.bench.table1_codepaths import PAPER_TABLE1_US, run_table1
+
+
+def test_table1_codepaths(once):
+    result = once(run_table1, measured_accesses=8000, seed=42)
+    print()
+    print(result.table_text())
+    for path in ("UPDATE_PAGE_CACHE", "INSERT_PAGE_HASH_NODE",
+                 "INSERT_LRU_CACHE_NODE", "UFFD_ZEROPAGE", "UFFD_COPY",
+                 "READ_PAGE", "WRITE_PAGE"):
+        _n, avg, _s, _p = result.row_for(path)
+        assert avg == pytest.approx(PAPER_TABLE1_US[path][0], rel=0.2), path
+    # REMAP's heavy IPI tail (Table I: p99 18us vs 1.65 avg).
+    _n, avg, _s, p99 = result.row_for("UFFD_REMAP")
+    assert p99 > 2.5 * avg

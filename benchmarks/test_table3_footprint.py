@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table III (footprint minimization)."""
+
+from repro.bench.table3_footprint import (
+    kvm_deadlocks_at_one_page,
+    run_table3,
+)
+
+
+def test_table3_footprint(once):
+    result = once(run_table3, boot_scale=1.0 / 8, seed=42)
+    print()
+    print(result.table_text())
+
+    assert result.row("After startup", 81042).footprint_pages == 81042
+    balloon = [r for r in result.rows_data
+               if r.configuration == "Max VM balloon size"][0]
+    assert balloon.footprint_pages == 20480  # the balloon's floor
+
+    at_180 = result.row("FluidMem (KVM)", 180)
+    assert (at_180.ssh, at_180.icmp, at_180.revived) == (True, True, True)
+    at_80 = result.row("FluidMem (KVM)", 80)
+    assert (at_80.ssh, at_80.icmp, at_80.revived) == (False, True, True)
+    at_1 = result.row("FluidMem (full virtualization)", 1)
+    assert (at_1.ssh, at_1.icmp, at_1.revived) == (False, False, True)
+
+
+def test_kvm_deadlock_footnote(once):
+    assert once(kvm_deadlocks_at_one_page, seed=42)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Graph analytics beyond DRAM: Graph500 BFS on FluidMem vs swap.
+
+The intro's motivating scenario: a memory-bound analytics job whose
+working set outgrows local DRAM.  We run the same Kronecker graph BFS
+on a FluidMem-backed VM (remote memory via RAMCloud) and a swap-backed
+VM (remote memory via NVMeoF), with the working set at ~240% of DRAM.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro.bench.fig4_graph500 import memory_scale_for
+from repro.bench.platform import build_platform
+from repro.workloads import Graph500, Graph500Config, KroneckerGraph
+
+
+def main() -> None:
+    graph = KroneckerGraph(scale=11, edgefactor=16, seed=11)
+    print(
+        f"graph: 2^11 vertices, {graph.num_directed_edges} directed "
+        f"edges, {graph.memory_bytes() >> 10} KiB traced working set"
+    )
+    memory_scale = memory_scale_for(graph, 2.4)
+
+    for name in ("fluidmem-ramcloud", "swap-nvmeof"):
+        platform = build_platform(
+            name, memory_scale=memory_scale, seed=11, remote_factor=6
+        )
+        bench = Graph500(
+            platform.env,
+            platform.port,
+            platform.workload_base,
+            Graph500Config(scale=11, edgefactor=16, num_bfs_roots=4,
+                           seed=11),
+            graph=graph,
+        )
+        result = platform.run(bench.run())
+        print(
+            f"{name:20s} {result.mean_teps_millions:6.2f} MTEPS "
+            f"(harmonic mean over {len(result.teps)} BFS roots, "
+            f"DRAM holds ~42% of the working set)"
+        )
+    print(
+        "\nFluidMem wins because it also moves untouched guest-OS pages "
+        "to remote memory, and its monitor hides the network read under "
+        "the eviction (paper Fig. 4c)."
+    )
+
+
+if __name__ == "__main__":
+    main()

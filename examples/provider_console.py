@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""The provider's console: shares, caps, and autoscaling (paper §III).
+
+Because the FluidMem monitor owns every page decision, the provider can
+implement policy that swap never could:
+
+* weighted shares between tenants on one hypervisor,
+* a hard residency cap for an abusive tenant,
+* automatic grow/shrink of the whole DRAM budget with demand (the
+  abstract's "flexibly and efficiently grow and shrink").
+
+Run:  python examples/provider_console.py
+"""
+
+from repro.core import (
+    AutoscaleConfig,
+    Autoscaler,
+    FluidMemConfig,
+    FluidMemoryPort,
+    Monitor,
+    SharePolicy,
+    ShareSpec,
+)
+from repro.kernel import UffdLatency, UffdOps, Userfaultfd
+from repro.kv import RamCloudServer, RamCloudStore
+from repro.mem import MIB, PAGE_SIZE, FrameAllocator
+from repro.net import Fabric, RDMA_FDR
+from repro.sim import Environment, RandomStreams
+from repro.vm import BootProfile, GuestVM, QemuProcess
+
+
+def build(env, streams):
+    fabric = Fabric(env, streams)
+    fabric.add_host("hypervisor")
+    fabric.add_host("ramcloud")
+    fabric.connect("hypervisor", "ramcloud", RDMA_FDR)
+    server = RamCloudServer(memory_bytes=256 * MIB)
+    uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd"))
+    ops = UffdOps(env, UffdLatency(), streams.stream("ops"),
+                  FrameAllocator.for_bytes(256 * MIB))
+    monitor = Monitor(env, uffd, ops,
+                      config=FluidMemConfig(lru_capacity_pages=96),
+                      rng=streams.stream("monitor"))
+    monitor.start()
+    return fabric, server, monitor
+
+
+def add_tenant(env, monitor, fabric, server, name, table_id):
+    vm = GuestVM(env, name, memory_bytes=32 * MIB,
+                 boot_profile=BootProfile(total_pages=16))
+    qemu = QemuProcess(vm)
+    store = RamCloudStore(env, fabric, "hypervisor", "ramcloud", server,
+                          table_id=table_id)
+    registration = monitor.register_vm(qemu, store)
+    vm.attach_port(FluidMemoryPort(env, vm, qemu, monitor, registration))
+    return vm, registration
+
+
+def tenant_loop(env, vm, pages, rounds):
+    port = vm.require_port()
+    base = vm.first_free_guest_addr()
+    for _ in range(rounds):
+        for index in range(pages):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+        yield env.timeout(200.0)
+
+
+def main() -> None:
+    env = Environment()
+    streams = RandomStreams(seed=17)
+    fabric, server, monitor = build(env, streams)
+
+    policy = SharePolicy()
+    monitor.victim_policy = policy
+
+    gold, reg_gold = add_tenant(env, monitor, fabric, server, "gold", 1)
+    silver, reg_silver = add_tenant(env, monitor, fabric, server,
+                                    "silver", 2)
+    noisy, reg_noisy = add_tenant(env, monitor, fabric, server,
+                                  "noisy", 3)
+
+    # The console: gold pays for weight 3 + a 24-page guarantee; the
+    # noisy neighbour gets capped at 20 resident pages.
+    policy.set_share(reg_gold, ShareSpec(weight=3.0, min_pages=24))
+    policy.set_share(reg_silver, ShareSpec(weight=1.0))
+    policy.set_share(reg_noisy, ShareSpec(weight=1.0, max_pages=20))
+
+    # Boot everyone first (the autoscaler's timer would keep a plain
+    # env.run() alive forever, so start it only for the bounded phase).
+    for vm in (gold, silver, noisy):
+        env.process(vm.boot())
+        env.run()
+
+    scaler = Autoscaler(env, monitor, AutoscaleConfig(
+        interval_us=2_000.0, grow_threshold=3.0, shrink_threshold=0.05,
+        step_pages=32, min_pages=64, max_pages=512,
+    ))
+    scaler.start()
+    for vm, pages, rounds in ((gold, 40, 8), (silver, 40, 8),
+                              (noisy, 120, 8)):
+        env.process(tenant_loop(env, vm, pages, rounds))
+    env.run(until=env.now + 100_000.0)
+    scaler.stop()
+    env.run()
+
+    lru = monitor.lru
+    print(f"DRAM budget after autoscaling: {lru.capacity} pages "
+          f"(grows={monitor.counters['autoscale_grows']}, "
+          f"shrinks={monitor.counters['autoscale_shrinks']})")
+    print(f"resident split of {len(lru)} pages:")
+    for name, registration in (("gold", reg_gold),
+                               ("silver", reg_silver),
+                               ("noisy", reg_noisy)):
+        print(f"  {name:7s} {lru.count_for(registration):4d} pages")
+    print(f"cap evictions against 'noisy': "
+          f"{monitor.counters['cap_evictions']}")
+    print(f"remote memory in RAMCloud: {server.live_bytes >> 10} KiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""FluidMem reproduction: full memory disaggregation, simulated end to end.
+
+A Python reproduction of *FluidMem: Full, Flexible, and Fast Memory
+Disaggregation for the Cloud* (ICDCS 2020).  See README.md for the
+architecture tour, DESIGN.md for the substitution map (what the paper
+ran on hardware vs. what is simulated here), and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quick start::
+
+    from repro.bench.platform import build_platform
+
+    platform = build_platform("fluidmem-ramcloud", seed=42)
+    # platform.vm / platform.port / platform.monitor are live objects.
+"""
+
+from . import blockdev, coord, core, kernel, kv, mem, net, sim, vm
+from ._version import __version__
+
+__all__ = [
+    "__version__",
+    "sim",
+    "mem",
+    "net",
+    "kv",
+    "coord",
+    "blockdev",
+    "kernel",
+    "vm",
+    "core",
+]

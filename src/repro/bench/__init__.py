@@ -1,0 +1,19 @@
+"""Benchmark harness: one module per table/figure of the paper."""
+
+from .platform import (
+    FLUIDMEM_PLATFORMS,
+    PLATFORM_NAMES,
+    SWAP_PLATFORMS,
+    Platform,
+    PlatformShape,
+    build_platform,
+)
+
+__all__ = [
+    "PLATFORM_NAMES",
+    "FLUIDMEM_PLATFORMS",
+    "SWAP_PLATFORMS",
+    "Platform",
+    "PlatformShape",
+    "build_platform",
+]

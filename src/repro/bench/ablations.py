@@ -1,0 +1,338 @@
+"""Ablations of FluidMem's design choices (DESIGN.md §6).
+
+Four studies, each isolating one mechanism the paper describes:
+
+* **lru-reorder** — the paper's LRU never reorders on access (§V-A, a
+  self-declared limitation).  What would true LRU ordering buy?
+* **zero-page tracker** — §V-A's pagetracker avoids a remote read per
+  first touch.  Without it, every first touch pays a wasted round trip.
+* **write-list steal** — §V-B's shortcut: resolve a fault from the
+  pending write list instead of two network round trips.
+* **writeback batch size** — §V-B: batches amortize per-message cost,
+  "most beneficial when slower network transports are used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..core import FluidMemConfig
+from ..workloads import Graph500, Graph500Config, KroneckerGraph, \
+    Pmbench, PmbenchConfig
+from .fig4_graph500 import memory_scale_for
+from .platform import build_platform
+from .reporting import render_table
+
+__all__ = [
+    "AblationResult",
+    "run_lru_reorder_ablation",
+    "run_tracker_ablation",
+    "run_steal_ablation",
+    "run_batch_size_ablation",
+    "run_all_ablations",
+]
+
+
+@dataclass
+class AblationResult:
+    name: str
+    headers: Sequence[str]
+    data: List[Sequence[object]]
+
+    def table_text(self) -> str:
+        return render_table(self.headers, self.data,
+                            title=f"Ablation: {self.name}")
+
+
+def run_lru_reorder_ablation(
+    graph_scale: int = 11, seed: int = 42
+) -> AblationResult:
+    """Insertion-ordered (the paper's design) vs access-reordered LRU
+    on the Figure 4 Graph500 workload at WSS 240 %."""
+    graph = KroneckerGraph(graph_scale, 16, seed=seed)
+    memory_scale = memory_scale_for(graph, 2.4)
+    rows = []
+    for reorder in (False, True):
+        config = FluidMemConfig(lru_reorder_on_access=reorder)
+        platform = build_platform(
+            "fluidmem-dram",
+            memory_scale=memory_scale,
+            seed=seed,
+            fluidmem_config=config,
+            remote_factor=6,
+        )
+        bench = Graph500(
+            platform.env, platform.port, platform.workload_base,
+            Graph500Config(scale=graph_scale, edgefactor=16,
+                           num_bfs_roots=1, seed=seed),
+            graph=graph,
+        )
+        result = platform.run(bench.run())
+        rows.append(
+            (
+                "reordered (true LRU)" if reorder else
+                "insertion order (paper)",
+                round(result.mean_teps_millions, 3),
+                platform.monitor.counters["remote_reads"],
+            )
+        )
+    return AblationResult(
+        "LRU ordering (Graph500, WSS 240% of DRAM)",
+        ("ordering", "MTEPS", "remote reads"),
+        rows,
+    )
+
+
+def run_tracker_ablation(
+    memory_scale: float = 1.0 / 1024, seed: int = 42
+) -> AblationResult:
+    """First-touch handling: zero-page tracker vs read-and-miss."""
+    rows = []
+    for tracker in (True, False):
+        config = FluidMemConfig(zero_page_tracker=tracker)
+        platform = build_platform(
+            "fluidmem-ramcloud",
+            memory_scale=memory_scale,
+            seed=seed,
+            fluidmem_config=config,
+        )
+        # The boot is the first-touch storm; measure its cost.
+        boot_time_us = platform.env.now
+        monitor = platform.monitor
+        rows.append(
+            (
+                "pagetracker (paper)" if tracker else "no tracker",
+                round(boot_time_us / 1000.0, 1),
+                monitor.counters["zero_page_faults"],
+                monitor.counters["tracker_miss_round_trips"],
+            )
+        )
+    return AblationResult(
+        "zero-page tracker (VM boot first-touch storm)",
+        ("mode", "boot ms", "zero-page faults", "wasted round trips"),
+        rows,
+    )
+
+
+def run_steal_ablation(
+    memory_scale: float = 1.0 / 1024,
+    accesses: int = 6000,
+    seed: int = 42,
+) -> AblationResult:
+    """Write-list stealing on/off under a WSS just over the budget —
+    the regime where recently evicted pages are re-touched quickly."""
+    rows = []
+    for steal in (True, False):
+        config = FluidMemConfig(
+            write_list_steal=steal,
+            writeback_batch_pages=64,
+        )
+        platform = build_platform(
+            "fluidmem-ramcloud",
+            memory_scale=memory_scale,
+            seed=seed,
+            fluidmem_config=config,
+        )
+        bench = Pmbench(
+            platform.env, platform.port, platform.workload_base,
+            PmbenchConfig(
+                wss_pages=platform.shape.wss_pages(1.3),
+                measured_accesses=accesses,
+            ),
+            rng=platform.streams.stream("pmbench"),
+        )
+        result = platform.run(bench.run())
+        monitor = platform.monitor
+        rows.append(
+            (
+                "steal (paper)" if steal else "no steal",
+                round(result.average_latency_us, 2),
+                monitor.counters["steals_resolved_locally"]
+                + monitor.counters["steals_after_wait"],
+                monitor.counters["remote_reads"],
+            )
+        )
+    return AblationResult(
+        "write-list stealing (pmbench, WSS 130% of DRAM)",
+        ("mode", "avg latency us", "steals", "remote reads"),
+        rows,
+    )
+
+
+def run_batch_size_ablation(
+    memory_scale: float = 1.0 / 1024,
+    accesses: int = 5000,
+    seed: int = 42,
+) -> AblationResult:
+    """Write-back batch sizes, on both remote backends.
+
+    RAMCloud has a true multi-write (one round trip per batch), so
+    bigger batches cut write traffic; Memcached lacks one, so batching
+    only defers the same per-page messages — a useful contrast with the
+    paper's observation that async write-back matters most on slow
+    transports (the win there comes from *asynchrony*, not batching).
+    """
+    rows = []
+    for backend in ("fluidmem-ramcloud", "fluidmem-memcached"):
+        for batch in (1, 8, 32, 128):
+            config = FluidMemConfig(writeback_batch_pages=batch)
+            platform = build_platform(
+                backend,
+                memory_scale=memory_scale,
+                seed=seed,
+                fluidmem_config=config,
+            )
+            bench = Pmbench(
+                platform.env, platform.port, platform.workload_base,
+                PmbenchConfig(
+                    wss_pages=platform.shape.wss_pages(4.0),
+                    measured_accesses=accesses,
+                ),
+                rng=platform.streams.stream("pmbench"),
+            )
+            result = platform.run(bench.run())
+            rows.append(
+                (
+                    backend.replace("fluidmem-", ""),
+                    batch,
+                    round(result.average_latency_us, 2),
+                    platform.store.counters["multi_writes"],
+                    platform.store.counters["writes"],
+                )
+            )
+    return AblationResult(
+        "write-back batch size (pmbench, WSS 400% of DRAM)",
+        ("backend", "batch pages", "avg latency us", "multi-writes",
+         "store writes"),
+        rows,
+    )
+
+
+def run_prefetch_ablation(
+    memory_scale: float = 1.0 / 1024,
+    seed: int = 42,
+) -> AblationResult:
+    """The §V-A future-work extension: sequential-next prefetching.
+
+    A sequential scan larger than the budget is the best case; uniform
+    random pmbench is the worst (prefetched neighbours are rarely the
+    next access).  Both are reported.
+    """
+    rows = []
+    for pattern, wss_factor in (("sequential", 2.0), ("random", 4.0)):
+        for prefetch in (0, 4):
+            config = FluidMemConfig(prefetch_pages=prefetch)
+            platform = build_platform(
+                "fluidmem-ramcloud",
+                memory_scale=memory_scale,
+                seed=seed,
+                fluidmem_config=config,
+            )
+            monitor = platform.monitor
+            if pattern == "sequential":
+                elapsed = _sequential_scan(platform, wss_factor)
+            else:
+                bench = Pmbench(
+                    platform.env, platform.port, platform.workload_base,
+                    PmbenchConfig(
+                        wss_pages=platform.shape.wss_pages(wss_factor),
+                        measured_accesses=4000,
+                    ),
+                    rng=platform.streams.stream("pmbench"),
+                )
+                before = platform.env.now
+                platform.run(bench.run())
+                elapsed = platform.env.now - before
+            rows.append(
+                (
+                    pattern,
+                    prefetch,
+                    round(elapsed / 1000.0, 1),
+                    monitor.counters["remote_reads"],
+                    monitor.counters["prefetches_completed"],
+                )
+            )
+    return AblationResult(
+        "sequential prefetching (paper future work; off = shipped design)",
+        ("pattern", "prefetch pages", "time ms", "demand reads",
+         "prefetched"),
+        rows,
+    )
+
+
+def _sequential_scan(platform, wss_factor: float) -> float:
+    """Three passes of a sequential scan over wss_factor x DRAM."""
+    from ..workloads import AccessDriver
+    from ..mem import PAGE_SIZE
+
+    pages = platform.shape.wss_pages(wss_factor)
+    driver = AccessDriver(platform.env, platform.port)
+    base = platform.workload_base
+
+    def gen(env):
+        started = env.now
+        for _ in range(3):
+            for index in range(pages):
+                yield from driver.access(base + index * PAGE_SIZE,
+                                         is_write=True)
+        yield from driver.flush()
+        return env.now - started
+
+    return platform.run(gen(platform.env))
+
+
+def run_compression_ablation(
+    memory_scale: float = 1.0 / 1024,
+    accesses: int = 4000,
+    seed: int = 42,
+) -> AblationResult:
+    """§III's page-compression customization: latency vs remote bytes."""
+    from ..kv import CompressedStore
+
+    rows = []
+    for compress in (False, True):
+        platform = build_platform(
+            "fluidmem-ramcloud",
+            memory_scale=memory_scale,
+            seed=seed,
+            boot=False,
+        )
+        if compress:
+            wrapped = CompressedStore(platform.env, platform.store)
+            platform.registration.store = wrapped
+            platform.store = wrapped
+        platform.boot()
+        platform.drain_writebacks()
+        bench = Pmbench(
+            platform.env, platform.port, platform.workload_base,
+            PmbenchConfig(
+                wss_pages=platform.shape.wss_pages(4.0),
+                measured_accesses=accesses,
+            ),
+            rng=platform.streams.stream("pmbench"),
+        )
+        result = platform.run(bench.run())
+        rows.append(
+            (
+                "compressed (2.2x)" if compress else "raw pages",
+                round(result.average_latency_us, 2),
+                round(platform.store.used_bytes / 1024.0, 0),
+            )
+        )
+    return AblationResult(
+        "page compression (pmbench on RAMCloud)",
+        ("mode", "avg latency us", "remote KiB"),
+        rows,
+    )
+
+
+def run_all_ablations(seed: int = 42) -> Dict[str, AblationResult]:
+    return {
+        "lru-reorder": run_lru_reorder_ablation(seed=seed),
+        "tracker": run_tracker_ablation(seed=seed),
+        "steal": run_steal_ablation(seed=seed),
+        "batch-size": run_batch_size_ablation(seed=seed),
+        "prefetch": run_prefetch_ablation(seed=seed),
+        "compression": run_compression_ablation(seed=seed),
+    }

@@ -1,0 +1,176 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.bench fig3            # Figure 3 latency CDFs
+    python -m repro.bench table1          # Table I code paths
+    python -m repro.bench table2          # Table II optimizations
+    python -m repro.bench fig4            # Figure 4 Graph500
+    python -m repro.bench fig5            # Figure 5 MongoDB/YCSB
+    python -m repro.bench table3          # Table III footprint
+    python -m repro.bench ablations       # design-choice ablations
+    python -m repro.bench all             # everything
+
+``--quick`` shrinks the runs for smoke testing; ``--csv DIR`` exports
+each experiment's rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .ablations import run_all_ablations
+from .fig3_latency_cdf import run_fig3
+from .fig4_graph500 import run_fig4
+from .fig5_mongodb import run_fig5
+from .reporting import write_csv
+from .table1_codepaths import run_table1
+from .table2_optimizations import run_table2
+from .table3_footprint import run_table3
+
+__all__ = ["main"]
+
+EXPERIMENTS = ("fig3", "table1", "table2", "fig4", "fig5", "table3",
+               "ablations")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate the FluidMem paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller runs (smoke-test scale)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows as CSV into DIR",
+    )
+    parser.add_argument(
+        "--cdf",
+        action="store_true",
+        help="fig3: also print ASCII CDF plots per backend",
+    )
+    return parser
+
+
+def _maybe_csv(csv_dir: Optional[str], name: str, headers, rows) -> None:
+    if csv_dir is None:
+        return
+    os.makedirs(csv_dir, exist_ok=True)
+    write_csv(os.path.join(csv_dir, f"{name}.csv"), headers, rows)
+
+
+def _run_one(name: str, args) -> None:
+    quick = args.quick
+    seed = args.seed
+    if name == "fig3":
+        result = run_fig3(
+            measured_accesses=4000 if quick else 20000, seed=seed
+        )
+        print(result.table_text())
+        if args.cdf:
+            for platform in result.results:
+                print()
+                print(result.cdf_text(platform))
+        print(
+            "\nFluidMem->RAMCloud faults are "
+            f"{100 * result.speedup_over('fluidmem-ramcloud', 'swap-nvmeof'):.0f}% "
+            "faster than NVMeoF swap (paper: 40%) and "
+            f"{100 * result.speedup_over('fluidmem-ramcloud', 'swap-ssd'):.0f}% "
+            "faster than SSD swap (paper: 77%)."
+        )
+        _maybe_csv(args.csv, "fig3",
+                   ("backend", "avg_us", "paper_us", "ratio", "hit_pct",
+                    "sub10us_pct"),
+                   result.rows())
+    elif name == "table1":
+        result = run_table1(
+            measured_accesses=3000 if quick else 10000, seed=seed
+        )
+        print(result.table_text())
+        _maybe_csv(args.csv, "table1",
+                   ("path", "avg", "paper_avg", "stdev", "paper_stdev",
+                    "p99", "paper_p99"),
+                   result.rows())
+    elif name == "table2":
+        result = run_table2(
+            accesses=1500 if quick else 5000, seed=seed
+        )
+        print(result.table_text())
+        _maybe_csv(args.csv, "table2",
+                   ("optimization", "dram_seq", "paper", "dram_rand",
+                    "paper", "rc_seq", "paper", "rc_rand", "paper"),
+                   result.rows())
+    elif name == "fig4":
+        result = run_fig4(
+            graph_scale=11 if quick else 12,
+            num_bfs_roots=1 if quick else 2,
+            seed=seed,
+        )
+        print(result.table_text())
+        print(
+            "\nFluidMem overhead with an all-local working set: "
+            f"{100 * result.overhead_at_local():.1f}% (paper: 2.6%)."
+        )
+        _maybe_csv(args.csv, "fig4",
+                   ("wss", "graph_scale", *result.platforms),
+                   result.rows())
+    elif name == "fig5":
+        result = run_fig5(
+            operations=4000 if quick else 15000, seed=seed
+        )
+        print(result.table_text())
+        headers = ["wt_cache"]
+        for platform in result.platforms:
+            headers += [f"{platform}_us", "paper_us", "cv"]
+        _maybe_csv(args.csv, "fig5", headers, result.rows())
+    elif name == "table3":
+        result = run_table3(
+            boot_scale=1.0 / 16 if quick else 1.0 / 8, seed=seed
+        )
+        print(result.table_text())
+        _maybe_csv(args.csv, "table3",
+                   ("configuration", "pages", "mib", "ssh", "icmp",
+                    "revived"),
+                   result.rows())
+    elif name == "ablations":
+        for ablation in run_all_ablations(seed=seed).values():
+            print(ablation.table_text())
+            print()
+            _maybe_csv(
+                args.csv,
+                f"ablation-{ablation.name.split(' ')[0]}",
+                ablation.headers,
+                ablation.data,
+            )
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(name)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    targets = EXPERIMENTS if args.experiment == "all" \
+        else (args.experiment,)
+    for index, name in enumerate(targets):
+        if index:
+            print("\n" + "#" * 70 + "\n")
+        _run_one(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

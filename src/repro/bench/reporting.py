@@ -1,0 +1,114 @@
+"""Result rendering: ASCII tables, CSV export, and text CDF plots."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+from ..sim import Cdf
+
+__all__ = ["render_table", "render_cdf", "write_csv", "format_ratio"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    materialized: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if _numericish(cells[i]) else
+            cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    return stripped.isdigit()
+
+
+def render_cdf(
+    cdf: Cdf,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+    log_x: bool = True,
+) -> str:
+    """A text rendering of a latency CDF (Figure 3 style, log x-axis)."""
+    import math
+
+    points = cdf.points(count=width)
+    values = [v for v, _f in points]
+    lo, hi = max(min(values), 1e-3), max(values)
+    if log_x and hi > lo:
+        positions = [
+            int((math.log10(max(v, lo)) - math.log10(lo))
+                / (math.log10(hi) - math.log10(lo) + 1e-12)
+                * (width - 1))
+            for v in values
+        ]
+    else:
+        span = (hi - lo) or 1.0
+        positions = [int((v - lo) / span * (width - 1)) for v in values]
+
+    grid = [[" "] * width for _ in range(height)]
+    for pos, (_v, frac) in zip(positions, points):
+        row = height - 1 - int(frac * (height - 1))
+        grid[row][pos] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for row_index, row in enumerate(grid):
+        frac = 1.0 - row_index / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:.1f}us" + " " * (width - 16) + f"{hi:.1f}us")
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """'measured (paper x.xx, ratio y.yy)' for EXPERIMENTS.md rows."""
+    if paper == 0:
+        return f"{measured:.2f}"
+    return f"{measured:.2f} (paper {paper:.2f}, x{measured / paper:.2f})"

@@ -1,0 +1,106 @@
+"""Table I: latencies of key parts of FluidMem code.
+
+§VI-C: "We used [the built-in profiling] to profile key sections of
+FluidMem code during synchronous page fault handling (without the
+optimizations in Table II) ... with the RAMCloud backend."
+
+Paper values (µs):
+
+    code path               avg    stdev   p99
+    UPDATE_PAGE_CACHE       2.56   0.25    3.32
+    INSERT_PAGE_HASH_NODE   2.58   1.26    8.36
+    INSERT_LRU_CACHE_NODE   2.87   0.47    3.65
+    UFFD_ZEROPAGE           2.61   0.44    3.51
+    UFFD_REMAP              1.65   2.57   18.03
+    UFFD_COPY               3.89   0.77    5.43
+    READ_PAGE              15.62  31.01   20.90
+    WRITE_PAGE             14.70   1.52   17.45
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import FluidMemConfig
+from ..workloads import Pmbench, PmbenchConfig
+from .platform import build_platform
+from .reporting import render_table
+
+__all__ = ["PAPER_TABLE1_US", "Table1Result", "run_table1"]
+
+#: (avg, stdev, p99) per code path, from the paper.
+PAPER_TABLE1_US: Dict[str, Tuple[float, float, float]] = {
+    "UPDATE_PAGE_CACHE": (2.56, 0.25, 3.32),
+    "INSERT_PAGE_HASH_NODE": (2.58, 1.26, 8.36),
+    "INSERT_LRU_CACHE_NODE": (2.87, 0.47, 3.65),
+    "UFFD_ZEROPAGE": (2.61, 0.44, 3.51),
+    "UFFD_REMAP": (1.65, 2.57, 18.03),
+    "UFFD_COPY": (3.89, 0.77, 5.43),
+    "READ_PAGE": (15.62, 31.01, 20.90),
+    "WRITE_PAGE": (14.70, 1.52, 17.45),
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured code-path stats alongside the paper's."""
+
+    measured: List[Tuple[str, float, float, float]]
+
+    def row_for(self, path: str) -> Tuple[str, float, float, float]:
+        for row in self.measured:
+            if row[0] == path:
+                return row
+        raise KeyError(path)
+
+    def rows(self) -> List[Sequence[object]]:
+        out = []
+        for path, avg, stdev, p99 in self.measured:
+            paper_avg, paper_stdev, paper_p99 = PAPER_TABLE1_US[path]
+            out.append(
+                (
+                    path,
+                    round(avg, 2), paper_avg,
+                    round(stdev, 2), paper_stdev,
+                    round(p99, 2), paper_p99,
+                )
+            )
+        return out
+
+    def table_text(self) -> str:
+        return render_table(
+            ("code path", "avg", "paper", "stdev", "paper", "p99",
+             "paper"),
+            self.rows(),
+            title="Table I: FluidMem code-path latencies (us, RAMCloud, "
+                  "synchronous)",
+        )
+
+
+def run_table1(
+    memory_scale: float = 1.0 / 1024,
+    measured_accesses: int = 8_000,
+    seed: int = 42,
+) -> Table1Result:
+    """Profile the monitor under synchronous (unoptimized) handling."""
+    # "without the optimizations in Table II": sync reads + sync writes.
+    config = FluidMemConfig.default_table2()
+    platform = build_platform(
+        "fluidmem-ramcloud",
+        memory_scale=memory_scale,
+        seed=seed,
+        fluidmem_config=config,
+    )
+    bench = Pmbench(
+        platform.env,
+        platform.port,
+        platform.workload_base,
+        PmbenchConfig(
+            wss_pages=platform.shape.wss_pages(4.0),
+            measured_accesses=measured_accesses,
+        ),
+        rng=platform.streams.stream("pmbench"),
+    )
+    platform.run(bench.run())
+    return Table1Result(measured=platform.monitor.profiler.table())

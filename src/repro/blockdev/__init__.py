@@ -1,0 +1,12 @@
+"""Block devices: the substrate under swap-based disaggregation."""
+
+from .device import SECTOR_BYTES, BlockDevice
+from .media import NvmeofDisk, PmemDisk, SsdDisk
+
+__all__ = [
+    "BlockDevice",
+    "SECTOR_BYTES",
+    "PmemDisk",
+    "NvmeofDisk",
+    "SsdDisk",
+]

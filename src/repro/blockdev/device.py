@@ -1,0 +1,123 @@
+"""Block-device abstraction.
+
+Swap-based disaggregation (the paper's comparison point) pushes every
+remote-memory access through the block layer: a bio is built, queued on
+the device, serviced, and completed by interrupt.  The three concrete
+devices — remote DRAM (``/dev/pmem0``), an NVMeoF target, and a local SSD
+— differ only in their service-time models, so they share this queueing
+skeleton.
+
+Devices expose 4 KB-sector reads/writes as simulation generators and
+enforce a bounded queue depth: when the queue is full, submitters wait,
+which is exactly the congestion behaviour that produces swap's latency
+plateaus under load (Fig. 3d–f).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Generator
+
+from ..errors import OutOfRangeError
+from ..mem import PAGE_SIZE
+from ..sim import CounterSet, Environment, LatencyRecorder, Resource
+
+__all__ = ["BlockDevice", "SECTOR_BYTES"]
+
+#: We use page-sized sectors: swap I/O is always whole 4 KB pages.
+SECTOR_BYTES = PAGE_SIZE
+
+
+class BlockDevice(abc.ABC):
+    """Queued block device with per-op service-time sampling."""
+
+    name: str = "blockdev"
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity_bytes: int,
+        rng: random.Random,
+        queue_depth: int = 32,
+    ) -> None:
+        if capacity_bytes < SECTOR_BYTES:
+            raise OutOfRangeError(
+                f"device needs >= one sector, got {capacity_bytes} bytes"
+            )
+        self.env = env
+        self.capacity_bytes = capacity_bytes
+        self.num_sectors = capacity_bytes // SECTOR_BYTES
+        self._rng = rng
+        self._queue = Resource(env, capacity=queue_depth)
+        self.counters = CounterSet()
+        self.read_latency = LatencyRecorder(f"{self.name}.read",
+                                            max_samples=100_000)
+        self.write_latency = LatencyRecorder(f"{self.name}.write",
+                                             max_samples=100_000)
+
+    # -- service-time models (device-specific) -------------------------------
+
+    @abc.abstractmethod
+    def read_service_us(self, nbytes: int) -> float:
+        """Sampled device time to serve an ``nbytes`` read."""
+
+    @abc.abstractmethod
+    def write_service_us(self, nbytes: int) -> float:
+        """Sampled device time to serve an ``nbytes`` write."""
+
+    # -- I/O ------------------------------------------------------------------
+
+    def read(self, sector: int, nbytes: int = SECTOR_BYTES) -> Generator:
+        """Read ``nbytes`` at ``sector``; a simulation sub-process."""
+        self._check(sector, nbytes)
+        start = self.env.now
+        slot = self._queue.request()
+        yield slot
+        try:
+            yield self.env.timeout(self.read_service_us(nbytes))
+        finally:
+            self._queue.release(slot)
+        self.counters.incr("reads")
+        self.read_latency.record(self.env.now - start)
+
+    def write(self, sector: int, nbytes: int = SECTOR_BYTES) -> Generator:
+        """Write ``nbytes`` at ``sector``; a simulation sub-process."""
+        self._check(sector, nbytes)
+        start = self.env.now
+        slot = self._queue.request()
+        yield slot
+        try:
+            yield self.env.timeout(self.write_service_us(nbytes))
+        finally:
+            self._queue.release(slot)
+        self.counters.incr("writes")
+        self.write_latency.record(self.env.now - start)
+
+    def _check(self, sector: int, nbytes: int) -> None:
+        if nbytes <= 0 or nbytes % SECTOR_BYTES:
+            raise OutOfRangeError(
+                f"I/O size must be a positive sector multiple, got {nbytes}"
+            )
+        last = sector + nbytes // SECTOR_BYTES
+        if sector < 0 or last > self.num_sectors:
+            raise OutOfRangeError(
+                f"I/O [{sector}, {last}) beyond device of "
+                f"{self.num_sectors} sectors"
+            )
+
+    @property
+    def queue_length(self) -> int:
+        return self._queue.queue_length
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"{self.capacity_bytes >> 20} MiB>"
+        )
+
+
+def gauss_at_least(rng: random.Random, mean: float, sigma: float,
+                   floor: float) -> float:
+    """A truncated-below Gaussian sample; shared by device models."""
+    return max(floor, rng.gauss(mean, sigma))

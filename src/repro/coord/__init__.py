@@ -1,0 +1,5 @@
+"""Cluster coordination: the mini-ZooKeeper ensemble."""
+
+from .zookeeper import ZNode, ZooKeeperClient, ZooKeeperEnsemble
+
+__all__ = ["ZooKeeperEnsemble", "ZooKeeperClient", "ZNode"]

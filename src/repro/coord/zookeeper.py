@@ -1,0 +1,311 @@
+"""A miniature ZooKeeper: a replicated, globally consistent tree.
+
+FluidMem uses ZooKeeper for exactly one thing (paper §IV): the replicated
+table that guarantees global uniqueness of virtual-partition indexes.  We
+model the parts that matter for that — a hierarchical znode tree with
+versioned writes, ephemeral and sequence nodes, sessions, and quorum
+semantics with failure injection — and skip watches/ACLs.
+
+All replicas apply every committed operation, so reads from any live
+replica are consistent (the real system gives sync+read; our clients
+always observe the committed state, which is the guarantee FluidMem
+relies on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import (
+    CoordinationError,
+    NoNodeError,
+    NodeExistsError,
+    QuorumLostError,
+    SessionExpiredError,
+)
+
+__all__ = ["ZNode", "ZooKeeperEnsemble", "ZooKeeperClient"]
+
+
+class ZNode:
+    """One node of the tree: data, version, children, ownership."""
+
+    __slots__ = ("data", "version", "children", "ephemeral_owner", "cseq")
+
+    def __init__(self, data: bytes = b"", ephemeral_owner: Optional[int] = None):
+        self.data = data
+        self.version = 0
+        self.children: Dict[str, "ZNode"] = {}
+        self.ephemeral_owner = ephemeral_owner
+        #: Monotonic counter for sequence-node suffixes under this parent.
+        self.cseq = 0
+
+
+def _split(path: str) -> List[str]:
+    if not path.startswith("/") or path != path.rstrip() or "//" in path:
+        raise CoordinationError(f"invalid znode path {path!r}")
+    if path == "/":
+        return []
+    parts = path[1:].split("/")
+    if any(not p for p in parts):
+        raise CoordinationError(f"invalid znode path {path!r}")
+    return parts
+
+
+class _Replica:
+    """One replica's copy of the tree."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.alive = True
+        self.root = ZNode()
+
+    def walk(self, parts: List[str]) -> ZNode:
+        node = self.root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                raise NoNodeError("/" + "/".join(parts))
+            node = child
+        return node
+
+
+class ZooKeeperEnsemble:
+    """A quorum of replicas plus session bookkeeping."""
+
+    def __init__(self, replica_count: int = 3) -> None:
+        if replica_count < 1 or replica_count % 2 == 0:
+            raise CoordinationError(
+                f"replica count must be odd and >= 1, got {replica_count}"
+            )
+        self.replicas = [_Replica(i) for i in range(replica_count)]
+        self._session_ids = itertools.count(1)
+        self._live_sessions: Dict[int, "ZooKeeperClient"] = {}
+
+    # -- failure injection ---------------------------------------------------
+
+    @property
+    def quorum_size(self) -> int:
+        return len(self.replicas) // 2 + 1
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for replica in self.replicas if replica.alive)
+
+    @property
+    def has_quorum(self) -> bool:
+        return self.alive_count >= self.quorum_size
+
+    def stop_replica(self, index: int) -> None:
+        self.replicas[index].alive = False
+
+    def start_replica(self, index: int) -> None:
+        """Restart a replica; it catches up by copying a live peer."""
+        replica = self.replicas[index]
+        if replica.alive:
+            return
+        donor = next((r for r in self.replicas if r.alive), None)
+        if donor is not None:
+            replica.root = _copy_tree(donor.root)
+        replica.alive = True
+
+    # -- sessions -------------------------------------------------------------
+
+    def connect(self) -> "ZooKeeperClient":
+        self._require_quorum()
+        session_id = next(self._session_ids)
+        client = ZooKeeperClient(self, session_id)
+        self._live_sessions[session_id] = client
+        return client
+
+    def expire_session(self, session_id: int) -> None:
+        """Kill a session: its ephemeral nodes vanish everywhere."""
+        client = self._live_sessions.pop(session_id, None)
+        if client is None:
+            return
+        client._expired = True
+        for replica in self.replicas:
+            _remove_ephemerals(replica.root, session_id)
+
+    # -- committed operations (applied to every live replica) ------------------
+
+    def _require_quorum(self) -> None:
+        if not self.has_quorum:
+            raise QuorumLostError(
+                f"only {self.alive_count}/{len(self.replicas)} replicas alive"
+            )
+
+    def _read_replica(self) -> _Replica:
+        self._require_quorum()
+        for replica in self.replicas:
+            if replica.alive:
+                return replica
+        raise QuorumLostError("no live replica")  # pragma: no cover
+
+    def commit_create(
+        self,
+        path: str,
+        data: bytes,
+        session_id: int,
+        ephemeral: bool,
+        sequence: bool,
+    ) -> str:
+        self._require_quorum()
+        parts = _split(path)
+        if not parts:
+            raise NodeExistsError("/")
+        parent_parts, name = parts[:-1], parts[-1]
+
+        # Determine the final name once, using the first live replica's
+        # counter, then apply identically everywhere (ZAB total order).
+        reference = self._read_replica()
+        parent_ref = reference.walk(parent_parts)
+        if sequence:
+            name = f"{name}{parent_ref.cseq:010d}"
+        if name in parent_ref.children:
+            raise NodeExistsError("/" + "/".join(parent_parts + [name]))
+
+        owner = session_id if ephemeral else None
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            parent = replica.walk(parent_parts)
+            if sequence:
+                parent.cseq += 1
+            parent.children[name] = ZNode(data, ephemeral_owner=owner)
+        return "/" + "/".join(parent_parts + [name])
+
+    def commit_set(self, path: str, data: bytes, version: int) -> int:
+        self._require_quorum()
+        parts = _split(path)
+        node_ref = self._read_replica().walk(parts)
+        if version != -1 and node_ref.version != version:
+            raise CoordinationError(
+                f"version mismatch on {path}: "
+                f"expected {version}, have {node_ref.version}"
+            )
+        new_version = node_ref.version + 1
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            node = replica.walk(parts)
+            node.data = data
+            node.version = new_version
+        return new_version
+
+    def commit_delete(self, path: str, version: int) -> None:
+        self._require_quorum()
+        parts = _split(path)
+        if not parts:
+            raise CoordinationError("cannot delete the root")
+        node_ref = self._read_replica().walk(parts)
+        if version != -1 and node_ref.version != version:
+            raise CoordinationError(f"version mismatch on {path}")
+        if node_ref.children:
+            raise CoordinationError(f"{path} has children")
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            parent = replica.walk(parts[:-1])
+            parent.children.pop(parts[-1], None)
+
+    def read_get(self, path: str) -> Tuple[bytes, int]:
+        node = self._read_replica().walk(_split(path))
+        return node.data, node.version
+
+    def read_exists(self, path: str) -> bool:
+        try:
+            self._read_replica().walk(_split(path))
+            return True
+        except NoNodeError:
+            return False
+
+    def read_children(self, path: str) -> List[str]:
+        node = self._read_replica().walk(_split(path))
+        return sorted(node.children)
+
+
+def _copy_tree(node: ZNode) -> ZNode:
+    clone = ZNode(node.data, ephemeral_owner=node.ephemeral_owner)
+    clone.version = node.version
+    clone.cseq = node.cseq
+    clone.children = {
+        name: _copy_tree(child) for name, child in node.children.items()
+    }
+    return clone
+
+
+def _remove_ephemerals(node: ZNode, session_id: int) -> None:
+    doomed = [
+        name
+        for name, child in node.children.items()
+        if child.ephemeral_owner == session_id
+    ]
+    for name in doomed:
+        del node.children[name]
+    for child in node.children.values():
+        _remove_ephemerals(child, session_id)
+
+
+class ZooKeeperClient:
+    """A session handle; mirrors the subset of the ZK client API we need."""
+
+    def __init__(self, ensemble: ZooKeeperEnsemble, session_id: int) -> None:
+        self._ensemble = ensemble
+        self.session_id = session_id
+        self._expired = False
+
+    def _check(self) -> None:
+        if self._expired:
+            raise SessionExpiredError(f"session {self.session_id} expired")
+
+    def create(
+        self,
+        path: str,
+        data: bytes = b"",
+        ephemeral: bool = False,
+        sequence: bool = False,
+    ) -> str:
+        """Create a znode; returns the actual path (sequence suffixing)."""
+        self._check()
+        return self._ensemble.commit_create(
+            path, data, self.session_id, ephemeral, sequence
+        )
+
+    def ensure_path(self, path: str) -> None:
+        """Create all missing ancestors of ``path`` (and the path itself)."""
+        self._check()
+        parts = _split(path)
+        current = ""
+        for part in parts:
+            current += "/" + part
+            try:
+                self._ensemble.commit_create(
+                    current, b"", self.session_id, False, False
+                )
+            except NodeExistsError:
+                pass
+
+    def get(self, path: str) -> Tuple[bytes, int]:
+        self._check()
+        return self._ensemble.read_get(path)
+
+    def set(self, path: str, data: bytes, version: int = -1) -> int:
+        self._check()
+        return self._ensemble.commit_set(path, data, version)
+
+    def delete(self, path: str, version: int = -1) -> None:
+        self._check()
+        self._ensemble.commit_delete(path, version)
+
+    def exists(self, path: str) -> bool:
+        self._check()
+        return self._ensemble.read_exists(path)
+
+    def children(self, path: str) -> List[str]:
+        self._check()
+        return self._ensemble.read_children(path)
+
+    def close(self) -> None:
+        self._ensemble.expire_session(self.session_id)

@@ -1,0 +1,46 @@
+"""FluidMem: the paper's contribution.
+
+Public surface:
+
+* :class:`Monitor` — the user-space page fault handler (§V),
+* :class:`FluidMemConfig` / :class:`MonitorLatency` — tunables,
+* :class:`FluidMemoryPort` — a VM's view of its FluidMem-backed memory,
+* :class:`UserfaultApp` — libuserfault for bare processes (Table II),
+* :class:`LruBuffer`, :class:`PageTracker`, :class:`WritebackQueue` —
+  the monitor's internal structures, exposed for tests and ablations,
+* :class:`Profiler` / :class:`CodePath` — Table I's built-in profiling.
+"""
+
+from .autoscale import AutoscaleConfig, Autoscaler
+from .config import FluidMemConfig, MonitorLatency
+from .lru_buffer import LruBuffer
+from .migration import MigrationReport, migrate_vm
+from .monitor import Monitor, VmRegistration
+from .policy import SharePolicy, ShareSpec
+from .page_tracker import PageTracker
+from .port import FluidMemoryPort
+from .profiling import CodePath, Profiler
+from .userfault_lib import UserfaultApp
+from .writeback import StealResult, WritebackEntry, WritebackQueue
+
+__all__ = [
+    "Monitor",
+    "VmRegistration",
+    "migrate_vm",
+    "MigrationReport",
+    "SharePolicy",
+    "ShareSpec",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "FluidMemConfig",
+    "MonitorLatency",
+    "FluidMemoryPort",
+    "UserfaultApp",
+    "LruBuffer",
+    "PageTracker",
+    "WritebackQueue",
+    "WritebackEntry",
+    "StealResult",
+    "Profiler",
+    "CodePath",
+]

@@ -1,0 +1,124 @@
+"""Autoscaling the DRAM budget: "flexibly and efficiently grow and
+shrink the memory footprint of a VM as defined by a cloud provider"
+(paper abstract).
+
+The monitor's resizable LRU gives the provider a single knob; the
+:class:`Autoscaler` turns it automatically: it samples the monitor's
+fault *rate* on a fixed interval and
+
+* **grows** the budget when the VM is thrashing (fault rate above
+  ``grow_threshold``), giving it DRAM while demand lasts,
+* **shrinks** when the VM goes quiet (below ``shrink_threshold``),
+  harvesting idle DRAM for other tenants — the Table III scenario made
+  continuous.
+
+The controller is deliberately simple (threshold + fixed step with
+hysteresis); the interesting part is that FluidMem makes the actuator
+— instantaneous, guest-invisible resizing — possible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from ..errors import FluidMemError
+from ..sim import Environment
+from .monitor import Monitor
+
+__all__ = ["AutoscaleConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Controller parameters."""
+
+    #: Sampling interval (µs).
+    interval_us: float = 50_000.0
+    #: Faults per millisecond above which the budget grows.
+    grow_threshold: float = 2.0
+    #: Faults per millisecond below which the budget shrinks.
+    shrink_threshold: float = 0.2
+    #: Pages added/removed per adjustment.
+    step_pages: int = 64
+    #: Budget bounds.
+    min_pages: int = 64
+    max_pages: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.interval_us <= 0:
+            raise FluidMemError("interval must be positive")
+        if self.shrink_threshold >= self.grow_threshold:
+            raise FluidMemError(
+                "shrink threshold must be below grow threshold"
+            )
+        if self.step_pages < 1:
+            raise FluidMemError("step must be >= 1 page")
+        if not 1 <= self.min_pages <= self.max_pages:
+            raise FluidMemError("need 1 <= min_pages <= max_pages")
+
+
+class Autoscaler:
+    """Fault-rate-driven LRU budget controller."""
+
+    def __init__(
+        self,
+        env: Environment,
+        monitor: Monitor,
+        config: Optional[AutoscaleConfig] = None,
+    ) -> None:
+        self.env = env
+        self.monitor = monitor
+        self.config = config or AutoscaleConfig()
+        self._process = None
+        self._last_faults = 0
+        #: (time_us, capacity, fault_rate_per_ms) after each decision.
+        self.history: List[Tuple[float, int, float]] = []
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    def start(self) -> None:
+        if self.running:
+            raise FluidMemError("autoscaler already running")
+        self._last_faults = self.monitor.counters["faults"]
+        self._process = self.env.process(self._run())
+
+    def stop(self) -> None:
+        """Stop sampling (also lets an idle simulation drain)."""
+        if self.running:
+            self._process.interrupt("stop")
+
+    def _run(self) -> Generator:
+        from ..errors import InterruptError
+
+        config = self.config
+        try:
+            while True:
+                yield self.env.timeout(config.interval_us)
+                faults = self.monitor.counters["faults"]
+                rate_per_ms = (
+                    (faults - self._last_faults)
+                    / (config.interval_us / 1000.0)
+                )
+                self._last_faults = faults
+                capacity = self.monitor.lru.capacity
+                if rate_per_ms > config.grow_threshold:
+                    capacity = min(
+                        config.max_pages, capacity + config.step_pages
+                    )
+                    self.monitor.set_lru_capacity(capacity)
+                    self.monitor.counters.incr("autoscale_grows")
+                elif rate_per_ms < config.shrink_threshold:
+                    new_capacity = max(
+                        config.min_pages, capacity - config.step_pages
+                    )
+                    if new_capacity != capacity:
+                        capacity = new_capacity
+                        self.monitor.set_lru_capacity(capacity)
+                        yield from self.monitor.shrink_to_capacity()
+                        self.monitor.counters.incr("autoscale_shrinks")
+                self.history.append((self.env.now, capacity, rate_per_ms))
+        except InterruptError:
+            return

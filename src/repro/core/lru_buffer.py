@@ -1,0 +1,166 @@
+"""The monitor's resizable LRU buffer (paper §V-A).
+
+Despite the name, the paper's list is **insertion ordered**: "the LRU
+list is only updated when a page is seen by the monitor process, which
+only happens on first access and after an eviction ... At present, the
+internal ordering of the list does not change."  Among resident pages
+this behaves like FIFO — the design limitation the paper itself calls
+out when guest kswapd beats it at victim selection (Fig. 4c/d).
+
+Capacity is resizable at runtime; shrinking is how a provider squeezes a
+VM to a near-zero footprint (Table III).  An optional
+``reorder_on_access`` mode exists purely for the ablation benchmark that
+quantifies what true LRU ordering would buy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import FluidMemError
+
+__all__ = ["LruBuffer", "LruEntry"]
+
+#: An entry is (host_vaddr, registration_token); the monitor needs to
+#: know which VM a victim belongs to.
+LruEntry = Tuple[int, object]
+
+
+class LruBuffer:
+    """Insertion-ordered bounded buffer of resident pages."""
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        reorder_on_access: bool = False,
+    ) -> None:
+        if capacity_pages < 1:
+            raise FluidMemError(
+                f"capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self._capacity = capacity_pages
+        self.reorder_on_access = reorder_on_access
+        self._entries: "OrderedDict[int, object]" = OrderedDict()
+        #: Resident pages per registration (provider-policy accounting).
+        self._per_registration: Dict[int, int] = {}
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def resize(self, capacity_pages: int) -> None:
+        """Change the DRAM budget; overflow is evicted by the monitor."""
+        if capacity_pages < 1:
+            raise FluidMemError(
+                f"capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self._capacity = capacity_pages
+
+    @property
+    def overflow(self) -> int:
+        """How many pages are over budget right now."""
+        return max(0, len(self._entries) - self._capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vaddr: int) -> bool:
+        return vaddr in self._entries
+
+    # -- membership ----------------------------------------------------------
+
+    def insert(self, vaddr: int, registration: object) -> None:
+        """Add a page at the MRU end (first access or post-eviction)."""
+        if vaddr in self._entries:
+            raise FluidMemError(
+                f"{vaddr:#x} is already in the LRU buffer"
+            )
+        self._entries[vaddr] = registration
+        key = id(registration)
+        self._per_registration[key] = self._per_registration.get(key, 0) + 1
+
+    def note_access(self, vaddr: int) -> None:
+        """Ablation hook: with reordering on, move the page to MRU.
+
+        In the paper's design this is a no-op — the monitor never even
+        sees accesses to resident pages.
+        """
+        if self.reorder_on_access and vaddr in self._entries:
+            self._entries.move_to_end(vaddr)
+
+    def remove(self, vaddr: int) -> object:
+        """Drop a page (it was evicted or its VM shut down)."""
+        try:
+            registration = self._entries.pop(vaddr)
+        except KeyError:
+            raise FluidMemError(
+                f"{vaddr:#x} is not in the LRU buffer"
+            ) from None
+        self._account_removal(registration)
+        return registration
+
+    def discard_registration(self, registration: object) -> List[int]:
+        """Remove every page of one VM (deregistration); returns them."""
+        doomed = [
+            vaddr
+            for vaddr, reg in self._entries.items()
+            if reg is registration
+        ]
+        for vaddr in doomed:
+            del self._entries[vaddr]
+        self._per_registration.pop(id(registration), None)
+        return doomed
+
+    def count_for(self, registration: object) -> int:
+        """Resident pages belonging to one VM."""
+        return self._per_registration.get(id(registration), 0)
+
+    def _account_removal(self, registration: object) -> None:
+        key = id(registration)
+        remaining = self._per_registration.get(key, 0) - 1
+        if remaining <= 0:
+            self._per_registration.pop(key, None)
+        else:
+            self._per_registration[key] = remaining
+
+    # -- eviction ------------------------------------------------------------
+
+    def pop_eviction_candidate(self) -> Optional[LruEntry]:
+        """Take the page at the top (oldest end) of the list, if any."""
+        if not self._entries:
+            return None
+        vaddr, registration = self._entries.popitem(last=False)
+        self._account_removal(registration)
+        return vaddr, registration
+
+    def pop_oldest_of(self, registration: object) -> Optional[LruEntry]:
+        """Take the oldest page belonging to one specific VM."""
+        for vaddr, reg in self._entries.items():
+            if reg is registration:
+                del self._entries[vaddr]
+                self._account_removal(reg)
+                return vaddr, reg
+        return None
+
+    def eviction_candidates(self, count: int) -> List[LruEntry]:
+        """Peek at the ``count`` oldest entries without removing them."""
+        if count < 0:
+            raise FluidMemError(f"count must be >= 0, got {count}")
+        result: List[LruEntry] = []
+        for vaddr, registration in self._entries.items():
+            if len(result) >= count:
+                break
+            result.append((vaddr, registration))
+        return result
+
+    def __iter__(self) -> Iterator[LruEntry]:
+        return iter(self._entries.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"<LruBuffer {len(self._entries)}/{self._capacity} pages"
+            f"{' reordering' if self.reorder_on_access else ''}>"
+        )

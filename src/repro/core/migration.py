@@ -1,0 +1,107 @@
+"""FluidMem-assisted VM migration (extension; paper §VII).
+
+The paper observes that live migration and memory disaggregation are
+complementary: "LM is capable of moving execution and memory
+disaggregation can offload memory from the hypervisor."  With FluidMem,
+a VM's memory already lives (mostly) in a key-value store reachable
+from any hypervisor, so moving the VM means moving only its *residency*:
+
+1. the source monitor drains its write list and pushes the VM's
+   still-resident pages to the shared store (the blackout window),
+2. the destination QEMU maps guest RAM at the same addresses (so the
+   52-bit page keys match) and registers with the destination monitor,
+3. the destination's pagetracker is primed with the source's seen-keys
+   set, so post-switch-over faults are resolved from the store — the
+   post-copy pattern userfaultfd was originally built for (§VII).
+
+The returned report separates *blackout* (guest frozen) from *warm-up*
+(guest running, pages faulting back on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..errors import FluidMemError
+from ..vm import GuestVM, QemuProcess
+from .monitor import Monitor, VmRegistration
+from .port import FluidMemoryPort
+
+__all__ = ["MigrationReport", "migrate_vm"]
+
+
+@dataclass
+class MigrationReport:
+    """What the migration cost."""
+
+    blackout_us: float
+    pages_pushed: int
+    seen_pages: int
+    source_monitor: Monitor
+    dest_monitor: Monitor
+    dest_qemu: QemuProcess
+    dest_registration: VmRegistration
+
+    @property
+    def blackout_ms(self) -> float:
+        return self.blackout_us / 1000.0
+
+
+def migrate_vm(
+    vm: GuestVM,
+    source_monitor: Monitor,
+    source_registration: VmRegistration,
+    dest_monitor: Monitor,
+    dest_store: Optional[object] = None,
+    partition: int = 0,
+) -> Generator:
+    """Move ``vm`` from one monitor (hypervisor) to another.
+
+    ``dest_store`` defaults to the source's store — the normal case:
+    the remote-memory store is shared infrastructure and only residency
+    moves.  A simulation generator; returns a :class:`MigrationReport`.
+    """
+    if source_monitor is dest_monitor:
+        raise FluidMemError("source and destination monitors are the same")
+    if not source_registration.active:
+        raise FluidMemError("VM is not registered at the source")
+    store = dest_store or source_registration.store
+    if store is not source_registration.store:
+        raise FluidMemError(
+            "cross-store migration is not supported: the store is the "
+            "shared substrate; move residency, not data"
+        )
+    env = source_monitor.env
+
+    # --- blackout: freeze, push residual pages, detach ------------------
+    blackout_started = env.now
+    source_qemu = source_registration.qemu
+    seen_keys, pushed = yield from source_monitor.detach_vm(
+        source_registration
+    )
+
+    # --- destination side: same RAM layout, same keys --------------------
+    dest_qemu = QemuProcess(vm, ram_base=source_qemu.ram_base)
+    for region in source_qemu.ram_regions[1:]:
+        # Recreate hotplug slots so the layouts match exactly.
+        dest_qemu.add_ram_region(region.length, region.name)
+    dest_registration = dest_monitor.attach_vm(
+        dest_qemu, store, seen_keys, partition=partition
+    )
+    blackout_us = env.now - blackout_started
+
+    # --- switch the VM's port: execution now faults on the destination --
+    port = FluidMemoryPort(env, vm, dest_qemu, dest_monitor,
+                           dest_registration)
+    vm.port = port
+
+    return MigrationReport(
+        blackout_us=blackout_us,
+        pages_pushed=pushed,
+        seen_pages=len(seen_keys),
+        source_monitor=source_monitor,
+        dest_monitor=dest_monitor,
+        dest_qemu=dest_qemu,
+        dest_registration=dest_registration,
+    )

@@ -1,0 +1,766 @@
+"""The FluidMem monitor process (paper §V).
+
+The monitor is the user-space page fault handler: it sleeps on the
+userfaultfd event queue, resolves each fault, and manages the global
+LRU buffer that bounds how many pages all registered VMs keep in local
+DRAM.  This module is the heart of the reproduction — every arrow in
+the paper's Figure 2 corresponds to a step in :meth:`Monitor._handle_fault`:
+
+1. guest halts on a missing page          (vCPU blocks on the fault event)
+2. kernel fault handler                   (:class:`~repro.kernel.Userfaultfd`)
+3. event delivered to the monitor         (``uffd.events``)
+4. first access -> ``UFFD_ZERO``          (pagetracker + zero page)
+5. wake the guest                         (``UFFDIO_WAKE``)
+6. asynchronous eviction                  (after the wake, off-path)
+7. ``UFFD_REMAP`` out of the VM           (zero-copy PTE move)
+8. write to the key-value store           (:class:`WritebackQueue`)
+
+Re-access of an evicted page takes the read path instead, with the
+§V-B optimizations: asynchronous reads interleaved with the eviction
+REMAP, write-list stealing, and batched asynchronous write-back.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, List, Optional
+
+from ..errors import FluidMemError, KeyNotFoundError, MonitorStateError
+from ..kernel import UffdFault, UffdOps, UffdRegion, Userfaultfd
+from ..kv import KeyValueBackend, PartitionedKeyCodec
+from ..mem import PAGE_SIZE, MemoryRegion, Page, PageTable
+from ..sim import CounterSet, Environment, LatencyRecorder
+from ..vm import QemuProcess
+from .config import FluidMemConfig
+from .lru_buffer import LruBuffer
+from .page_tracker import PageTracker
+from .profiling import CodePath, Profiler
+from .writeback import StealResult, WritebackEntry, WritebackQueue
+
+__all__ = ["VmRegistration", "Monitor"]
+
+#: Where the monitor's user-space eviction buffer lives (its own vspace).
+BUFFER_BASE = 0x6000_0000_0000
+
+
+class VmRegistration:
+    """One VM's registration with the monitor.
+
+    Carries the store backend, the key codec (native table or virtual
+    partition), the QEMU process whose address space faults, and the
+    uffd handles for its registered regions.
+    """
+
+    def __init__(
+        self,
+        qemu: QemuProcess,
+        store: KeyValueBackend,
+        codec: PartitionedKeyCodec,
+    ) -> None:
+        self.qemu = qemu
+        self.store = store
+        self.codec = codec
+        self.handles: List[UffdRegion] = []
+        self.active = True
+
+    @property
+    def table(self) -> PageTable:
+        return self.qemu.page_table
+
+    def key_for(self, host_vaddr: int) -> int:
+        return self.codec.key_for(host_vaddr)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VmRegistration pid={self.qemu.pid} "
+            f"store={self.store.name} regions={len(self.handles)}>"
+        )
+
+
+class Monitor:
+    """The user-space page fault handler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        uffd: Userfaultfd,
+        ops: UffdOps,
+        config: Optional[FluidMemConfig] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "monitor",
+    ) -> None:
+        self.env = env
+        self.uffd = uffd
+        self.ops = ops
+        self.config = config or FluidMemConfig()
+        self._rng = rng or random.Random(0)
+        self.name = name
+
+        self.lru = LruBuffer(
+            self.config.lru_capacity_pages,
+            reorder_on_access=self.config.lru_reorder_on_access,
+        )
+        self.tracker = PageTracker()
+        self.profiler = Profiler()
+        self.counters = CounterSet()
+        self.fault_latency = LatencyRecorder(
+            f"{name}.fault", max_samples=500_000
+        )
+
+        self.buffer_table = PageTable(f"{name}-buffer")
+        self._buffer_next = BUFFER_BASE
+        self.writeback = WritebackQueue(
+            env,
+            self.buffer_table,
+            ops.frames,
+            batch_pages=self.config.writeback_batch_pages,
+            stale_us=self.config.writeback_stale_us,
+        )
+
+        self._by_handle: Dict[UffdRegion, VmRegistration] = {}
+        self._registrations: List[VmRegistration] = []
+        #: (id(registration), addr) of prefetches currently in flight.
+        self._prefetch_inflight = set()
+        #: Optional provider policy (per-VM shares/caps, §III); when
+        #: None, eviction is the paper's plain global FIFO.
+        self.victim_policy = None
+        self._process = None
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin watching the event queue."""
+        if self._running:
+            raise MonitorStateError(f"{self.name} is already running")
+        self._running = True
+        self._process = self.env.process(self._run())
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _run(self) -> Generator:
+        while self._running:
+            fault = yield self.uffd.events.get()
+            start = self.env.now
+            yield from self._handle_fault(fault)
+            self.fault_latency.record(self.env.now - start)
+            self.writeback.check_stale()
+
+    # -- registration (the QEMU wrapper library's entry points, §IV) -------------
+
+    def register_vm(
+        self,
+        qemu: QemuProcess,
+        store: KeyValueBackend,
+        partition: int = 0,
+    ) -> VmRegistration:
+        """Register every guest-RAM region of ``qemu`` with FluidMem.
+
+        This is the "VM started with all its memory registered" mode
+        (right-hand VM in Figure 1).
+        """
+        codec = PartitionedKeyCodec(
+            partition=0 if store.supports_partitions else partition
+        )
+        registration = VmRegistration(qemu, store, codec)
+        for region in qemu.ram_regions:
+            handle = self.uffd.register(region, qemu.pid, qemu.page_table)
+            registration.handles.append(handle)
+            self._by_handle[handle] = registration
+        self._registrations.append(registration)
+        self.counters.incr("vms_registered")
+        return registration
+
+    def register_process(
+        self,
+        owner: object,
+        store: KeyValueBackend,
+        codec: PartitionedKeyCodec,
+        region: MemoryRegion,
+    ) -> VmRegistration:
+        """Register a single region of a bare process (libuserfault).
+
+        ``owner`` needs only ``.pid`` and ``.page_table`` — this is the
+        path Table II's test program uses, with no VM involved.
+        """
+        registration = VmRegistration(owner, store, codec)  # type: ignore[arg-type]
+        handle = self.uffd.register(region, owner.pid, owner.page_table)
+        registration.handles.append(handle)
+        self._by_handle[handle] = registration
+        self._registrations.append(registration)
+        self.counters.incr("apps_registered")
+        return registration
+
+    def register_region(
+        self, registration: VmRegistration, region: MemoryRegion
+    ) -> None:
+        """Register an additional (hotplugged) region for a VM."""
+        if not registration.active:
+            raise MonitorStateError("registration is no longer active")
+        handle = self.uffd.register(
+            region, registration.qemu.pid, registration.qemu.page_table
+        )
+        registration.handles.append(handle)
+        self._by_handle[handle] = registration
+
+    def deregister_vm(self, registration: VmRegistration) -> Generator:
+        """Tear a VM down: drop its pages everywhere.
+
+        Releases local frames, forgets every tracker key the VM ever
+        created, and deletes its pages from the remote store — a dead
+        VM must not leak remote memory.
+        """
+        if not registration.active:
+            raise MonitorStateError("registration already deregistered")
+        registration.active = False
+        for handle in registration.handles:
+            self.uffd.unregister(handle)
+            del self._by_handle[handle]
+        # Flush its pending writes, then drop resident pages.
+        yield from self.writeback.drain()
+        for vaddr in self.lru.discard_registration(registration):
+            pte = registration.table.unmap(vaddr)
+            self.ops.frames.free(pte.frame)
+        # Release every key: tracker entries and remote store contents.
+        doomed_keys = []
+        for handle in registration.handles:
+            for vaddr in handle.region.pages():
+                key = registration.key_for(vaddr)
+                if key in self.tracker:
+                    self.tracker.forget(key)
+                    if registration.store.contains(key):
+                        doomed_keys.append(key)
+        for key in doomed_keys:
+            yield from registration.store.remove(key)
+        self.counters.incr("remote_pages_released", by=len(doomed_keys))
+        self._registrations.remove(registration)
+        self.counters.incr("vms_deregistered")
+
+    def detach_vm(self, registration: VmRegistration) -> Generator:
+        """Migration source side: push everything out, release the VM.
+
+        Drains the write list, evicts every resident page of this VM to
+        its store, unregisters its regions, and returns the set of page
+        keys the tracker had seen — the destination needs them so
+        re-accesses read from the store instead of being mistaken for
+        first touches.  Returns ``(seen_keys, pages_pushed)``.
+        """
+        if not registration.active:
+            raise MonitorStateError("registration is not active")
+        yield from self.writeback.drain()
+        resident = [
+            vaddr for vaddr, reg in self.lru if reg is registration
+        ]
+        pushed = 0
+        for vaddr in resident:
+            self.lru.remove(vaddr)
+            buffer_vaddr = self._buffer_next
+            self._buffer_next += PAGE_SIZE
+            page = yield from self.ops.remap_out(
+                registration.table, vaddr, self.buffer_table,
+                buffer_vaddr, interleaved=False,
+            )
+            key = registration.key_for(vaddr)
+            yield from registration.store.put(key, page, PAGE_SIZE)
+            pte = self.buffer_table.unmap(buffer_vaddr)
+            self.ops.frames.free(pte.frame)
+            pushed += 1
+        registration.active = False
+        for handle in registration.handles:
+            self.uffd.unregister(handle)
+            del self._by_handle[handle]
+        seen_keys = set()
+        for region_handle in registration.handles:
+            for vaddr in region_handle.region.pages():
+                key = registration.key_for(vaddr)
+                if key in self.tracker:
+                    seen_keys.add(key)
+                    self.tracker.forget(key)
+        self._registrations.remove(registration)
+        self.counters.incr("vms_detached")
+        return seen_keys, pushed
+
+    def attach_vm(
+        self,
+        qemu: QemuProcess,
+        store: KeyValueBackend,
+        seen_keys,
+        partition: int = 0,
+    ) -> VmRegistration:
+        """Migration destination side: adopt a VM whose pages live in
+        the (shared) store.  ``seen_keys`` primes the pagetracker so
+        the guest's faults are resolved by store reads, not zero pages.
+        """
+        registration = self.register_vm(qemu, store, partition=partition)
+        for key in seen_keys:
+            if self.tracker.is_first_access(key):
+                self.tracker.mark_seen(key)
+        self.counters.incr("vms_attached")
+        return registration
+
+    # -- capacity management (the provider's lever, §III / Table III) -----------
+
+    def set_lru_capacity(self, pages: int) -> None:
+        """Change the DRAM budget.  Shrinks take effect via
+        :meth:`shrink_to_capacity` or lazily on the next faults."""
+        self.lru.resize(pages)
+        self.counters.incr("resizes")
+
+    def shrink_to_capacity(self) -> Generator:
+        """Actively evict until the buffer fits its capacity."""
+        yield from self._evict_until(self.lru.capacity, interleaved=False)
+        yield from self.writeback.drain()
+
+    # -- fault handling -------------------------------------------------------------
+
+    def _handle_fault(self, fault: UffdFault) -> Generator:
+        registration = self._by_handle.get(fault.region)
+        if registration is None or not registration.active:
+            raise FluidMemError(
+                f"fault {fault!r} for an unregistered region"
+            )
+        self.counters.incr("faults")
+        latency = self.config.latency
+        yield from self._charge(
+            CodePath.EVENT_DISPATCH,
+            latency.dispatch_mean,
+            latency.dispatch_sigma,
+        )
+        if fault.addr in registration.table:
+            # A prefetch landed between the fault being raised and us
+            # reading the event: spurious — just wake the vCPU.
+            yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
+            self.counters.incr("spurious_faults")
+            return
+        key = registration.key_for(fault.addr)
+
+        if self.config.zero_page_tracker:
+            first = self.tracker.is_first_access(key)
+        else:
+            # Ablation: no tracker — every fault goes to the store and
+            # first touches pay a wasted round trip (KeyNotFound).
+            first = False
+
+        if first:
+            yield from self._handle_first_touch(fault, registration, key)
+        else:
+            yield from self._handle_read_fault(fault, registration, key)
+
+    def _handle_first_touch(
+        self, fault: UffdFault, registration: VmRegistration, key: int
+    ) -> Generator:
+        """Figure 2's red path: zero page, wake, evict asynchronously."""
+        latency = self.config.latency
+        yield from self._charge(
+            CodePath.INSERT_PAGE_HASH_NODE,
+            latency.insert_page_hash_mean,
+            latency.insert_page_hash_sigma,
+        )
+        self.tracker.mark_seen(key)
+        yield from self._timed(
+            CodePath.UFFD_ZEROPAGE,
+            self.ops.zeropage(registration.table, fault.addr),
+        )
+        yield from self._charge(
+            CodePath.INSERT_LRU_CACHE_NODE,
+            latency.insert_lru_mean,
+            latency.insert_lru_sigma,
+        )
+        self.lru.insert(fault.addr, registration)
+        yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
+        self.counters.incr("zero_page_faults")
+        # Asynchronous (blue path): bring residency back under budget
+        # only after the guest is running again.
+        yield from self._evict_until(self.lru.capacity, interleaved=False)
+        yield from self._enforce_policy_caps(registration, False)
+
+    def _handle_read_fault(
+        self, fault: UffdFault, registration: VmRegistration, key: int
+    ) -> Generator:
+        """Re-access of an evicted page: restore it from remote memory."""
+        latency = self.config.latency
+        yield from self._charge(
+            CodePath.LOOKUP_PAGE_HASH,
+            latency.lookup_page_hash_mean,
+            latency.lookup_page_hash_sigma,
+        )
+        if not self.config.zero_page_tracker and \
+                self.tracker.is_first_access(key):
+            # Tracker disabled: discover first touches the slow way.
+            yield from self._first_touch_via_store(fault, registration, key)
+            return
+
+        if self.config.write_list_steal:
+            steal = self.writeback.steal(key)
+            if steal is not None:
+                yield from self._resolve_from_steal(
+                    fault, registration, steal
+                )
+                return
+        elif self.writeback.holds(key):
+            # No stealing: wait until the pending write is durable,
+            # then take the normal read path (two full round trips).
+            yield from self.writeback.wait_durable(key)
+            self.counters.incr("waits_for_writeback")
+
+        if self.config.async_read:
+            yield from self._read_async_path(fault, registration, key)
+        else:
+            yield from self._read_sync_path(fault, registration, key)
+
+    def _read_async_path(
+        self, fault: UffdFault, registration: VmRegistration, key: int
+    ) -> Generator:
+        """§V-B: issue the read, evict under it, then copy + wake."""
+        latency = self.config.latency
+        issued_at = self.env.now
+        handle = registration.store.read_async(key)
+        # Interleave the eviction and cache bookkeeping with the
+        # in-flight network read; REMAP runs while the vCPU is already
+        # suspended so its IPI is cheap (§V-B).
+        yield from self._evict_until(
+            self.lru.capacity - 1, interleaved=True
+        )
+        yield from self._charge(
+            CodePath.UPDATE_PAGE_CACHE,
+            latency.update_page_cache_mean,
+            latency.update_page_cache_sigma,
+        )
+        yield from self._charge(
+            CodePath.INSERT_LRU_CACHE_NODE,
+            latency.insert_lru_mean,
+            latency.insert_lru_sigma,
+        )
+        try:
+            page = yield handle.event
+        except KeyNotFoundError as exc:
+            raise FluidMemError(
+                f"remote memory lost page {fault.addr:#x} "
+                f"(key {key:#x}) on backend "
+                f"{registration.store.name!r} — an evicting store "
+                "(e.g. undersized Memcached) cannot back FluidMem"
+            ) from exc
+        self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
+        page = self._as_page(page, fault.addr)
+        yield from self._install_unless_present(
+            registration, fault.addr, page
+        )
+        yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
+        self.counters.incr("remote_reads")
+        yield from self._enforce_policy_caps(registration, True)
+        self._maybe_prefetch(fault, registration)
+
+    def _install_unless_present(
+        self, registration: VmRegistration, addr: int, page: Page
+    ) -> Generator:
+        """COPY + LRU-insert, unless a concurrent prefetch already
+        installed the page while we waited on the store."""
+        if addr in registration.table:
+            self.counters.incr("duplicate_reads_dropped")
+            return
+        yield from self._timed(
+            CodePath.UFFD_COPY,
+            self.ops.copy(registration.table, addr, page,
+                          skip_if_present=True),
+        )
+        if addr not in self.lru:
+            self.lru.insert(addr, registration)
+
+    def _read_sync_path(
+        self, fault: UffdFault, registration: VmRegistration, key: int
+    ) -> Generator:
+        """Unoptimized (Table II "Default"): everything in sequence."""
+        latency = self.config.latency
+        issued_at = self.env.now
+        try:
+            page = yield from registration.store.get(key)
+        except KeyNotFoundError as exc:
+            raise FluidMemError(
+                f"remote memory lost page {fault.addr:#x} "
+                f"(key {key:#x}) on backend "
+                f"{registration.store.name!r} — an evicting store "
+                "(e.g. undersized Memcached) cannot back FluidMem"
+            ) from exc
+        self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
+        yield from self._charge(
+            CodePath.UPDATE_PAGE_CACHE,
+            latency.update_page_cache_mean,
+            latency.update_page_cache_sigma,
+        )
+        page = self._as_page(page, fault.addr)
+        yield from self._charge(
+            CodePath.INSERT_LRU_CACHE_NODE,
+            latency.insert_lru_mean,
+            latency.insert_lru_sigma,
+        )
+        yield from self._install_unless_present(
+            registration, fault.addr, page
+        )
+        # Synchronous eviction *before* the wake: the whole cost sits
+        # on the critical path.
+        yield from self._evict_until(
+            self.lru.capacity, interleaved=False
+        )
+        yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
+        self.counters.incr("remote_reads")
+        yield from self._enforce_policy_caps(registration, False)
+        self._maybe_prefetch(fault, registration)
+
+    def _maybe_prefetch(
+        self, fault: UffdFault, registration: VmRegistration
+    ) -> None:
+        """§V-A future-work extension: pull the sequentially following
+        pages from the store before the guest faults on them.
+
+        Runs entirely off the critical path — the faulting vCPU has
+        already been woken when this is called.
+        """
+        count = self.config.prefetch_pages
+        if count <= 0:
+            return
+        for step in range(1, count + 1):
+            addr = fault.addr + step * PAGE_SIZE
+            if addr not in fault.region:
+                break
+            if addr in registration.table:
+                continue
+            key = registration.key_for(addr)
+            if self.tracker.is_first_access(key):
+                continue  # never evicted: nothing in the store
+            if self.writeback.holds(key):
+                continue  # still local in the write list
+            if not registration.store.contains(key):
+                continue
+            token = (id(registration), addr)
+            if token in self._prefetch_inflight:
+                continue
+            self._prefetch_inflight.add(token)
+            handle = registration.store.read_async(key)
+            self.counters.incr("prefetches_issued")
+            self.env.process(
+                self._finish_prefetch(registration, addr, handle, token)
+            )
+
+    def _finish_prefetch(
+        self, registration: VmRegistration, addr: int, handle, token
+    ) -> Generator:
+        from ..errors import KeyNotFoundError
+
+        try:
+            page = yield handle.event
+        except KeyNotFoundError:
+            self._prefetch_inflight.discard(token)
+            return  # raced with a remove; drop silently
+        if not registration.active or addr in registration.table:
+            self._prefetch_inflight.discard(token)
+            self.counters.incr("prefetches_dropped")
+            return
+        page = self._as_page(page, addr)
+        yield from self._timed(
+            CodePath.UFFD_COPY,
+            self.ops.copy(registration.table, addr, page,
+                          skip_if_present=True),
+        )
+        if addr not in self.lru:
+            self.lru.insert(addr, registration)
+        self._prefetch_inflight.discard(token)
+        self.counters.incr("prefetches_completed")
+        yield from self._evict_until(self.lru.capacity, interleaved=False)
+
+    def _first_touch_via_store(
+        self, fault: UffdFault, registration: VmRegistration, key: int
+    ) -> Generator:
+        """No-tracker ablation: pay a miss round trip, then zero-fill."""
+        from ..errors import KeyNotFoundError
+
+        issued_at = self.env.now
+        try:
+            page = yield from registration.store.get(key)
+        except KeyNotFoundError:
+            page = None
+        self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
+        self.tracker.mark_seen(key)
+        if page is None:
+            yield from self._timed(
+                CodePath.UFFD_ZEROPAGE,
+                self.ops.zeropage(registration.table, fault.addr),
+            )
+            self.counters.incr("tracker_miss_round_trips")
+        else:
+            page = self._as_page(page, fault.addr)
+            yield from self._timed(
+                CodePath.UFFD_COPY,
+                self.ops.copy(registration.table, fault.addr, page),
+            )
+        self.lru.insert(fault.addr, registration)
+        yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
+        yield from self._evict_until(self.lru.capacity, interleaved=False)
+
+    def _resolve_from_steal(
+        self,
+        fault: UffdFault,
+        registration: VmRegistration,
+        steal: StealResult,
+    ) -> Generator:
+        """§V-B: the faulted page is on the write list."""
+        if steal.state == StealResult.PENDING:
+            # Still buffered: move it straight back, zero copy.
+            yield from self._timed(
+                CodePath.UFFD_REMAP,
+                self.ops.remap_out(
+                    self.buffer_table,
+                    steal.entry.buffer_vaddr,
+                    registration.table,
+                    fault.addr,
+                    interleaved=True,
+                ),
+            )
+            self.counters.incr("steals_resolved_locally")
+        else:
+            # In flight: "no other choice than to wait for the write to
+            # complete", then resume immediately with the page.
+            if not steal.completion.processed:
+                yield steal.completion
+            yield from self._timed(
+                CodePath.UFFD_COPY,
+                self.ops.copy(
+                    registration.table, fault.addr, steal.entry.page
+                ),
+            )
+            self.counters.incr("steals_after_wait")
+        self.lru.insert(fault.addr, registration)
+        yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
+        yield from self._evict_until(self.lru.capacity, interleaved=False)
+        yield from self._enforce_policy_caps(registration, False)
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _evict_until(self, target: int, interleaved: bool) -> Generator:
+        while len(self.lru) > target:
+            yield from self._evict_one(interleaved)
+
+    def _enforce_policy_caps(
+        self, registration: VmRegistration, interleaved: bool
+    ) -> Generator:
+        """Evict a capped VM back under its per-VM limit (policy §III)."""
+        if self.victim_policy is None:
+            return
+        while self.victim_policy.enforce_cap(self.lru, registration) > 0:
+            candidate = self.lru.pop_oldest_of(registration)
+            if candidate is None:
+                return
+            yield from self._evict_entry(candidate[0], registration,
+                                         interleaved)
+            self.counters.incr("cap_evictions")
+
+    def _evict_one(self, interleaved: bool) -> Generator:
+        if self.victim_policy is not None:
+            candidate = self.victim_policy.select_victim(self.lru)
+        else:
+            candidate = self.lru.pop_eviction_candidate()
+        if candidate is None:
+            return
+        vaddr, registration = candidate
+        yield from self._evict_entry(vaddr, registration, interleaved)
+
+    def _evict_entry(
+        self,
+        vaddr: int,
+        registration: VmRegistration,
+        interleaved: bool,
+    ) -> Generator:
+        buffer_vaddr = self._buffer_next
+        self._buffer_next += PAGE_SIZE
+        page = yield from self._timed(
+            CodePath.UFFD_REMAP,
+            self.ops.remap_out(
+                registration.table,
+                vaddr,
+                self.buffer_table,
+                buffer_vaddr,
+                interleaved=interleaved,
+            ),
+        )
+        key = registration.key_for(vaddr)
+        self.counters.incr("evictions")
+        if self.config.async_writeback:
+            self.writeback.enqueue(
+                WritebackEntry(
+                    key, page, buffer_vaddr, registration, self.env.now
+                )
+            )
+        else:
+            issued_at = self.env.now
+            yield from registration.store.put(key, page, PAGE_SIZE)
+            self.profiler.record(
+                CodePath.WRITE_PAGE, self.env.now - issued_at
+            )
+            pte = self.buffer_table.unmap(buffer_vaddr)
+            self.ops.frames.free(pte.frame)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _as_page(value: object, vaddr: int) -> Page:
+        """Store values are Page objects; tolerate raw tokens in tests."""
+        if isinstance(value, Page):
+            return value
+        page = Page(vaddr=vaddr)
+        page.write()
+        return page
+
+    def _charge(
+        self, path: CodePath, mean: float, sigma: float
+    ) -> Generator:
+        sample = max(0.05, self._rng.gauss(mean, sigma))
+        yield self.env.timeout(sample)
+        self.profiler.record(path, sample)
+
+    def _timed(self, path: CodePath, operation: Generator) -> Generator:
+        started = self.env.now
+        result = yield from operation
+        self.profiler.record(path, self.env.now - started)
+        return result
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.lru)
+
+    def stats(self) -> Dict[str, object]:
+        """One-call operational snapshot (what a /metrics endpoint or
+        the provider console would scrape)."""
+        summary: Dict[str, object] = {
+            "resident_pages": len(self.lru),
+            "lru_capacity": self.lru.capacity,
+            "registered_vms": len(self._registrations),
+            "tracked_pages": len(self.tracker),
+            "writeback_pending": self.writeback.pending_count,
+            "writeback_in_flight": self.writeback.in_flight_count,
+            "host_frames_used": self.ops.frames.used_frames,
+            "host_frames_total": self.ops.frames.total_frames,
+            "counters": self.counters.as_dict(),
+        }
+        if self.fault_latency.count:
+            summary["fault_latency_avg_us"] = self.fault_latency.mean
+            summary["fault_latency_p99_us"] = (
+                self.fault_latency.percentile(99.0)
+            )
+        per_vm = {}
+        for registration in self._registrations:
+            per_vm[registration.qemu.pid] = {
+                "resident_pages": self.lru.count_for(registration),
+                "store": registration.store.name,
+                "store_keys": registration.store.stored_keys(),
+            }
+        summary["vms"] = per_vm
+        return summary
+
+    def __repr__(self) -> str:
+        return (
+            f"<Monitor {self.name!r} lru={len(self.lru)}/"
+            f"{self.lru.capacity} vms={len(self._registrations)}>"
+        )

@@ -1,0 +1,46 @@
+"""The pagetracker: FluidMem's seen-pages hash (paper §V-A, Fig. 2).
+
+"The monitor keeps a list of already seen pages to avoid reads from the
+remote key-value store for first-time accesses.  Instead, the fault is
+resolved by placing the special zero-filled page at the faulting
+address."
+
+Keys are the full 64-bit store keys (page number + partition), so one
+tracker serves every VM registered with the monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import FluidMemError
+
+__all__ = ["PageTracker"]
+
+
+class PageTracker:
+    """Set of store keys the monitor has ever resolved."""
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+
+    def is_first_access(self, key: int) -> bool:
+        return key not in self._seen
+
+    def mark_seen(self, key: int) -> None:
+        if key in self._seen:
+            raise FluidMemError(f"key {key:#x} already tracked")
+        self._seen.add(key)
+
+    def forget(self, key: int) -> None:
+        """Drop a key (VM deregistration / region teardown)."""
+        self._seen.discard(key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __repr__(self) -> str:
+        return f"<PageTracker seen={len(self._seen)}>"

@@ -1,0 +1,113 @@
+"""The VM-side view of FluidMem: a :class:`~repro.vm.MemoryPort`.
+
+Workloads and service probes talk to this port with guest-physical
+addresses; it translates to the QEMU process's host virtual space,
+checks residency against the host page table, and on a miss halts the
+"vCPU" on a userfaultfd fault until the monitor resolves it.
+
+It also owns the KVM quirk from Table III: with hardware-assisted
+virtualization and a 1-page footprint, handling a page fault can itself
+trigger page faults — a deadlock.  Full (software) emulation survives.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..errors import VcpuDeadlockError
+from ..mem import PageKind
+from ..sim import Environment
+from ..vm import GuestVM, MemoryPort, QemuProcess, VirtMode
+from .monitor import Monitor, VmRegistration
+
+__all__ = ["FluidMemoryPort"]
+
+
+class FluidMemoryPort(MemoryPort):
+    """Guest memory access through the FluidMem fault machinery."""
+
+    def __init__(
+        self,
+        env: Environment,
+        vm: GuestVM,
+        qemu: QemuProcess,
+        monitor: Monitor,
+        registration: VmRegistration,
+    ) -> None:
+        self.env = env
+        self.vm = vm
+        self.qemu = qemu
+        self.monitor = monitor
+        self.registration = registration
+
+    # -- address handling -------------------------------------------------------
+
+    def _host_addr(self, guest_addr: int) -> int:
+        return self.qemu.guest_to_host(guest_addr)
+
+    # -- MemoryPort API ------------------------------------------------------------
+
+    def is_resident(self, vaddr: int) -> bool:
+        return self._host_addr(vaddr) in self.qemu.page_table
+
+    def touch(self, vaddr: int, is_write: bool = False) -> None:
+        host = self._host_addr(vaddr)
+        page = self.qemu.page_table.entry(host).page
+        if is_write:
+            page.write()
+        else:
+            page.read()
+        # No-op unless the LRU-reordering ablation is enabled.
+        self.monitor.lru.note_access(host)
+
+    def access(
+        self,
+        vaddr: int,
+        is_write: bool = False,
+        kind: PageKind = PageKind.ANONYMOUS,
+    ) -> Generator:
+        """Access a guest page; blocks through the fault path on a miss.
+
+        ``kind`` is accepted for interface parity with the swap port but
+        deliberately ignored: FluidMem treats every page identically —
+        that indifference *is* full memory disaggregation.
+        """
+        host = self._host_addr(vaddr)
+        if host in self.qemu.page_table:
+            self.touch(vaddr, is_write)
+            return None
+
+        if (
+            self.vm.virt_mode is VirtMode.KVM
+            and self.monitor.lru.capacity < 2
+        ):
+            # Table III, last row: KVM hardware-assisted virtualization
+            # deadlocks at a 1-page footprint because resolving a fault
+            # triggers further faults.
+            raise VcpuDeadlockError(
+                f"{self.vm.name}: KVM fault handling deadlocks with a "
+                f"{self.monitor.lru.capacity}-page footprint"
+            )
+
+        # The VM exit + vCPU halt before the kernel sees the fault.
+        yield self.env.timeout(self.monitor.config.latency.vm_exit_overhead)
+        fault = self.monitor.uffd.raise_fault(
+            host, self.qemu.pid, is_write
+        )
+        yield fault.resolved
+        # The access retires on the freshly mapped page.
+        page = self.qemu.page_table.entry(host).page
+        if is_write:
+            page.write()
+        else:
+            page.read()
+        return page
+
+    @property
+    def resident_capacity(self) -> Optional[int]:
+        return self.monitor.lru.capacity
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages of *this* VM currently in DRAM."""
+        return self.qemu.page_table.present_pages

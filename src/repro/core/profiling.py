@@ -1,0 +1,96 @@
+"""Per-code-path profiling (the built-in ability behind Table I).
+
+"FluidMem has the built-in ability to profile individual components of
+the page fault handling path" (§VI-C).  Every time the monitor charges
+simulated time to one of its code paths, it reports the charge here;
+:meth:`Profiler.table` then reproduces Table I's avg / stdev / 99th
+columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from ..sim import LatencyRecorder
+
+__all__ = ["CodePath", "Profiler"]
+
+
+class CodePath(enum.Enum):
+    """The code paths Table I reports, plus monitor-internal ones."""
+
+    UPDATE_PAGE_CACHE = "UPDATE_PAGE_CACHE"
+    INSERT_PAGE_HASH_NODE = "INSERT_PAGE_HASH_NODE"
+    INSERT_LRU_CACHE_NODE = "INSERT_LRU_CACHE_NODE"
+    UFFD_ZEROPAGE = "UFFD_ZEROPAGE"
+    UFFD_REMAP = "UFFD_REMAP"
+    UFFD_COPY = "UFFD_COPY"
+    READ_PAGE = "READ_PAGE"
+    WRITE_PAGE = "WRITE_PAGE"
+    # Not in Table I, but useful to see where the rest of a fault goes.
+    EVENT_DISPATCH = "EVENT_DISPATCH"
+    LOOKUP_PAGE_HASH = "LOOKUP_PAGE_HASH"
+    WAKE = "WAKE"
+
+    @classmethod
+    def table1_paths(cls) -> List["CodePath"]:
+        """The eight rows of Table I, in the paper's order."""
+        return [
+            cls.UPDATE_PAGE_CACHE,
+            cls.INSERT_PAGE_HASH_NODE,
+            cls.INSERT_LRU_CACHE_NODE,
+            cls.UFFD_ZEROPAGE,
+            cls.UFFD_REMAP,
+            cls.UFFD_COPY,
+            cls.READ_PAGE,
+            cls.WRITE_PAGE,
+        ]
+
+
+class Profiler:
+    """Latency recorder per code path."""
+
+    def __init__(self, max_samples_per_path: int = 100_000) -> None:
+        self._recorders: Dict[CodePath, LatencyRecorder] = {}
+        self._max_samples = max_samples_per_path
+
+    def record(self, path: CodePath, latency_us: float) -> None:
+        recorder = self._recorders.get(path)
+        if recorder is None:
+            recorder = LatencyRecorder(
+                path.value, max_samples=self._max_samples
+            )
+            self._recorders[path] = recorder
+        recorder.record(latency_us)
+
+    def recorder(self, path: CodePath) -> LatencyRecorder:
+        try:
+            return self._recorders[path]
+        except KeyError:
+            raise KeyError(
+                f"no samples recorded for code path {path.value}"
+            ) from None
+
+    def has_samples(self, path: CodePath) -> bool:
+        return path in self._recorders
+
+    def table(self) -> List[Tuple[str, float, float, float]]:
+        """(path, avg, stdev, p99) rows in Table I's layout and order."""
+        rows = []
+        for path in CodePath.table1_paths():
+            if path not in self._recorders:
+                continue
+            recorder = self._recorders[path]
+            rows.append(
+                (
+                    path.value,
+                    recorder.mean,
+                    recorder.stdev,
+                    recorder.percentile(99.0),
+                )
+            )
+        return rows
+
+    def reset(self) -> None:
+        self._recorders.clear()

@@ -1,0 +1,101 @@
+"""libuserfault: FluidMem for plain processes (paper §VI-C).
+
+Table II's measurements come from "a simple test program that reads from
+and writes to a memory region ... linked with FluidMem's libuserfault
+library, so there was no involvement of a virtualization layer".  This
+module is that library: it registers a raw memory region for an
+ordinary process and exposes the same access interface the VM port
+does, minus every virtualization cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator
+
+from ..errors import FluidMemError
+from ..kv import KeyValueBackend, PartitionedKeyCodec
+from ..mem import MemoryRegion, PAGE_SIZE, PageTable
+from ..sim import Environment
+from .monitor import Monitor, VmRegistration
+
+__all__ = ["UserfaultApp"]
+
+#: Address where test-program regions are placed.  Each process gets
+#: its own slot (distinct mmap addresses, as ASLR gives real processes)
+#: so FluidMem page keys never collide across apps.
+APP_REGION_BASE = 0x5500_0000_0000
+APP_REGION_STRIDE = 8 << 30  # 8 GiB per process
+
+#: Kernel fault entry + return-to-user on bare metal (perf's view of a
+#: fault starts before the uffd event and ends after the retry), µs.
+BARE_FAULT_OVERHEAD_US = 3.0
+
+_app_pids = itertools.count(50_000)
+
+
+class UserfaultApp:
+    """A bare process with one FluidMem-registered region."""
+
+    def __init__(
+        self,
+        env: Environment,
+        monitor: Monitor,
+        store: KeyValueBackend,
+        region_pages: int,
+        partition: int = 0,
+    ) -> None:
+        if region_pages < 1:
+            raise FluidMemError("region must be at least one page")
+        self.env = env
+        self.monitor = monitor
+        self.pid = next(_app_pids)
+        self.page_table = PageTable(f"app-{self.pid}")
+        base = APP_REGION_BASE + (self.pid % 4096) * APP_REGION_STRIDE
+        self.region = MemoryRegion(
+            base, region_pages * PAGE_SIZE, name="app-region"
+        )
+
+        codec = PartitionedKeyCodec(
+            partition=0 if store.supports_partitions else partition
+        )
+        # VmRegistration only needs `.pid` and `.page_table` from its
+        # owner, which this app provides (duck-typed QemuProcess).
+        self.registration = monitor.register_process(
+            owner=self, store=store, codec=codec, region=self.region
+        )
+
+    # -- addresses ---------------------------------------------------------------
+
+    def addr(self, page_index: int) -> int:
+        if not 0 <= page_index < self.region.num_pages:
+            raise FluidMemError(
+                f"page index {page_index} outside region of "
+                f"{self.region.num_pages} pages"
+            )
+        return self.region.start + page_index * PAGE_SIZE
+
+    # -- access ----------------------------------------------------------------------
+
+    def is_resident(self, page_index: int) -> bool:
+        return self.addr(page_index) in self.page_table
+
+    def access(
+        self, page_index: int, is_write: bool = False
+    ) -> Generator:
+        """Access one page of the region; faults via the monitor.
+
+        No virtualization overhead — this is the bare-metal Table II
+        path.
+        """
+        vaddr = self.addr(page_index)
+        if vaddr in self.page_table:
+            page = self.page_table.entry(vaddr).page
+            page.write() if is_write else page.read()
+            return None
+        yield self.env.timeout(BARE_FAULT_OVERHEAD_US)
+        fault = self.monitor.uffd.raise_fault(vaddr, self.pid, is_write)
+        yield fault.resolved
+        page = self.page_table.entry(vaddr).page
+        page.write() if is_write else page.read()
+        return page

@@ -1,0 +1,135 @@
+"""Exception hierarchy for the FluidMem reproduction.
+
+Every package raises exceptions derived from :class:`ReproError` so callers
+can catch library failures distinctly from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class InterruptError(SimulationError):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class MemoryError_(ReproError):
+    """Errors from the memory substrate (frames, page tables, regions)."""
+
+
+class OutOfFramesError(MemoryError_):
+    """The host frame allocator has no free frames left."""
+
+
+class PageTableError(MemoryError_):
+    """Invalid page-table operation (double map, unmap of absent page, ...)."""
+
+
+class RegionError(MemoryError_):
+    """Invalid memory-region operation (overlap, bad bounds, ...)."""
+
+
+class NetworkError(ReproError):
+    """Errors from the simulated network fabric."""
+
+
+class HostUnreachableError(NetworkError):
+    """No route between two hosts on the fabric."""
+
+
+class KVError(ReproError):
+    """Errors from key-value store backends."""
+
+
+class KeyNotFoundError(KVError):
+    """GET/REMOVE on a key the store does not hold."""
+
+
+class PartitionError(KVError):
+    """Invalid partition id or virtual-partition encoding failure."""
+
+
+class CoordinationError(ReproError):
+    """Errors from the Zookeeper-like coordination service."""
+
+
+class NodeExistsError(CoordinationError):
+    """Create of a znode path that already exists."""
+
+
+class NoNodeError(CoordinationError):
+    """Operation on a znode path that does not exist."""
+
+
+class SessionExpiredError(CoordinationError):
+    """Operation on an expired coordination session."""
+
+
+class QuorumLostError(CoordinationError):
+    """Too few replicas alive to serve a consistent operation."""
+
+
+class BlockDeviceError(ReproError):
+    """Errors from the block-device layer."""
+
+
+class OutOfRangeError(BlockDeviceError):
+    """Block request beyond the end of the device."""
+
+
+class KernelError(ReproError):
+    """Errors from the simulated kernel subsystems."""
+
+
+class SwapError(KernelError):
+    """Swap subsystem failure (no swap space, bad swap entry, ...)."""
+
+
+class OutOfSwapError(SwapError):
+    """Swap device is full."""
+
+
+class UffdError(KernelError):
+    """Invalid userfaultfd operation."""
+
+
+class UffdRegionError(UffdError):
+    """Register/unregister of an invalid or overlapping uffd range."""
+
+
+class VmError(ReproError):
+    """Errors from the VM / hypervisor layer."""
+
+
+class VcpuDeadlockError(VmError):
+    """A vCPU can make no progress (e.g. recursive fault at 1-page footprint)."""
+
+
+class FluidMemError(ReproError):
+    """Errors from the FluidMem monitor and its components."""
+
+
+class MonitorStateError(FluidMemError):
+    """Monitor used while not running, or double-start, etc."""
+
+
+class WorkloadError(ReproError):
+    """Errors from workload generators."""
+
+
+class BenchError(ReproError):
+    """Errors from the benchmark harness."""

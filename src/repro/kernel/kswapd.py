@@ -1,0 +1,77 @@
+"""kswapd: the asynchronous reclaim daemon.
+
+Woken when free memory dips below the low watermark; reclaims in batches
+until the high watermark is restored.  Because it runs *asynchronously*,
+the fault critical path usually only pays for the swap-in read — the
+same decoupling the paper credits the kernel with ("kernel threads
+decouple eviction from the read critical path", §V-B) and that FluidMem
+mirrors with its write-back thread.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Environment, Event
+
+__all__ = ["Kswapd"]
+
+
+class Kswapd:
+    """Watermark-driven background reclaim over a GuestMemoryManager."""
+
+    def __init__(
+        self,
+        env: Environment,
+        mm: "GuestMemoryManager",  # noqa: F821 - cycle broken by string
+        low_watermark: float = 0.04,
+        high_watermark: float = 0.08,
+        batch_pages: int = 64,
+    ) -> None:
+        if not 0.0 < low_watermark < high_watermark < 1.0:
+            raise ValueError(
+                "need 0 < low < high < 1, got "
+                f"low={low_watermark} high={high_watermark}"
+            )
+        self.env = env
+        self.mm = mm
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        self.batch_pages = batch_pages
+        self._wakeup: Optional[Event] = None
+        self._process = None
+        self.reclaim_rounds = 0
+
+    def start(self) -> None:
+        if self._process is not None:
+            return
+        self._process = self.env.process(self._run())
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    def should_wake(self) -> bool:
+        return self.mm.free_ratio < self.low_watermark
+
+    def kick(self) -> None:
+        """Wake the daemon (called from the allocation path)."""
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _run(self) -> Generator:
+        while True:
+            # Always sleep until kicked: a daemon that retried on a
+            # timer would keep the event loop alive forever when memory
+            # is full of unreclaimable pages.
+            self._wakeup = self.env.event()
+            yield self._wakeup
+            self._wakeup = None
+            while self.mm.free_ratio < self.high_watermark:
+                reclaimed = yield from self.mm.reclaim_pages(
+                    self.batch_pages
+                )
+                self.reclaim_rounds += 1
+                if reclaimed == 0:
+                    # Nothing reclaimable now; wait for the next kick.
+                    break

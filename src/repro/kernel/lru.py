@@ -1,0 +1,129 @@
+"""The guest kernel's active/inactive page lists.
+
+Linux reclaim keeps two LRU lists per type.  New pages enter the
+inactive list; a page referenced again while inactive is promoted to the
+active list instead of being reclaimed (second chance via the hardware
+referenced bit).  kswapd refills the inactive list from the active tail
+when it gets short.
+
+This victim-selection quality is precisely why, in the paper's Figure
+4c/d, *swap backed by DRAM slightly beats FluidMem backed by DRAM*: "the
+kswapd process within the guest [is] better able to pick candidates for
+eviction using the kernel's active/inactive list mechanism", while
+FluidMem's user-space LRU never reorders (§V-A).  Reproducing that
+crossover requires reproducing this mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..errors import KernelError
+from ..mem import Page
+
+__all__ = ["ActiveInactiveLists"]
+
+
+class ActiveInactiveLists:
+    """Two-list page aging with referenced-bit second chance."""
+
+    def __init__(self) -> None:
+        # OrderedDict ends: popitem(last=False) == oldest (tail of LRU).
+        self._active: "OrderedDict[int, Page]" = OrderedDict()
+        self._inactive: "OrderedDict[int, Page]" = OrderedDict()
+
+    # -- membership -----------------------------------------------------------
+
+    def insert(self, page: Page) -> None:
+        """A newly mapped page enters the inactive list (MRU end)."""
+        if page.vaddr in self._active or page.vaddr in self._inactive:
+            raise KernelError(f"{page!r} is already on an LRU list")
+        self._inactive[page.vaddr] = page
+
+    def insert_active(self, page: Page) -> None:
+        """Workingset refault: a quickly refaulting page is activated
+        immediately (Linux's mm/workingset.c shadow-entry logic)."""
+        if page.vaddr in self._active or page.vaddr in self._inactive:
+            raise KernelError(f"{page!r} is already on an LRU list")
+        self._active[page.vaddr] = page
+
+    def remove(self, page: Page) -> None:
+        """Drop a page from whichever list holds it (unmap/free path)."""
+        if self._inactive.pop(page.vaddr, None) is None:
+            if self._active.pop(page.vaddr, None) is None:
+                raise KernelError(f"{page!r} is on no LRU list")
+
+    def discard(self, page: Page) -> None:
+        """Like :meth:`remove` but silent when absent."""
+        if self._inactive.pop(page.vaddr, None) is None:
+            self._active.pop(page.vaddr, None)
+
+    def __contains__(self, page: Page) -> bool:
+        return page.vaddr in self._active or page.vaddr in self._inactive
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def inactive_count(self) -> int:
+        return len(self._inactive)
+
+    def __len__(self) -> int:
+        return len(self._active) + len(self._inactive)
+
+    # -- reclaim --------------------------------------------------------------
+
+    def select_victims(
+        self, count: int, scan_limit_factor: int = 4
+    ) -> List[Page]:
+        """Pick up to ``count`` reclaim candidates.
+
+        Scans from the inactive tail.  A page whose referenced bit is set
+        gets a second chance: the bit is cleared and the page is promoted
+        to the active list.  Unreferenced pages are removed and returned
+        as victims.  The inactive list is first refilled from the active
+        tail when it holds less than half the pages (Linux's
+        inactive_is_low heuristic), with referenced bits cleared so hot
+        pages must prove themselves again.
+        """
+        if count <= 0:
+            raise KernelError(f"victim count must be positive, got {count}")
+        self._refill_inactive()
+        victims: List[Page] = []
+        scanned = 0
+        scan_limit = max(count * scan_limit_factor, count)
+        while (
+            self._inactive
+            and len(victims) < count
+            and scanned < scan_limit
+        ):
+            vaddr, page = self._inactive.popitem(last=False)
+            scanned += 1
+            if page.clear_referenced():
+                # Second chance: promote.
+                self._active[vaddr] = page
+                continue
+            victims.append(page)
+        return victims
+
+    def _refill_inactive(self) -> None:
+        while self._active and len(self._inactive) < len(self._active):
+            vaddr, page = self._active.popitem(last=False)
+            page.clear_referenced()
+            self._inactive[vaddr] = page
+
+    # -- introspection ----------------------------------------------------------
+
+    def oldest_inactive(self) -> Optional[Page]:
+        if not self._inactive:
+            return None
+        vaddr = next(iter(self._inactive))
+        return self._inactive[vaddr]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ActiveInactiveLists active={len(self._active)} "
+            f"inactive={len(self._inactive)}>"
+        )

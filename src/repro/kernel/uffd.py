@@ -1,0 +1,246 @@
+"""userfaultfd emulation.
+
+The real mechanism (Linux >= 4.3, paper §III): a process registers
+address ranges on a file descriptor; the kernel turns any fault on a
+missing page in those ranges into an *event* readable from the fd while
+the faulting thread sleeps; a user-space handler resolves the fault with
+ioctls (``UFFDIO_ZEROPAGE``, ``UFFDIO_COPY``, the paper's proposed
+``UFFDIO_REMAP``) and wakes the thread.
+
+Here :class:`Userfaultfd` is the kernel side (region registry + event
+queue) and :class:`UffdOps` is the ioctl surface the monitor calls.  The
+faulting vCPU blocks on ``fault.resolved``; the monitor blocks on
+``uffd.events.get()`` — the same rendezvous as the real fd.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from ..errors import UffdError, UffdRegionError
+from ..mem import (
+    FrameAllocator,
+    MemoryRegion,
+    Page,
+    PageKind,
+    PageTable,
+    is_page_aligned,
+)
+from ..sim import CounterSet, Environment, Event, Store
+from .latency import UffdLatency
+
+__all__ = ["UffdFault", "UffdRegion", "Userfaultfd", "UffdOps"]
+
+
+class UffdFault:
+    """One fault event: address + origin, plus the wake-up rendezvous."""
+
+    __slots__ = ("addr", "pid", "is_write", "raised_at", "resolved", "region")
+
+    def __init__(
+        self,
+        env: Environment,
+        addr: int,
+        pid: int,
+        is_write: bool,
+        region: "UffdRegion",
+    ) -> None:
+        self.addr = addr
+        self.pid = pid
+        self.is_write = is_write
+        self.raised_at = env.now
+        #: The faulting thread sleeps on this; UFFDIO_WAKE fires it.
+        self.resolved: Event = env.event()
+        self.region = region
+
+    def __repr__(self) -> str:
+        rw = "W" if self.is_write else "R"
+        return f"<UffdFault {self.addr:#x} pid={self.pid} {rw}>"
+
+
+class UffdRegion:
+    """A registered range belonging to one process (QEMU instance)."""
+
+    def __init__(
+        self,
+        region: MemoryRegion,
+        pid: int,
+        page_table: PageTable,
+    ) -> None:
+        self.region = region
+        self.pid = pid
+        self.page_table = page_table
+        self.valid = True
+
+    def __contains__(self, addr: int) -> bool:
+        return self.valid and addr in self.region
+
+    def __repr__(self) -> str:
+        state = "valid" if self.valid else "invalid"
+        return f"<UffdRegion pid={self.pid} {self.region!r} {state}>"
+
+
+class Userfaultfd:
+    """Kernel side: registered regions and the event queue (the "fd")."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: UffdLatency,
+        rng: random.Random,
+    ) -> None:
+        self.env = env
+        self.latency = latency
+        self._rng = rng
+        #: Monitor reads fault events from here (epoll on the fd).
+        self.events: Store = Store(env)
+        self._regions: List[UffdRegion] = []
+        self.counters = CounterSet()
+
+    # -- registration (paper §IV: done by the QEMU wrapper library) ---------
+
+    def register(
+        self, region: MemoryRegion, pid: int, page_table: PageTable
+    ) -> UffdRegion:
+        """Register a range; faults inside it become events."""
+        for existing in self._regions:
+            if existing.valid and existing.pid == pid and \
+                    existing.region.overlaps(region):
+                raise UffdRegionError(
+                    f"range {region!r} overlaps {existing!r}"
+                )
+        handle = UffdRegion(region, pid, page_table)
+        self._regions.append(handle)
+        self.counters.incr("registrations")
+        return handle
+
+    def unregister(self, handle: UffdRegion) -> None:
+        """Invalidate a region (VM shut down)."""
+        if not handle.valid:
+            raise UffdRegionError(f"{handle!r} already unregistered")
+        handle.valid = False
+        self.counters.incr("unregistrations")
+
+    def find_region(self, addr: int, pid: int) -> Optional[UffdRegion]:
+        for handle in self._regions:
+            if handle.pid == pid and addr in handle:
+                return handle
+        return None
+
+    @property
+    def registered_regions(self) -> List[UffdRegion]:
+        return [handle for handle in self._regions if handle.valid]
+
+    # -- fault side ---------------------------------------------------------
+
+    def raise_fault(self, addr: int, pid: int, is_write: bool) -> UffdFault:
+        """Kernel fault handler found a missing page in a registered range.
+
+        Returns the fault object; the caller (vCPU model) must
+        ``yield fault.resolved``.  Delivery to the monitor costs
+        ``event_deliver_us`` and happens asynchronously, like the real
+        fd write + epoll wake-up.
+        """
+        if not is_page_aligned(addr):
+            raise UffdError(f"fault address {addr:#x} not page aligned")
+        region = self.find_region(addr, pid)
+        if region is None:
+            raise UffdError(
+                f"no registered region for {addr:#x} (pid {pid})"
+            )
+        fault = UffdFault(self.env, addr, pid, is_write, region)
+        self.counters.incr("faults")
+        self.env.process(self._deliver(fault))
+        return fault
+
+    def _deliver(self, fault: UffdFault) -> Generator:
+        yield self.env.timeout(self.latency.event_deliver_us)
+        yield self.events.put(fault)
+
+
+class UffdOps:
+    """The ioctl surface the monitor drives, with Table I costs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: UffdLatency,
+        rng: random.Random,
+        frames: FrameAllocator,
+    ) -> None:
+        self.env = env
+        self.latency = latency
+        self._rng = rng
+        self.frames = frames
+        self.counters = CounterSet()
+
+    def zeropage(
+        self, table: PageTable, addr: int, kind: PageKind = PageKind.ANONYMOUS
+    ) -> Generator:
+        """UFFDIO_ZEROPAGE: resolve a first touch with the zero page.
+
+        Simplification: we charge a frame immediately rather than
+        modelling the shared copy-on-write zero page; FluidMem's LRU
+        accounting counts the page as resident either way.
+        """
+        yield self.env.timeout(self.latency.sample_zeropage(self._rng))
+        frame = self.frames.allocate()
+        page = Page(vaddr=addr, kind=kind)
+        table.map(addr, frame, page)
+        self.counters.incr("zeropage")
+        return page
+
+    def copy(
+        self,
+        table: PageTable,
+        addr: int,
+        page: Page,
+        skip_if_present: bool = False,
+    ) -> Generator:
+        """UFFDIO_COPY: place ``page``'s contents at ``addr`` and map it.
+
+        ``skip_if_present`` mirrors the real ioctl's -EEXIST handling:
+        when a concurrent resolver (e.g. a prefetch completion) mapped
+        the address first, return the winner's page instead of failing.
+        """
+        yield self.env.timeout(self.latency.sample_copy(self._rng))
+        if skip_if_present:
+            existing = table.lookup(addr)
+            if existing is not None:
+                self.counters.incr("copy_eexist")
+                return existing.page
+        frame = self.frames.allocate()
+        table.map(addr, frame, page)
+        self.counters.incr("copy")
+        return page
+
+    def remap_out(
+        self,
+        table: PageTable,
+        addr: int,
+        dst_table: PageTable,
+        dst_addr: int,
+        interleaved: bool = False,
+    ) -> Generator:
+        """UFFDIO_REMAP: move the page out of the VM by PTE rewrite.
+
+        Zero-copy — the frame and the :class:`Page` object move to the
+        destination table.  ``interleaved=True`` models the §V-B
+        optimization where the call runs while the vCPU is already
+        suspended, avoiding most of the TLB-shootdown IPI cost.
+        """
+        yield self.env.timeout(
+            self.latency.sample_remap(self._rng, interleaved)
+        )
+        pte = table.remap_to(addr, dst_table, dst_addr)
+        self.counters.incr("remap")
+        return pte.page
+
+    def wake(self, fault: UffdFault) -> Generator:
+        """UFFDIO_WAKE: resume the faulting vCPU thread."""
+        yield self.env.timeout(self.latency.wake_us)
+        if fault.resolved.triggered:
+            raise UffdError(f"{fault!r} already woken")
+        fault.resolved.succeed()
+        self.counters.incr("wake")

@@ -1,0 +1,90 @@
+"""Local-DRAM backend.
+
+The "FluidMem DRAM" configuration of Figure 3: pages are "evicted" into a
+plain in-memory table on the hypervisor itself.  There is no network; each
+operation costs roughly a 4 KB memcpy plus call overhead.  This isolates
+the FluidMem mechanism's own cost from remote-memory cost, exactly how the
+paper uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from ..errors import KeyNotFoundError
+from ..mem import PAGE_SIZE
+from ..sim import Environment
+from .api import KeyValueBackend, PeekableValue
+
+__all__ = ["DramStore"]
+
+
+class DramStore(KeyValueBackend):
+    """Dictionary-backed store with memcpy-scale latencies."""
+
+    name = "dram"
+    supports_partitions = True  # trivially: separate dicts would do
+
+    #: Cost of moving one 4 KB page within DRAM (µs): ~0.5 µs memcpy
+    #: plus bookkeeping, consistent with Table I's cache-management costs.
+    COPY_US = 0.7
+    #: Metadata-only operations (lookup, delete).
+    TOUCH_US = 0.2
+
+    def __init__(self, env: Environment, capacity_bytes: int = 0) -> None:
+        super().__init__(env)
+        #: 0 means unbounded.
+        self.capacity_bytes = capacity_bytes
+        self._table: Dict[int, PeekableValue] = {}
+        self._used = 0
+
+    def get(self, key: int) -> Generator:
+        yield self.env.timeout(self.COPY_US)
+        entry = self._table.get(key)
+        if entry is None:
+            self.counters.incr("misses")
+            raise KeyNotFoundError(key)
+        self.counters.incr("reads")
+        return entry.value
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        yield self.env.timeout(self.COPY_US)
+        self._insert(key, value, nbytes)
+
+    def remove(self, key: int) -> Generator:
+        yield self.env.timeout(self.TOUCH_US)
+        entry = self._table.pop(key, None)
+        if entry is None:
+            raise KeyNotFoundError(key)
+        self._used -= entry.nbytes
+        self.counters.incr("removes")
+
+    def multi_write(self, items) -> Generator:
+        # Batched local writes amortize nothing interesting; charge
+        # one copy per page.
+        yield self.env.timeout(self.COPY_US * max(1, len(items)))
+        for key, value, nbytes in items:
+            self._insert(key, value, nbytes)
+
+    def _insert(self, key: int, value: Any, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        old = self._table.get(key)
+        new_used = self._used + nbytes - (old.nbytes if old else 0)
+        if self.capacity_bytes and new_used > self.capacity_bytes:
+            raise MemoryError(
+                f"DramStore over capacity: {new_used} > {self.capacity_bytes}"
+            )
+        self._table[key] = PeekableValue(value, nbytes)
+        self._used = new_used
+        self.counters.incr("writes")
+
+    def contains(self, key: int) -> bool:
+        return key in self._table
+
+    def stored_keys(self) -> int:
+        return len(self._table)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used

@@ -1,0 +1,232 @@
+"""Store wrappers: the provider customizations the paper sketches.
+
+§III: "Cloud providers can further benefit from the flexibility that
+comes from handling memory paging in user space to rapidly deploy a
+variety of customizations ... Some examples are page compression or
+replication across remote servers."  Because FluidMem's monitor talks
+to a generic backend API, both are pure wrappers:
+
+* :class:`CompressedStore` — compress page contents before PUT, expand
+  after GET.  Costs CPU on the critical path, saves remote bytes.
+* :class:`ReplicatedStore` — write every page to N replicas, read from
+  the first live one.  Loses no data when a replica fails.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Generator, List, Sequence
+
+from ..errors import KVError, KeyNotFoundError
+from ..mem import PAGE_SIZE, Page
+from ..sim import Environment
+from .api import KeyValueBackend, WriteItem
+
+__all__ = ["CompressionModel", "CompressedStore", "ReplicatedStore"]
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Cost/benefit model for page compression (LZ4-class).
+
+    Real pages compress unevenly; the default 2.2x ratio matches
+    typical anonymous-memory corpora.  Compression/decompression cost
+    is charged per page on the fault path.
+    """
+
+    compress_us: float = 3.0
+    decompress_us: float = 1.5
+    ratio: float = 2.2
+
+    def compressed_bytes(self, nbytes: int) -> int:
+        return max(64, int(nbytes / self.ratio))
+
+
+class CompressedStore(KeyValueBackend):
+    """Transparent page compression in front of any backend."""
+
+    supports_partitions = False  # delegated; see property below
+
+    def __init__(
+        self,
+        env: Environment,
+        inner: KeyValueBackend,
+        model: CompressionModel = CompressionModel(),
+    ) -> None:
+        super().__init__(env)
+        self.inner = inner
+        self.model = model
+        self.name = f"compressed-{inner.name}"
+        self.supports_partitions = inner.supports_partitions
+        self.bytes_saved = 0
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        yield self.env.timeout(self.model.compress_us)
+        packed, packed_bytes = self._pack(value, nbytes)
+        self.bytes_saved += nbytes - packed_bytes
+        yield from self.inner.put(key, packed, packed_bytes)
+        self.counters.incr("writes")
+
+    def multi_write(self, items: List[WriteItem]) -> Generator:
+        yield self.env.timeout(self.model.compress_us * max(1, len(items)))
+        packed_items = []
+        for key, value, nbytes in items:
+            packed, packed_bytes = self._pack(value, nbytes)
+            self.bytes_saved += nbytes - packed_bytes
+            packed_items.append((key, packed, packed_bytes))
+        yield from self.inner.multi_write(packed_items)
+        self.counters.incr("writes", by=len(items))
+
+    def get(self, key: int) -> Generator:
+        packed = yield from self.inner.get(key)
+        yield self.env.timeout(self.model.decompress_us)
+        self.counters.incr("reads")
+        return self._unpack(packed)
+
+    def remove(self, key: int) -> Generator:
+        yield from self.inner.remove(key)
+        self.counters.incr("removes")
+
+    def _pack(self, value: Any, nbytes: int):
+        """Compress real bytes when present; model the size otherwise."""
+        if isinstance(value, Page) and value.data is not None:
+            blob = zlib.compress(value.data, level=1)
+            return ("z", blob, value), min(nbytes, len(blob))
+        return ("m", None, value), self.model.compressed_bytes(nbytes)
+
+    @staticmethod
+    def _unpack(packed: Any) -> Any:
+        if not isinstance(packed, tuple) or len(packed) != 3:
+            return packed  # foreign value; pass through
+        kind, blob, original = packed
+        if kind == "z" and isinstance(original, Page):
+            original.data = zlib.decompress(blob)
+        return original
+
+    def contains(self, key: int) -> bool:
+        return self.inner.contains(key)
+
+    def stored_keys(self) -> int:
+        return self.inner.stored_keys()
+
+    @property
+    def used_bytes(self) -> int:
+        return self.inner.used_bytes
+
+
+class ReplicatedStore(KeyValueBackend):
+    """Synchronous N-way replication across independent backends.
+
+    Writes go to every live replica (in parallel: the cost is the
+    slowest write, not the sum).  Reads try replicas in order, failing
+    over past dead ones.  ``fail_replica`` injects a crash.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        replicas: Sequence[KeyValueBackend],
+    ) -> None:
+        if not replicas:
+            raise KVError("need at least one replica")
+        super().__init__(env)
+        self.replicas = list(replicas)
+        self._alive = [True] * len(self.replicas)
+        self.name = f"replicated-x{len(self.replicas)}"
+        self.supports_partitions = all(
+            replica.supports_partitions for replica in self.replicas
+        )
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail_replica(self, index: int) -> None:
+        self._alive[index] = False
+
+    def recover_replica(self, index: int) -> None:
+        """Bring a replica back (empty: it must re-replicate on write)."""
+        self._alive[index] = True
+
+    @property
+    def live_count(self) -> int:
+        return sum(self._alive)
+
+    def _live(self) -> List[KeyValueBackend]:
+        live = [
+            replica
+            for replica, alive in zip(self.replicas, self._alive)
+            if alive
+        ]
+        if not live:
+            raise KVError("all replicas are down")
+        return live
+
+    # -- operations -------------------------------------------------------------
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        events = [
+            replica.write_async([(key, value, nbytes)]).event
+            for replica in self._live()
+        ]
+        yield self.env.all_of(events)
+        self.counters.incr("writes")
+
+    def multi_write(self, items: List[WriteItem]) -> Generator:
+        if not items:
+            return
+        events = [
+            replica.write_async(list(items)).event
+            for replica in self._live()
+        ]
+        yield self.env.all_of(events)
+        self.counters.incr("writes", by=len(items))
+
+    def get(self, key: int) -> Generator:
+        last_error: Exception = KeyNotFoundError(key)
+        for replica, alive in zip(self.replicas, self._alive):
+            if not alive:
+                continue
+            try:
+                value = yield from replica.get(key)
+            except KeyNotFoundError as exc:
+                last_error = exc
+                self.counters.incr("failovers")
+                continue
+            self.counters.incr("reads")
+            return value
+        raise last_error
+
+    def remove(self, key: int) -> Generator:
+        removed = False
+        for replica in self._live():
+            try:
+                yield from replica.remove(key)
+                removed = True
+            except KeyNotFoundError:
+                pass
+        if not removed:
+            raise KeyNotFoundError(key)
+        self.counters.incr("removes")
+
+    def contains(self, key: int) -> bool:
+        return any(
+            replica.contains(key)
+            for replica, alive in zip(self.replicas, self._alive)
+            if alive
+        )
+
+    def stored_keys(self) -> int:
+        live = [
+            replica
+            for replica, alive in zip(self.replicas, self._alive)
+            if alive
+        ]
+        return max((replica.stored_keys() for replica in live), default=0)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(
+            replica.used_bytes
+            for replica, alive in zip(self.replicas, self._alive)
+            if alive
+        )

@@ -1,0 +1,115 @@
+"""Address arithmetic and page-key encoding.
+
+FluidMem keys remote pages by a 64-bit integer: the first 52 bits are the
+virtual page number of the faulting address (a 4 KB page in a 64-bit
+address space needs exactly 52 bits), and the remaining 12 bits index a
+*virtual partition* for key-value stores without native partition support
+(paper §IV).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "KIB",
+    "MIB",
+    "GIB",
+    "VPN_BITS",
+    "PARTITION_BITS",
+    "MAX_PARTITION",
+    "page_align_down",
+    "page_align_up",
+    "is_page_aligned",
+    "page_number",
+    "page_address",
+    "pages_for_bytes",
+    "encode_page_key",
+    "decode_page_key",
+]
+
+#: Bytes per page; the paper works exclusively in 4 KB pages.
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: 64-bit virtual address space / 4 KB pages -> 52-bit virtual page numbers.
+VPN_BITS = 52
+#: Remaining low bits index a virtual partition (paper §IV).
+PARTITION_BITS = 12
+MAX_PARTITION = (1 << PARTITION_BITS) - 1
+
+_VPN_MASK = (1 << VPN_BITS) - 1
+_ADDR_MASK = (1 << 64) - 1
+
+
+def page_align_down(addr: int) -> int:
+    """Largest page boundary <= ``addr``."""
+    _check_addr(addr)
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    """Smallest page boundary >= ``addr``."""
+    _check_addr(addr)
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1) & _ADDR_MASK
+
+
+def is_page_aligned(addr: int) -> bool:
+    """True when ``addr`` sits exactly on a page boundary."""
+    _check_addr(addr)
+    return addr & (PAGE_SIZE - 1) == 0
+
+
+def page_number(addr: int) -> int:
+    """Virtual page number containing ``addr``."""
+    _check_addr(addr)
+    return addr >> PAGE_SHIFT
+
+
+def page_address(vpn: int) -> int:
+    """Base virtual address of page number ``vpn``."""
+    if not 0 <= vpn <= _VPN_MASK:
+        raise ValueError(f"virtual page number {vpn:#x} outside 52 bits")
+    return vpn << PAGE_SHIFT
+
+
+def pages_for_bytes(nbytes: int) -> int:
+    """Number of whole pages needed to hold ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def encode_page_key(addr: int, partition: int = 0) -> int:
+    """Encode a faulting address + virtual partition into a 64-bit key.
+
+    The upper 52 bits hold the page number of ``addr``; the lower 12 bits
+    hold ``partition``.  This exactly follows paper §IV: "the key is a
+    64-bit integer matching the first 52 bits of the virtual memory
+    address ... we use the remaining 12 bits to index a virtual
+    partition".
+    """
+    _check_addr(addr)
+    if not 0 <= partition <= MAX_PARTITION:
+        raise ValueError(
+            f"partition {partition} outside [0, {MAX_PARTITION}]"
+        )
+    return (page_number(addr) << PARTITION_BITS) | partition
+
+
+def decode_page_key(key: int) -> tuple:
+    """Inverse of :func:`encode_page_key` -> (page_base_addr, partition)."""
+    if not 0 <= key <= _ADDR_MASK:
+        raise ValueError(f"key {key:#x} outside 64 bits")
+    partition = key & MAX_PARTITION
+    vpn = key >> PARTITION_BITS
+    return page_address(vpn), partition
+
+
+def _check_addr(addr: int) -> None:
+    if not 0 <= addr <= _ADDR_MASK:
+        raise ValueError(f"address {addr:#x} outside 64-bit space")

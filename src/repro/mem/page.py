@@ -1,0 +1,136 @@
+"""The page model.
+
+Pages carry a *kind* because the full-vs-partial disaggregation argument
+(paper §II) is entirely about kinds: Linux swap can only evict anonymous
+pages, while FluidMem disaggregates file-backed, kernel, and unevictable
+pages too.
+
+A page optionally carries contents.  Functional tests use real bytes to
+verify end-to-end data integrity through eviction / writeback / restore;
+large benchmark runs leave ``data`` as ``None`` to stay fast, tracking a
+``version`` counter instead so stale-read bugs are still detectable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .addr import PAGE_SIZE, is_page_aligned
+
+__all__ = ["PageKind", "Page", "ZERO_PAGE_DATA"]
+
+#: Contents of the kernel's shared zero page.
+ZERO_PAGE_DATA = bytes(PAGE_SIZE)
+
+
+class PageKind(enum.Enum):
+    """What a page backs, which decides who may evict it.
+
+    ============== ============================= =======================
+    Kind           Example                       Swappable by Linux swap
+    ============== ============================= =======================
+    ANONYMOUS      heap, stack                   yes
+    FILE_BACKED    mmap'ed files, page cache     no (written to its file)
+    KERNEL         kernel text/data, slabs       no
+    UNEVICTABLE    mlock'ed / pinned memory      no
+    ============== ============================= =======================
+
+    FluidMem can disaggregate *all* of them (paper §II), which is the
+    paper's definition of full memory disaggregation.
+    """
+
+    ANONYMOUS = "anonymous"
+    FILE_BACKED = "file-backed"
+    KERNEL = "kernel"
+    UNEVICTABLE = "unevictable"
+
+    @property
+    def swappable(self) -> bool:
+        """Whether the Linux swap subsystem may move this page to swap."""
+        return self is PageKind.ANONYMOUS
+
+
+class Page:
+    """One 4 KB page of a guest's (or process's) virtual memory.
+
+    Identity is the page-aligned virtual address within one address
+    space; callers key dictionaries by ``page.vaddr``.
+    """
+
+    __slots__ = (
+        "vaddr",
+        "kind",
+        "dirty",
+        "referenced",
+        "mlocked",
+        "version",
+        "data",
+    )
+
+    def __init__(
+        self,
+        vaddr: int,
+        kind: PageKind = PageKind.ANONYMOUS,
+        data: Optional[bytes] = None,
+        mlocked: bool = False,
+    ) -> None:
+        if not is_page_aligned(vaddr):
+            raise ValueError(f"page address {vaddr:#x} is not page aligned")
+        if data is not None and len(data) != PAGE_SIZE:
+            raise ValueError(
+                f"page data must be exactly {PAGE_SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        self.vaddr = vaddr
+        self.kind = kind
+        self.dirty = False
+        self.referenced = False
+        self.mlocked = mlocked
+        #: Monotonic write counter for stale-read detection without bytes.
+        self.version = 0
+        self.data = data
+
+    @property
+    def evictable_by_swap(self) -> bool:
+        """Linux swap eligibility: anonymous and not mlocked (paper §II)."""
+        return self.kind.swappable and not self.mlocked
+
+    def write(self, data: Optional[bytes] = None) -> None:
+        """Record a store to this page (marks dirty, bumps version)."""
+        if data is not None:
+            if len(data) != PAGE_SIZE:
+                raise ValueError(
+                    f"page data must be exactly {PAGE_SIZE} bytes, "
+                    f"got {len(data)}"
+                )
+            self.data = data
+        self.dirty = True
+        self.referenced = True
+        self.version += 1
+
+    def read(self) -> Optional[bytes]:
+        """Record a load from this page; returns contents if tracked."""
+        self.referenced = True
+        return self.data
+
+    def clear_referenced(self) -> bool:
+        """Clear and return the referenced bit (kswapd's aging scan)."""
+        was = self.referenced
+        self.referenced = False
+        return was
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("D", self.dirty),
+                ("R", self.referenced),
+                ("L", self.mlocked),
+            )
+            if on
+        )
+        return (
+            f"<Page {self.vaddr:#x} {self.kind.value}"
+            f"{' ' + flags if flags else ''} v{self.version}>"
+        )

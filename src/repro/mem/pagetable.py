@@ -1,0 +1,118 @@
+"""Per-process page tables.
+
+A :class:`PageTable` maps page-aligned virtual addresses to physical
+frames.  A *fault* is simply an access to a non-present address — the
+kernel model (:mod:`repro.kernel.faults`) decides what happens next
+(regular anonymous fault, swap-in, or a userfaultfd event).
+
+The table also models what ``UFFD_REMAP`` exploits: a mapping can be
+*moved* between two tables (VM -> monitor buffer) by rewriting entries
+without touching page contents (paper §V-B, zero-copy semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import PageTableError
+from .addr import is_page_aligned
+from .page import Page
+
+__all__ = ["PageTableEntry", "PageTable"]
+
+
+class PageTableEntry:
+    """One present PTE: frame plus the page metadata object."""
+
+    __slots__ = ("frame", "page")
+
+    def __init__(self, frame: int, page: Page) -> None:
+        self.frame = frame
+        self.page = page
+
+    def __repr__(self) -> str:
+        return f"<PTE frame={self.frame} page={self.page!r}>"
+
+
+class PageTable:
+    """Sparse map from page-aligned vaddr to :class:`PageTableEntry`."""
+
+    def __init__(self, name: str = "pagetable") -> None:
+        self.name = name
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vaddr: int) -> bool:
+        return vaddr in self._entries
+
+    @property
+    def present_pages(self) -> int:
+        """Number of currently mapped pages (the resident footprint)."""
+        return len(self._entries)
+
+    def map(self, vaddr: int, frame: int, page: Page) -> None:
+        """Install a mapping; the address must not already be present."""
+        self._check_aligned(vaddr)
+        if vaddr in self._entries:
+            raise PageTableError(
+                f"{self.name}: {vaddr:#x} is already mapped"
+            )
+        self._entries[vaddr] = PageTableEntry(frame, page)
+
+    def unmap(self, vaddr: int) -> PageTableEntry:
+        """Remove and return the mapping for ``vaddr``."""
+        self._check_aligned(vaddr)
+        try:
+            return self._entries.pop(vaddr)
+        except KeyError:
+            raise PageTableError(
+                f"{self.name}: {vaddr:#x} is not mapped"
+            ) from None
+
+    def lookup(self, vaddr: int) -> Optional[PageTableEntry]:
+        """The PTE for ``vaddr``, or ``None`` if not present (a fault)."""
+        self._check_aligned(vaddr)
+        return self._entries.get(vaddr)
+
+    def entry(self, vaddr: int) -> PageTableEntry:
+        """Like :meth:`lookup` but raises when absent."""
+        pte = self.lookup(vaddr)
+        if pte is None:
+            raise PageTableError(f"{self.name}: {vaddr:#x} is not mapped")
+        return pte
+
+    def remap_to(
+        self, vaddr: int, other: "PageTable", other_vaddr: int
+    ) -> PageTableEntry:
+        """Move a mapping into another table (the ``UFFD_REMAP`` core).
+
+        The frame and page object travel; no contents are copied.  After
+        this, ``vaddr`` faults in this table and ``other_vaddr`` is
+        present in ``other``.
+        """
+        pte = self.unmap(vaddr)
+        try:
+            other.map(other_vaddr, pte.frame, pte.page)
+        except PageTableError:
+            # Roll back so a failed remap leaves state unchanged.
+            self._entries[vaddr] = pte
+            raise
+        return pte
+
+    def items(self) -> Iterator[Tuple[int, PageTableEntry]]:
+        return iter(self._entries.items())
+
+    def addresses(self) -> Iterator[int]:
+        return iter(self._entries.keys())
+
+    @staticmethod
+    def _check_aligned(vaddr: int) -> None:
+        if not is_page_aligned(vaddr):
+            raise PageTableError(
+                f"address {vaddr:#x} is not page aligned"
+            )
+
+    def __repr__(self) -> str:
+        return f"<PageTable {self.name!r} present={len(self._entries)}>"

@@ -1,0 +1,141 @@
+"""Memory regions and address spaces.
+
+A :class:`MemoryRegion` is a contiguous, page-aligned range with a
+default page kind (what QEMU would get back from one big ``mmap``).  An
+:class:`AddressSpace` is an ordered, non-overlapping set of regions —
+enough structure to model a QEMU process's guest-RAM mappings, hotplug
+slots, and the monitor's user-space eviction buffer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional
+
+from ..errors import RegionError
+from .addr import PAGE_SIZE, is_page_aligned
+from .page import PageKind
+
+__all__ = ["MemoryRegion", "AddressSpace"]
+
+
+class MemoryRegion:
+    """A page-aligned ``[start, end)`` range of one address space."""
+
+    __slots__ = ("start", "length", "kind", "name")
+
+    def __init__(
+        self,
+        start: int,
+        length: int,
+        kind: PageKind = PageKind.ANONYMOUS,
+        name: str = "",
+    ) -> None:
+        if not is_page_aligned(start):
+            raise RegionError(f"region start {start:#x} not page aligned")
+        if length <= 0 or length % PAGE_SIZE != 0:
+            raise RegionError(
+                f"region length {length:#x} must be a positive page multiple"
+            )
+        self.start = start
+        self.length = length
+        self.kind = kind
+        self.name = name
+
+    @property
+    def end(self) -> int:
+        """One past the last byte (exclusive)."""
+        return self.start + self.length
+
+    @property
+    def num_pages(self) -> int:
+        return self.length // PAGE_SIZE
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def pages(self) -> Iterator[int]:
+        """Iterate the page-aligned addresses covered by the region."""
+        return iter(range(self.start, self.end, PAGE_SIZE))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<MemoryRegion{label} [{self.start:#x}, {self.end:#x}) "
+            f"{self.kind.value} {self.num_pages}p>"
+        )
+
+
+class AddressSpace:
+    """Ordered set of non-overlapping regions."""
+
+    def __init__(self, name: str = "addrspace") -> None:
+        self.name = name
+        self._starts: List[int] = []
+        self._regions: List[MemoryRegion] = []
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        return iter(self._regions)
+
+    def add(self, region: MemoryRegion) -> MemoryRegion:
+        """Insert ``region``; rejects any overlap with existing regions."""
+        index = bisect.bisect_left(self._starts, region.start)
+        for neighbor_index in (index - 1, index):
+            if 0 <= neighbor_index < len(self._regions):
+                neighbor = self._regions[neighbor_index]
+                if neighbor.overlaps(region):
+                    raise RegionError(
+                        f"{self.name}: {region!r} overlaps {neighbor!r}"
+                    )
+        self._starts.insert(index, region.start)
+        self._regions.insert(index, region)
+        return region
+
+    def remove(self, region: MemoryRegion) -> None:
+        try:
+            index = self._regions.index(region)
+        except ValueError:
+            raise RegionError(
+                f"{self.name}: {region!r} is not in this address space"
+            ) from None
+        del self._regions[index]
+        del self._starts[index]
+
+    def find(self, addr: int) -> Optional[MemoryRegion]:
+        """The region containing ``addr``, or ``None``."""
+        index = bisect.bisect_right(self._starts, addr) - 1
+        if index >= 0 and addr in self._regions[index]:
+            return self._regions[index]
+        return None
+
+    def total_pages(self) -> int:
+        return sum(region.num_pages for region in self._regions)
+
+    def allocate_gap(self, length: int, align: int = PAGE_SIZE) -> int:
+        """Find the lowest free start >= align for a region of ``length``.
+
+        A tiny mmap-style placement helper used when callers don't care
+        where a region lives (e.g. the monitor's eviction buffers).
+        """
+        if length <= 0 or length % PAGE_SIZE != 0:
+            raise RegionError(
+                f"gap length {length:#x} must be a positive page multiple"
+            )
+        candidate = align
+        for region in self._regions:
+            if candidate + length <= region.start:
+                return candidate
+            candidate = max(candidate, region.end)
+        return candidate
+
+    def __repr__(self) -> str:
+        return (
+            f"<AddressSpace {self.name!r} regions={len(self._regions)} "
+            f"pages={self.total_pages()}>"
+        )

@@ -1,0 +1,492 @@
+"""Discrete-event simulation core.
+
+This module implements a small, dependency-free discrete-event engine in
+the style of SimPy: an :class:`Environment` owns a virtual clock and an
+event heap; :class:`Process` objects are Python generators that ``yield``
+events (most commonly :class:`Timeout`) and are resumed when those events
+fire.
+
+Time is a ``float`` in **microseconds** throughout the FluidMem
+reproduction — the paper reports every latency in µs, so the calibration
+constants can be used verbatim.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5.0)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..errors import InterruptError, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "PENDING",
+]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+#: Normal scheduling priority. Lower runs first at equal times.
+PRIORITY_NORMAL = 1
+#: Urgent priority, used for process initialization and interrupts.
+PRIORITY_URGENT = 0
+
+
+class Event:
+    """An outcome that may happen at some point in simulated time.
+
+    Events move through three states: *pending* (just created),
+    *triggered* (scheduled on the environment's heap with a value), and
+    *processed* (callbacks have run).  Processes wait on events by
+    yielding them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failure's exception has been handed to some consumer.
+        self._defused = False
+
+    # -- state predicates -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to fire with ``exception``.
+
+        Any process waiting on the event will have the exception thrown
+        into it.  If nothing is waiting, the environment raises it at the
+        end of the step so failures never pass silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the same outcome as ``event`` (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        status = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {status} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` µs after it is created."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a process on the next urgent step."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, priority=PRIORITY_URGENT)
+
+
+class Interruption(Event):
+    """Internal event that throws :class:`InterruptError` into a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.processed:
+            raise SimulationError("cannot interrupt a finished process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self.callbacks.append(self._interrupt)
+        self._ok = True
+        self._value = InterruptError(cause)
+        self.env._schedule(self, priority=PRIORITY_URGENT)
+
+    def _interrupt(self, event: "Event") -> None:
+        if self.process.processed:
+            return  # finished before the interrupt was delivered
+        # Detach the process from whatever it was waiting on.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self.process._resume)
+            except ValueError:
+                pass
+        self.process._target = None
+        self.process._do_resume(throw=self._value)
+
+
+class Process(Event):
+    """A running generator.  Completes (as an event) when it returns.
+
+    The generator yields :class:`Event` objects; each resumes the
+    generator with the event's value when it fires (or throws the event's
+    exception into it on failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def name(self) -> str:
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process."""
+        Interruption(self, cause)
+
+    # -- generator driving -------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._do_resume(send=event._value)
+        else:
+            event._defused = True
+            self._do_resume(throw=event._value)
+
+    def _do_resume(
+        self, send: Any = None, throw: Optional[BaseException] = None
+    ) -> None:
+        env = self.env
+        prev_active = env.active_process
+        env.active_process = self
+        try:
+            while True:
+                try:
+                    if throw is not None:
+                        target = self._generator.throw(throw)
+                    else:
+                        target = self._generator.send(send)
+                except StopIteration as stop:
+                    self.succeed(getattr(stop, "value", None))
+                    return
+                except BaseException as exc:
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self.fail(exc)
+                    return
+
+                send, throw = None, None
+                if not isinstance(target, Event):
+                    throw = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {target!r}"
+                    )
+                    continue
+                if target.env is not env:
+                    throw = SimulationError(
+                        f"process {self.name!r} yielded an event from "
+                        "another environment"
+                    )
+                    continue
+
+                if target.callbacks is not None:
+                    # Not yet processed: park until it fires.
+                    target.callbacks.append(self._resume)
+                    self._target = target
+                    return
+                # Already processed: continue immediately with its outcome.
+                if target._ok:
+                    send = target._value
+                else:
+                    target._defused = True
+                    throw = target._value
+        finally:
+            env.active_process = prev_active
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._unfired = len(self._events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+            if event.callbacks is None:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+        if not self.triggered:
+            self._check_vacuous()
+
+    def _check_vacuous(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._unfired -= 1
+        self._on_fire(event)
+
+    def _on_fire(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        # Only events that have actually fired (been processed) count;
+        # a Timeout carries its value from creation but hasn't happened yet.
+        return {
+            ev: ev._value for ev in self._events if ev.processed and ev._ok
+        }
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires (value: dict of done events)."""
+
+    def _check_vacuous(self) -> None:
+        if not self._events:
+            self.succeed({})
+
+    def _on_fire(self, event: Event) -> None:
+        self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+    def _check_vacuous(self) -> None:
+        if self._unfired == 0:
+            self.succeed(self._results())
+
+    def _on_fire(self, event: Event) -> None:
+        if self._unfired == 0:
+            self.succeed(self._results())
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: The process currently being resumed, if any.
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` µs from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._seq, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody consumed: surface it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the schedule drains, a time, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (stop when the clock
+        would pass it; the clock is then set to exactly that time), or an
+        :class:`Event` (stop when it fires and return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed.
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event._defused = True
+                raise stop_event._value
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        flag = {"stop": False}
+        if stop_event is not None:
+            stop_event.callbacks.append(lambda ev: flag.__setitem__("stop", True))
+
+        while self._heap:
+            if stop_time is not None and self._heap[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if flag["stop"]:
+                assert stop_event is not None
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event._defused = True
+                raise stop_event._value
+
+        if stop_event is not None:
+            raise SimulationError(
+                "schedule drained before the until-event fired"
+            )
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def advance(self, delta: float) -> None:
+        """Advance the clock directly by ``delta`` µs.
+
+        Used by workload drivers on their fast path (memory *hits*) to
+        avoid creating one Timeout per access.  Only legal when no event
+        earlier than the new time exists, otherwise causality would break.
+        """
+        if delta < 0:
+            raise SimulationError(f"cannot advance by negative delta {delta}")
+        target = self._now + delta
+        if self._heap and self._heap[0][0] < target:
+            raise SimulationError(
+                "advance() would jump over a scheduled event; "
+                "run() to that point instead"
+            )
+        self._now = target
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._heap)}>"

@@ -1,0 +1,39 @@
+"""The VM / hypervisor layer: guests, QEMU, hotplug, balloon, probes."""
+
+from .balloon import BALLOON_FLOOR_PAGES, BalloonDriver
+from .guest import (
+    PAPER_BOOT_PAGES,
+    BootProfile,
+    GuestVM,
+    MemoryPort,
+    SwapMemoryPort,
+    VirtMode,
+)
+from .hotplug import HotplugSlot, MemoryHotplug
+from .qemu import QemuProcess
+from .services import (
+    ICMP_WORKING_SET_PAGES,
+    SSH_WORKING_SET_PAGES,
+    GuestService,
+    IcmpService,
+    SshService,
+)
+
+__all__ = [
+    "GuestVM",
+    "BootProfile",
+    "MemoryPort",
+    "SwapMemoryPort",
+    "VirtMode",
+    "PAPER_BOOT_PAGES",
+    "QemuProcess",
+    "MemoryHotplug",
+    "HotplugSlot",
+    "BalloonDriver",
+    "BALLOON_FLOOR_PAGES",
+    "GuestService",
+    "SshService",
+    "IcmpService",
+    "SSH_WORKING_SET_PAGES",
+    "ICMP_WORKING_SET_PAGES",
+]

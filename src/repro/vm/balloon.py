@@ -1,0 +1,111 @@
+"""The virtio-balloon driver — Table III's comparison point.
+
+Ballooning is the pre-FluidMem way to shrink a guest's footprint: a
+driver *inside* the guest allocates pages and hands them back to the
+hypervisor.  Two limitations the paper leans on:
+
+* it requires guest cooperation (a driver installed in the VM), unlike
+  FluidMem which works on unmodified guests;
+* it bottoms out early: "the driver reaches its maximum size when the
+  VM footprint is still 64 MB" (20 480 pages, Table III row 2), because
+  the guest kernel refuses to give up the memory it itself needs.
+
+The model: inflating grabs only *free* guest frames and stops at the
+floor; FluidMem's LRU (in :mod:`repro.core`) has no such floor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import VmError
+from ..kernel import GuestMemoryManager
+from ..mem import MIB, PAGE_SIZE
+
+__all__ = ["BalloonDriver", "BALLOON_FLOOR_PAGES"]
+
+#: Table III: the smallest footprint ballooning could reach (64.75 MB).
+BALLOON_FLOOR_PAGES = 20480
+
+
+class BalloonDriver:
+    """Guest-cooperative memory reclaim with a hard floor."""
+
+    def __init__(
+        self,
+        mm: GuestMemoryManager,
+        floor_pages: int = BALLOON_FLOOR_PAGES,
+    ) -> None:
+        if floor_pages < 1:
+            raise VmError(f"floor must be >= 1 page, got {floor_pages}")
+        self.mm = mm
+        self.floor_pages = floor_pages
+        self._held_frames: List[int] = []
+
+    @property
+    def inflated_pages(self) -> int:
+        return len(self._held_frames)
+
+    @property
+    def guest_footprint_pages(self) -> int:
+        """Frames still usable by the guest (what the host could not take)."""
+        return self.mm.frames.total_frames - self.inflated_pages
+
+    def inflate(self, pages: int) -> int:
+        """Try to reclaim ``pages``; returns how many were actually taken.
+
+        Takes free frames only and never pushes the guest footprint
+        below the floor — this is the mechanism behind Table III's
+        "Max VM balloon size" row.
+        """
+        if pages < 0:
+            raise VmError(f"cannot inflate by {pages}")
+        taken = 0
+        while taken < pages:
+            if self.guest_footprint_pages <= self.floor_pages:
+                break  # the guest kernel refuses to shrink further
+            frame = self.mm.frames.try_allocate()
+            if frame is None:
+                break  # no free memory; ballooning cannot evict in use
+            self._held_frames.append(frame)
+            taken += 1
+        return taken
+
+    def inflate_with_reclaim(self, pages: int):
+        """Inflate, letting the guest kernel reclaim to feed the balloon.
+
+        This is the real driver's behaviour: balloon allocations create
+        memory pressure, the guest drops page cache and swaps anonymous
+        memory, and the balloon keeps the freed frames.  Still bounded
+        by the floor — the guest refuses to shrink below what it needs
+        to run.  A simulation generator (reclaim does I/O).
+        """
+        if pages < 0:
+            raise VmError(f"cannot inflate by {pages}")
+        taken = 0
+        while taken < pages:
+            if self.guest_footprint_pages <= self.floor_pages:
+                break
+            frame = self.mm.frames.try_allocate()
+            if frame is None:
+                freed = yield from self.mm.reclaim_pages(64)
+                if freed == 0:
+                    break  # nothing left the guest is willing to give
+                continue
+            self._held_frames.append(frame)
+            taken += 1
+        return taken
+
+    def deflate(self, pages: int) -> int:
+        """Return up to ``pages`` frames to the guest."""
+        if pages < 0:
+            raise VmError(f"cannot deflate by {pages}")
+        released = 0
+        while released < pages and self._held_frames:
+            self.mm.frames.free(self._held_frames.pop())
+            released += 1
+        return released
+
+    def max_reachable_footprint_mib(self) -> float:
+        """The floor expressed in MiB (64.75 MB in the paper's table)."""
+        return self.floor_pages * PAGE_SIZE / MIB

@@ -1,0 +1,298 @@
+"""Guest VM model: memory ports, boot footprints, virtualization modes.
+
+The evaluation compares two ways of backing the *same* guest:
+
+* **swap mode** — the guest kernel owns reclaim
+  (:class:`~repro.kernel.GuestMemoryManager` behind a
+  :class:`SwapMemoryPort`),
+* **FluidMem mode** — the host monitor owns reclaim (the port lives in
+  :mod:`repro.core`).
+
+Workloads and services talk to a :class:`MemoryPort`, so they are
+byte-for-byte identical across the two worlds — which is the property
+that makes the comparison fair.
+
+The boot footprint matters enormously here: Table III reports a VM
+consumes 81 042 pages (316.57 MB) "just from booting to a command
+prompt", and Figure 4b's FluidMem win comes from evicting exactly those
+OS pages, which swap cannot move.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Generator, Iterator, List, Optional, Tuple
+
+from ..errors import VmError
+from ..kernel import GuestMemoryManager
+from ..mem import GIB, PAGE_SIZE, PageKind, pages_for_bytes
+from ..sim import Environment
+
+__all__ = [
+    "VirtMode",
+    "MemoryPort",
+    "SwapMemoryPort",
+    "BootProfile",
+    "GuestVM",
+    "PAPER_BOOT_PAGES",
+]
+
+#: Table III, "After startup": resident pages of a freshly booted VM.
+PAPER_BOOT_PAGES = 81042
+
+
+class VirtMode(enum.Enum):
+    """How the hypervisor executes the guest (Table III's last rows).
+
+    KVM hardware-assisted virtualization deadlocks when the footprint
+    drops to 1 page (handling a page fault can trigger more page
+    faults); full (software) emulation survives it.
+    """
+
+    KVM = "kvm"
+    FULL_EMULATION = "full-emulation"
+
+
+class MemoryPort(abc.ABC):
+    """What a guest workload needs from its memory backend."""
+
+    @abc.abstractmethod
+    def is_resident(self, vaddr: int) -> bool:
+        """Fast-path residency check (no simulated time)."""
+
+    @abc.abstractmethod
+    def touch(self, vaddr: int, is_write: bool = False) -> None:
+        """Record an access to a resident page (no simulated time)."""
+
+    @abc.abstractmethod
+    def access(
+        self,
+        vaddr: int,
+        is_write: bool = False,
+        kind: PageKind = PageKind.ANONYMOUS,
+    ) -> Generator:
+        """Full access path: cheap when resident, fault otherwise."""
+
+    @property
+    @abc.abstractmethod
+    def resident_capacity(self) -> Optional[int]:
+        """Max pages this port lets the VM keep in DRAM (None=unbounded)."""
+
+    @property
+    @abc.abstractmethod
+    def resident_pages(self) -> int:
+        """Pages currently in DRAM for this VM."""
+
+
+class SwapMemoryPort(MemoryPort):
+    """Memory port over the guest kernel's own MM (swap world)."""
+
+    def __init__(self, mm: GuestMemoryManager) -> None:
+        self.mm = mm
+
+    def is_resident(self, vaddr: int) -> bool:
+        return self.mm.is_resident(vaddr)
+
+    def touch(self, vaddr: int, is_write: bool = False) -> None:
+        self.mm.touch(vaddr, is_write)
+
+    def access(
+        self,
+        vaddr: int,
+        is_write: bool = False,
+        kind: PageKind = PageKind.ANONYMOUS,
+    ) -> Generator:
+        if self.mm.is_resident(vaddr):
+            self.mm.touch(vaddr, is_write)
+            return None
+        page = yield from self.mm.access_fault(vaddr, is_write, kind=kind)
+        return page
+
+    @property
+    def resident_capacity(self) -> Optional[int]:
+        return self.mm.frames.total_frames
+
+    @property
+    def resident_pages(self) -> int:
+        return self.mm.resident_pages
+
+
+@dataclass(frozen=True)
+class BootProfile:
+    """Composition of the pages a guest touches while booting.
+
+    The mix is what makes full disaggregation matter: the kernel and
+    unevictable share can never reach swap, and the file-backed share
+    can only be dropped back to its filesystem — FluidMem can move all
+    of it to remote memory (paper §II, §VI-D1).
+    """
+
+    total_pages: int = PAPER_BOOT_PAGES
+    kernel_fraction: float = 0.22
+    file_fraction: float = 0.45
+    anonymous_fraction: float = 0.30
+    mlocked_fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        total = (
+            self.kernel_fraction
+            + self.file_fraction
+            + self.anonymous_fraction
+            + self.mlocked_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise VmError(f"boot profile fractions sum to {total}, not 1")
+        if self.total_pages < 4:
+            raise VmError("boot profile needs at least 4 pages")
+
+    def scaled(self, factor: float) -> "BootProfile":
+        """Same mix, ``factor``x the pages (for scaled-down benches)."""
+        if factor <= 0:
+            raise VmError(f"scale factor must be positive, got {factor}")
+        return BootProfile(
+            total_pages=max(4, int(self.total_pages * factor)),
+            kernel_fraction=self.kernel_fraction,
+            file_fraction=self.file_fraction,
+            anonymous_fraction=self.anonymous_fraction,
+            mlocked_fraction=self.mlocked_fraction,
+        )
+
+    def pages(self, base_vaddr: int) -> Iterator[Tuple[int, PageKind, bool]]:
+        """(vaddr, kind, mlocked) for every boot page, laid out densely."""
+        counts = [
+            (PageKind.KERNEL, False,
+             int(self.total_pages * self.kernel_fraction)),
+            (PageKind.FILE_BACKED, False,
+             int(self.total_pages * self.file_fraction)),
+            (PageKind.UNEVICTABLE, True,
+             int(self.total_pages * self.mlocked_fraction)),
+        ]
+        assigned = sum(count for _k, _m, count in counts)
+        counts.append(
+            (PageKind.ANONYMOUS, False, self.total_pages - assigned)
+        )
+        vaddr = base_vaddr
+        for kind, mlocked, count in counts:
+            for _ in range(count):
+                yield vaddr, kind, mlocked
+                vaddr += PAGE_SIZE
+
+
+class GuestVM:
+    """An unmodified guest: name, shape, boot footprint, memory port."""
+
+    #: Upper bound on where the guest OS image lands (16 MiB); small
+    #: VMs place it proportionally lower so it always fits.
+    BOOT_BASE = 0x100_0000
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        memory_bytes: int = 1 * GIB,
+        vcpus: int = 2,
+        boot_profile: Optional[BootProfile] = None,
+        virt_mode: VirtMode = VirtMode.KVM,
+    ) -> None:
+        if memory_bytes < 64 * PAGE_SIZE:
+            raise VmError(
+                f"VM needs >= 64 pages of memory, got {memory_bytes}"
+            )
+        if vcpus < 1:
+            raise VmError(f"VM needs >= 1 vCPU, got {vcpus}")
+        self.env = env
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.vcpus = vcpus
+        self.boot_profile = boot_profile or BootProfile()
+        self.virt_mode = virt_mode
+        self.port: Optional[MemoryPort] = None
+        #: Guest-physical base of the boot image: 16 MiB, or 1/16th of
+        #: the VM for small (scaled-down) guests.
+        self.boot_base = min(self.BOOT_BASE, memory_bytes // 16)
+        self.boot_base -= self.boot_base % PAGE_SIZE
+        self._boot_pages: List[Tuple[int, PageKind, bool]] = []
+        self.booted = False
+
+    @property
+    def memory_pages(self) -> int:
+        return pages_for_bytes(self.memory_bytes)
+
+    def attach_port(self, port: MemoryPort) -> None:
+        if self.port is not None:
+            raise VmError(f"{self.name}: a memory port is already attached")
+        self.port = port
+
+    def require_port(self) -> MemoryPort:
+        if self.port is None:
+            raise VmError(f"{self.name}: no memory port attached")
+        return self.port
+
+    def boot(self) -> Generator:
+        """Bring the guest up: touch every boot-footprint page.
+
+        Uses the attached port's full access path, so in FluidMem mode
+        this generates the first-touch (zero-page) fault storm a real
+        boot does, and in swap mode it fills the guest's DRAM.
+        """
+        port = self.require_port()
+        if self.booted:
+            raise VmError(f"{self.name} is already booted")
+        boot_end_page = (
+            self.boot_base // PAGE_SIZE + self.boot_profile.total_pages
+        )
+        if boot_end_page > self.memory_pages:
+            raise VmError(
+                f"{self.name}: boot footprint "
+                f"({self.boot_profile.total_pages}p at "
+                f"{self.boot_base:#x}) exceeds VM memory "
+                f"({self.memory_pages}p)"
+            )
+        self._boot_pages = list(self.boot_profile.pages(self.boot_base))
+        for vaddr, kind, mlocked in self._boot_pages:
+            yield from port.access(vaddr, is_write=True, kind=kind)
+            if mlocked:
+                # Reflect the mlock on the installed page.
+                self._mark_mlocked(port, vaddr)
+        self.booted = True
+
+    @staticmethod
+    def _mark_mlocked(port: MemoryPort, vaddr: int) -> None:
+        # Best effort: ports expose the underlying page via their table
+        # when they have one; mlock only matters for swap eligibility.
+        mm = getattr(port, "mm", None)
+        if mm is not None and mm.is_resident(vaddr):
+            page = mm.table.entry(vaddr).page
+            page.mlocked = True
+            mm.lru.discard(page)
+
+    def first_free_guest_addr(self) -> int:
+        """Lowest guest address above the boot image (workloads start here)."""
+        return self.boot_base + self.boot_profile.total_pages * PAGE_SIZE
+
+    def boot_page_addresses(self) -> List[int]:
+        """Addresses of the guest's boot footprint (after :meth:`boot`)."""
+        if not self.booted:
+            raise VmError(f"{self.name} has not booted")
+        return [vaddr for vaddr, _kind, _mlocked in self._boot_pages]
+
+    def os_working_set(self, count: int) -> List[int]:
+        """A slice of boot pages that background OS activity keeps warm."""
+        addresses = self.boot_page_addresses()
+        if count > len(addresses):
+            raise VmError(
+                f"requested {count} OS pages, boot footprint has "
+                f"{len(addresses)}"
+            )
+        # Spread across the footprint: kernel, file, and anon pages mix.
+        step = max(1, len(addresses) // count)
+        return addresses[::step][:count]
+
+    def __repr__(self) -> str:
+        return (
+            f"<GuestVM {self.name!r} {self.memory_bytes >> 20} MiB "
+            f"{self.vcpus} vCPU {self.virt_mode.value}"
+            f"{' booted' if self.booted else ''}>"
+        )

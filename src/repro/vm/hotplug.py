@@ -1,0 +1,90 @@
+"""Memory hotplug (paper §III, Figure 1 "FluidMem via Hot Plug").
+
+QEMU can attach extra DIMM-shaped memory to a running guest; Linux,
+Windows, and FreeBSD guests online it without modification.  FluidMem's
+"normal VM" mode uses exactly this: the VM boots with ordinary local
+memory and *additional* FluidMem-backed memory is hotplugged later, so
+the guest's capacity can grow at any time "even if the VM did not
+anticipate using additional memory at boot time".
+
+The host side is a new RAM region in the QEMU address space; the guest
+side is an ACPI-style notification that onlines the new range.  The
+returned :class:`HotplugSlot` carries both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import VmError
+from ..mem import MemoryRegion, PAGE_SIZE
+from .qemu import QemuProcess
+
+__all__ = ["HotplugSlot", "MemoryHotplug"]
+
+#: QEMU's default cap on hotplug DIMM slots.
+MAX_SLOTS = 32
+
+
+@dataclass(frozen=True)
+class HotplugSlot:
+    """One onlined DIMM: guest-physical placement + host region."""
+
+    index: int
+    guest_phys_start: int
+    length_bytes: int
+    host_region: MemoryRegion
+
+    @property
+    def num_pages(self) -> int:
+        return self.length_bytes // PAGE_SIZE
+
+
+class MemoryHotplug:
+    """Hotplug controller for one QEMU process."""
+
+    def __init__(self, qemu: QemuProcess, max_slots: int = MAX_SLOTS) -> None:
+        self.qemu = qemu
+        self.max_slots = max_slots
+        self._slots: List[HotplugSlot] = []
+
+    @property
+    def slots(self) -> List[HotplugSlot]:
+        return list(self._slots)
+
+    @property
+    def hotplugged_bytes(self) -> int:
+        return sum(slot.length_bytes for slot in self._slots)
+
+    def add_memory(self, length_bytes: int) -> HotplugSlot:
+        """Online ``length_bytes`` of additional memory in the guest."""
+        if len(self._slots) >= self.max_slots:
+            raise VmError(
+                f"all {self.max_slots} hotplug slots are populated"
+            )
+        if length_bytes <= 0 or length_bytes % PAGE_SIZE:
+            raise VmError(
+                f"hotplug size must be a positive page multiple, "
+                f"got {length_bytes}"
+            )
+        index = len(self._slots)
+        guest_phys_start = (
+            self.qemu.vm.memory_bytes + self.hotplugged_bytes
+        )
+        host_region = self.qemu.add_ram_region(
+            length_bytes, name=f"hotplug-{index}"
+        )
+        slot = HotplugSlot(
+            index=index,
+            guest_phys_start=guest_phys_start,
+            length_bytes=length_bytes,
+            host_region=host_region,
+        )
+        self._slots.append(slot)
+        return slot
+
+    @property
+    def total_guest_bytes(self) -> int:
+        """Boot memory plus everything hotplugged."""
+        return self.qemu.vm.memory_bytes + self.hotplugged_bytes

@@ -1,0 +1,118 @@
+"""Guest responsiveness probes: SSH and ICMP (Table III).
+
+Table III asks an operational question: with the footprint squeezed to N
+pages, does the VM still answer a ping, and can you still open an SSH
+shell?  The binding constraint is *simultaneous residency*: completing
+an SSH authentication needs the ssh binary, libc and friends, PAM, and
+the kernel auth path co-resident ("Even part of the ssh binary will have
+to be stored in FluidMem, along with all libraries and kernel code
+needed to complete a user authentication"); an ICMP echo needs only the
+NIC driver + network stack path.
+
+The model: a service owns a working set of guest pages and an operation
+completes when, at the end of a pass that touches all of them (through
+the real paging machinery, paying real fault latencies), the whole set
+is still resident.  With an LRU capacity below the working-set size the
+head of the set has been evicted by the time the tail is in — the pass
+never converges and the attempt times out, which is exactly the
+thrashing failure mode.  Working-set sizes are chosen from Table III's
+observed thresholds: SSH needs ~120 co-resident pages (fails at 80,
+works at 180), ICMP ~64 (still fine at 80).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from ..errors import VmError
+from ..sim import Environment
+from .guest import GuestVM
+
+__all__ = [
+    "GuestService",
+    "SshService",
+    "IcmpService",
+    "SSH_WORKING_SET_PAGES",
+    "ICMP_WORKING_SET_PAGES",
+]
+
+#: Pages that must be co-resident to finish an SSH login.
+SSH_WORKING_SET_PAGES = 120
+#: Pages that must be co-resident to answer an ICMP echo.
+ICMP_WORKING_SET_PAGES = 64
+
+
+class GuestService:
+    """A probe with a working set carved from the VM's boot footprint."""
+
+    #: Human-readable name and default timeout.
+    name = "service"
+    default_timeout_us = 1_000_000.0  # 1 s
+
+    def __init__(
+        self,
+        env: Environment,
+        vm: GuestVM,
+        working_set_pages: int,
+        working_set: Optional[Sequence[int]] = None,
+    ) -> None:
+        if working_set_pages < 1:
+            raise VmError("working set must be at least one page")
+        self.env = env
+        self.vm = vm
+        if working_set is not None:
+            self.working_set: List[int] = list(working_set)
+        else:
+            self.working_set = vm.os_working_set(working_set_pages)
+        if len(self.working_set) < working_set_pages:
+            raise VmError(
+                f"{self.name}: needed {working_set_pages} pages, "
+                f"got {len(self.working_set)}"
+            )
+        self.working_set = self.working_set[:working_set_pages]
+
+    def attempt(
+        self,
+        timeout_us: Optional[float] = None,
+        max_passes: int = 3,
+    ) -> Generator:
+        """Try the operation; returns True if it completed in time.
+
+        Each pass touches the full working set through the VM's memory
+        port (faulting pages in at real cost) and then checks
+        co-residency.  ``max_passes`` bounds the demonstration: when
+        capacity < working set, no number of passes converges, so three
+        suffices to prove the livelock without simulating the full
+        wall-clock timeout.
+        """
+        timeout = timeout_us or self.default_timeout_us
+        port = self.vm.require_port()
+        deadline = self.env.now + timeout
+        for _ in range(max_passes):
+            for vaddr in self.working_set:
+                yield from port.access(vaddr, is_write=False)
+                if self.env.now > deadline:
+                    return False
+            if all(port.is_resident(vaddr) for vaddr in self.working_set):
+                return True
+        return False
+
+
+class SshService(GuestService):
+    """Open an SSH shell: binary + libs + PAM + kernel auth path."""
+
+    name = "ssh"
+    default_timeout_us = 10_000_000.0  # a 10 s client timeout
+
+    def __init__(self, env: Environment, vm: GuestVM, **kwargs) -> None:
+        super().__init__(env, vm, SSH_WORKING_SET_PAGES, **kwargs)
+
+
+class IcmpService(GuestService):
+    """Answer one ICMP echo within its 1 s interval."""
+
+    name = "icmp"
+    default_timeout_us = 1_000_000.0  # the next echo arrives in 1 s
+
+    def __init__(self, env: Environment, vm: GuestVM, **kwargs) -> None:
+        super().__init__(env, vm, ICMP_WORKING_SET_PAGES, **kwargs)

@@ -1,0 +1,46 @@
+"""Workloads: pmbench, Graph500, YCSB, MongoDB — all memory-traced."""
+
+from .driver import HIT_COST_US, AccessDriver
+from .graph500 import (
+    Graph500,
+    Graph500Config,
+    Graph500Result,
+    KroneckerGraph,
+    generate_kronecker_edges,
+)
+from .io import FileReader, GuestCacheFileReader, KernelFileReader
+from .mongo import MongoConfig, MongoServer, WiredTigerCache
+from .pmbench import Pmbench, PmbenchConfig, PmbenchResult
+from .ycsb import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    YcsbClient,
+    YcsbConfig,
+    YcsbResult,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "AccessDriver",
+    "HIT_COST_US",
+    "Pmbench",
+    "PmbenchConfig",
+    "PmbenchResult",
+    "Graph500",
+    "Graph500Config",
+    "Graph500Result",
+    "KroneckerGraph",
+    "generate_kronecker_edges",
+    "YcsbClient",
+    "YcsbConfig",
+    "YcsbResult",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "MongoServer",
+    "MongoConfig",
+    "WiredTigerCache",
+    "FileReader",
+    "KernelFileReader",
+    "GuestCacheFileReader",
+]

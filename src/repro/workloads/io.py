@@ -1,0 +1,176 @@
+"""File I/O paths for workloads: the two worlds' page caches.
+
+MongoDB reads its collection files through the kernel page cache.  How
+that cache behaves differs fundamentally between the two memory worlds:
+
+* **swap world** — file pages live in the guest's DRAM and compete with
+  anonymous memory under kswapd (:class:`KernelFileReader` wraps
+  :meth:`repro.kernel.GuestMemoryManager.read_file_page`);
+* **FluidMem world** — file pages are just guest memory like everything
+  else; the guest kernel sees abundant RAM, so its page cache can grow
+  to a configured share of the (hotplugged) capacity, with FluidMem
+  deciding which of those pages stay in *local* DRAM
+  (:class:`GuestCacheFileReader`).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from typing import Dict, Generator, Tuple
+
+from ..blockdev import BlockDevice, SECTOR_BYTES
+from ..errors import WorkloadError
+from ..kernel import GuestMemoryManager
+from ..mem import PAGE_SIZE
+from ..sim import CounterSet, Environment
+from ..vm import MemoryPort
+from .driver import AccessDriver
+
+__all__ = ["FileReader", "KernelFileReader", "GuestCacheFileReader"]
+
+
+class FileReader(abc.ABC):
+    """Read file pages through some cache hierarchy."""
+
+    def __init__(self) -> None:
+        self.counters = CounterSet()
+
+    @abc.abstractmethod
+    def read_page(self, file_id: int, page_index: int) -> Generator:
+        """Read one file page; returns True on a cache hit."""
+
+    def read_extent(
+        self, file_id: int, first_page: int, count: int
+    ) -> Generator:
+        """Read ``count`` contiguous pages (e.g. a WiredTiger 32 KB
+        leaf).  Default: page-at-a-time; subclasses amortize."""
+        hit = True
+        for index in range(count):
+            page_hit = yield from self.read_page(file_id,
+                                                 first_page + index)
+            hit = hit and page_hit
+        return hit
+
+
+class KernelFileReader(FileReader):
+    """Swap world: the guest kernel's own page cache."""
+
+    def __init__(self, mm: GuestMemoryManager) -> None:
+        super().__init__()
+        if mm.data_disk is None:
+            raise WorkloadError("guest MM has no data disk configured")
+        self.mm = mm
+
+    def read_page(self, file_id: int, page_index: int) -> Generator:
+        hit = yield from self.mm.read_file_page(file_id, page_index)
+        self.counters.incr("hits" if hit else "misses")
+        return hit
+
+    def read_extent(
+        self, file_id: int, first_page: int, count: int
+    ) -> Generator:
+        hit = yield from self.mm.read_file_extent(
+            file_id, first_page, count
+        )
+        self.counters.incr("hits" if hit else "misses")
+        return hit
+
+
+class GuestCacheFileReader(FileReader):
+    """FluidMem world: page cache in (FluidMem-managed) guest memory.
+
+    A bounded map of file pages onto a guest memory region.  Hits touch
+    the backing guest page through the port — which may itself fault to
+    remote memory, exactly the effect the paper highlights: "FluidMem
+    allows more unused kernel pages to be removed from DRAM and
+    replaced with useful application pages" works both ways — the page
+    cache can exceed local DRAM by spilling to the key-value store.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        port: MemoryPort,
+        disk: BlockDevice,
+        region_base: int,
+        capacity_pages: int,
+    ) -> None:
+        super().__init__()
+        if capacity_pages < 1:
+            raise WorkloadError("page cache needs at least one page")
+        self.env = env
+        self.port = port
+        self.disk = disk
+        self.region_base = region_base
+        self.capacity_pages = capacity_pages
+        self._driver = AccessDriver(env, port)
+        #: (file_id, page_index) -> slot
+        self._slots: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._free = list(range(capacity_pages - 1, -1, -1))
+
+    def _slot_addr(self, slot: int) -> int:
+        return self.region_base + slot * PAGE_SIZE
+
+    def read_page(self, file_id: int, page_index: int) -> Generator:
+        key = (file_id, page_index)
+        slot = self._slots.get(key)
+        if slot is not None:
+            self._slots.move_to_end(key)
+            yield from self._driver.access(self._slot_addr(slot))
+            yield from self._driver.flush()
+            self.counters.incr("hits")
+            return True
+
+        if self._free:
+            slot = self._free.pop()
+        else:
+            _victim, slot = self._slots.popitem(last=False)
+            self.counters.incr("pagecache_evictions")
+        yield from self.disk.read(
+            page_index % self.disk.num_sectors, SECTOR_BYTES
+        )
+        yield from self._driver.access(self._slot_addr(slot), is_write=True)
+        yield from self._driver.flush()
+        self._slots[key] = slot
+        self.counters.incr("misses")
+        return False
+
+    def read_extent(
+        self, file_id: int, first_page: int, count: int
+    ) -> Generator:
+        """Contiguous extent with one device request."""
+        missing = [
+            index
+            for index in range(first_page, first_page + count)
+            if (file_id, index) not in self._slots
+        ]
+        for index in range(first_page, first_page + count):
+            key = (file_id, index)
+            slot = self._slots.get(key)
+            if slot is not None:
+                self._slots.move_to_end(key)
+                yield from self._driver.access(self._slot_addr(slot))
+        yield from self._driver.flush()
+        if not missing:
+            self.counters.incr("hits")
+            return True
+        sector = missing[0] % self.disk.num_sectors
+        nbytes = min(
+            len(missing) * SECTOR_BYTES,
+            (self.disk.num_sectors - sector) * SECTOR_BYTES,
+        )
+        yield from self.disk.read(sector, nbytes)
+        for index in missing:
+            if self._free:
+                slot = self._free.pop()
+            else:
+                _victim, slot = self._slots.popitem(last=False)
+                self.counters.incr("pagecache_evictions")
+            yield from self._driver.access(
+                self._slot_addr(slot), is_write=True
+            )
+            self._slots[(file_id, index)] = slot
+        yield from self._driver.flush()
+        self.counters.incr("misses")
+        return False

@@ -1,0 +1,269 @@
+"""MongoDB with the WiredTiger storage engine (paper §VI-D2).
+
+What matters for Figure 5 is WiredTiger's *application-managed cache*:
+a few GB of anonymous memory holding recently read records, sitting on
+top of the kernel's page cache and the collection files on disk.  The
+paper's point is that this cache "is incompatible with swap": when the
+configured cache exceeds DRAM, the guest kernel swaps parts of it out,
+so WiredTiger's "cache hits" silently become swap-ins and the engine
+never establishes a stable working set — while FluidMem transparently
+gives the engine real (remote) memory capacity.
+
+The model:
+
+* records are 1 KB, packed 4 per 4 KB page, stored contiguously in a
+  collection file on an SSD;
+* a read costs a base operation time (query parsing, BSON handling,
+  index descent — the index pages themselves are touched through guest
+  memory too);
+* a WiredTiger cache hit touches the cache page through the VM's
+  memory port — in the swap world that can be a swap-in, in the
+  FluidMem world a remote-memory fault;
+* a miss reads the file page through the configured
+  :class:`~repro.workloads.io.FileReader` and installs the record into
+  the cache, evicting LRU cache pages when the configured cache size is
+  reached.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Generator, List, Optional
+
+from ..errors import WorkloadError
+from ..mem import PAGE_SIZE
+from ..sim import CounterSet, Environment
+from ..vm import MemoryPort
+from .driver import AccessDriver
+from .io import FileReader
+
+__all__ = ["MongoConfig", "WiredTigerCache", "MongoServer"]
+
+#: The collection's file id within its FileReader.
+COLLECTION_FILE_ID = 7
+
+
+@dataclass(frozen=True)
+class MongoConfig:
+    """Server and dataset shape."""
+
+    record_count: int = 100_000
+    record_bytes: int = 1024
+    wt_cache_bytes: int = 64 * 1024 * 1024
+    #: Base cost of one read operation: network-less query execution
+    #: (parse, plan, BSON encode).  Figure 5's floor sits near 400 µs.
+    base_op_mean_us: float = 330.0
+    base_op_sigma_us: float = 60.0
+    #: B-tree index pages touched per lookup.
+    index_touches: int = 2
+    #: Pages reserved for the in-memory index region.
+    index_pages: int = 64
+    #: On-disk extent read per cache miss (WiredTiger leaf + readahead
+    #: neighbours): 64 KB.
+    disk_extent_pages: int = 16
+    #: In-memory pages the engine touches per lookup beyond the record's
+    #: own leaf: btree internal nodes, hazard arrays, session state —
+    #: all resident in the (swappable!) cache region.  These touches are
+    #: *hot-skewed* (upper btree levels are few and popular).  This
+    #: traversal is why an engine cache bigger than DRAM turns "cache
+    #: hits" into swap-ins (§VI-D2's instability).
+    internal_touches: int = 6
+    #: Probability per read that the engine's eviction server scans a
+    #: uniformly random (possibly long-cold, swapped-out) cache page —
+    #: the "poor interaction ... with kswapd".
+    cold_scan_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.record_count < 1:
+            raise WorkloadError("need at least one record")
+        if self.record_bytes < 1 or self.record_bytes > PAGE_SIZE:
+            raise WorkloadError(
+                f"record_bytes must be in [1, {PAGE_SIZE}]"
+            )
+        if self.wt_cache_bytes < PAGE_SIZE:
+            raise WorkloadError("cache must hold at least one page")
+
+    @property
+    def records_per_page(self) -> int:
+        return PAGE_SIZE // self.record_bytes
+
+    @property
+    def collection_pages(self) -> int:
+        return (
+            self.record_count + self.records_per_page - 1
+        ) // self.records_per_page
+
+
+class WiredTigerCache:
+    """The engine's record cache over a guest memory region."""
+
+    def __init__(self, config: MongoConfig, region_base: int) -> None:
+        self.config = config
+        self.region_base = region_base
+        self.capacity_pages = config.wt_cache_bytes // PAGE_SIZE
+        #: slot (page) -> record ids packed in it, in LRU order.
+        self._lru: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._record_slot: Dict[int, int] = {}
+        self._free = list(range(self.capacity_pages - 1, -1, -1))
+        self._open_slot: Optional[int] = None
+        #: Every slot that has ever held data (stable once warm); the
+        #: pool the eviction server's cold scans sample from.
+        self._touched_slots: List[int] = []
+        #: Recently accessed slots: the hot set btree descents traverse.
+        self._recent: Deque[int] = deque(maxlen=256)
+        self.counters = CounterSet()
+
+    def slot_addr(self, slot: int) -> int:
+        return self.region_base + slot * PAGE_SIZE
+
+    @property
+    def resident_records(self) -> int:
+        return len(self._record_slot)
+
+    @property
+    def used_pages(self) -> int:
+        return len(self._lru)
+
+    def lookup(self, record_id: int) -> Optional[int]:
+        """Slot holding the record, refreshing its LRU position."""
+        slot = self._record_slot.get(record_id)
+        if slot is not None:
+            self._lru.move_to_end(slot)
+            self._recent.append(slot)
+            self.counters.incr("hits")
+        else:
+            self.counters.incr("misses")
+        return slot
+
+    def sample_hot_slot(self, rng: random.Random) -> Optional[int]:
+        """A slot from the recently-touched (hot) set: what a btree
+        descent's internal nodes look like access-wise."""
+        if not self._recent:
+            return self.random_used_slot(rng)
+        return self._recent[rng.randrange(len(self._recent))]
+
+    def insert(self, record_id: int) -> int:
+        """Place a record; returns its slot.  May evict an LRU page."""
+        if record_id in self._record_slot:
+            raise WorkloadError(f"record {record_id} already cached")
+        slot = self._open_slot
+        if slot is None or len(self._lru[slot]) >= \
+                self.config.records_per_page:
+            slot = self._allocate_slot()
+            self._open_slot = slot
+        self._lru[slot].append(record_id)
+        self._lru.move_to_end(slot)
+        self._recent.append(slot)
+        self._record_slot[record_id] = slot
+        return slot
+
+    def random_used_slot(self, rng: random.Random) -> Optional[int]:
+        """A uniformly random in-use page (an internal-node stand-in)."""
+        if not self._touched_slots:
+            return None
+        return self._touched_slots[rng.randrange(len(self._touched_slots))]
+
+    def _allocate_slot(self) -> int:
+        if self._free:
+            slot = self._free.pop()
+            self._touched_slots.append(slot)
+        else:
+            slot, evicted_records = self._lru.popitem(last=False)
+            for record_id in evicted_records:
+                del self._record_slot[record_id]
+            self.counters.incr("evictions")
+            if slot == self._open_slot:
+                self._open_slot = None
+        self._lru[slot] = []
+        return slot
+
+
+class MongoServer:
+    """A single mongod with WiredTiger, serving point reads."""
+
+    def __init__(
+        self,
+        env: Environment,
+        port: MemoryPort,
+        file_reader: FileReader,
+        cache_region_base: int,
+        index_region_base: int,
+        config: Optional[MongoConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.env = env
+        self.port = port
+        self.file_reader = file_reader
+        self.config = config or MongoConfig()
+        self.cache = WiredTigerCache(self.config, cache_region_base)
+        self.index_region_base = index_region_base
+        self._rng = rng or random.Random(7)
+        self._driver = AccessDriver(env, port, rng=self._rng)
+        self.counters = CounterSet()
+
+    def _check_record(self, record_id: int) -> None:
+        if not 0 <= record_id < self.config.record_count:
+            raise WorkloadError(
+                f"record {record_id} outside collection of "
+                f"{self.config.record_count}"
+            )
+
+    def read_record(self, record_id: int) -> Generator:
+        """Serve one 1 KB read (YCSB workload C's only operation)."""
+        self._check_record(record_id)
+        self.counters.incr("reads")
+
+        # Query execution basics: parse, plan, descend the index.
+        yield self.env.timeout(
+            max(
+                20.0,
+                self._rng.gauss(
+                    self.config.base_op_mean_us,
+                    self.config.base_op_sigma_us,
+                ),
+            )
+        )
+        for _ in range(self.config.index_touches):
+            page = self._rng.randrange(self.config.index_pages)
+            yield from self._driver.access(
+                self.index_region_base + page * PAGE_SIZE
+            )
+        # Btree descent + engine bookkeeping inside the cache region:
+        # hot-skewed traversal plus the eviction server's cold scans.
+        for _ in range(self.config.internal_touches):
+            internal = self.cache.sample_hot_slot(self._rng)
+            if internal is None:
+                break
+            yield from self._driver.access(self.cache.slot_addr(internal))
+        if self._rng.random() < self.config.cold_scan_probability:
+            cold = self.cache.random_used_slot(self._rng)
+            if cold is not None:
+                yield from self._driver.access(self.cache.slot_addr(cold))
+                self.counters.incr("eviction_scans")
+        yield from self._driver.flush()
+
+        slot = self.cache.lookup(record_id)
+        if slot is not None:
+            # WiredTiger cache hit: touch the cache page.  In the swap
+            # world this may be a swap-in; under FluidMem a remote read.
+            yield from self._driver.access(self.cache.slot_addr(slot))
+            yield from self._driver.flush()
+            self.counters.incr("wt_cache_hits")
+            return
+
+        # Miss: the record's 32 KB WiredTiger leaf through the (kernel
+        # or guest) page cache, then install into the engine cache.
+        file_page = record_id // self.config.records_per_page
+        extent = self.config.disk_extent_pages
+        extent_first = (file_page // extent) * extent
+        yield from self.file_reader.read_extent(
+            COLLECTION_FILE_ID, extent_first, extent
+        )
+        slot = self.cache.insert(record_id)
+        yield from self._driver.access(
+            self.cache.slot_addr(slot), is_write=True
+        )
+        yield from self._driver.flush()
+        self.counters.incr("wt_cache_misses")

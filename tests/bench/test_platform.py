@@ -1,0 +1,101 @@
+"""Tests for the test-platform builder."""
+
+import pytest
+
+from repro.bench import (
+    FLUIDMEM_PLATFORMS,
+    PLATFORM_NAMES,
+    PlatformShape,
+    SWAP_PLATFORMS,
+    build_platform,
+)
+from repro.errors import BenchError
+from repro.mem import GIB, PAGE_SIZE
+
+
+def test_six_platforms():
+    assert len(PLATFORM_NAMES) == 6
+    assert set(FLUIDMEM_PLATFORMS) | set(SWAP_PLATFORMS) == \
+        set(PLATFORM_NAMES)
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(BenchError):
+        build_platform("fluidmem-floppy")
+
+
+def test_shape_full_scale_matches_paper():
+    shape = PlatformShape.at_scale(1.0)
+    assert shape.local_dram_bytes == 1 * GIB
+    assert shape.remote_bytes == 4 * GIB
+    assert shape.swap_device_bytes == 20 * GIB
+    assert shape.boot_pages == 81042
+
+
+def test_shape_scaling_preserves_ratios():
+    shape = PlatformShape.at_scale(1.0 / 256)
+    assert shape.remote_bytes == 4 * shape.local_dram_bytes
+    assert shape.swap_device_bytes == 20 * shape.local_dram_bytes
+    # Boot footprint stays ~31% of DRAM.
+    boot_fraction = shape.boot_pages * PAGE_SIZE / shape.local_dram_bytes
+    assert 0.25 <= boot_fraction <= 0.35
+
+
+def test_shape_validation():
+    with pytest.raises(BenchError):
+        PlatformShape.at_scale(0)
+    with pytest.raises(BenchError):
+        PlatformShape.at_scale(2.0)
+    with pytest.raises(BenchError):
+        PlatformShape.at_scale(0.5, remote_factor=0)
+
+
+def test_fluidmem_platform_wiring():
+    platform = build_platform("fluidmem-ramcloud",
+                              memory_scale=1.0 / 2048, seed=1)
+    assert platform.is_fluidmem
+    assert platform.monitor is not None
+    assert platform.mm is None
+    # LRU budget equals the local DRAM allotment.
+    assert platform.monitor.lru.capacity == platform.shape.local_pages
+    # VM capacity = local + hotplugged remote.
+    assert platform.vm.memory_bytes == platform.shape.total_vm_bytes
+    # Booted through the fault machinery.
+    assert platform.vm.booted
+    assert platform.monitor.counters["faults"] >= platform.shape.boot_pages
+
+
+def test_swap_platform_wiring():
+    platform = build_platform("swap-nvmeof", memory_scale=1.0 / 2048,
+                              seed=1)
+    assert not platform.is_fluidmem
+    assert platform.mm is not None
+    assert platform.mm.swap is not None
+    assert platform.mm.swappiness == 100
+    assert platform.mm.latency.page_cluster == 1  # readahead off (paper)
+    assert platform.vm.booted
+
+
+def test_swap_device_types():
+    for name, device_name in (("swap-dram", "pmem"),
+                              ("swap-nvmeof", "nvmeof"),
+                              ("swap-ssd", "ssd")):
+        platform = build_platform(name, memory_scale=1.0 / 2048, seed=1)
+        assert platform.swap_device.name == device_name
+
+
+def test_data_disk_optional():
+    with_disk = build_platform("swap-ssd", memory_scale=1.0 / 2048,
+                               with_data_disk=True)
+    assert with_disk.data_disk is not None
+    without = build_platform("swap-ssd", memory_scale=1.0 / 2048)
+    assert without.data_disk is None
+
+
+def test_deterministic_given_seed():
+    a = build_platform("fluidmem-ramcloud", memory_scale=1.0 / 2048,
+                       seed=77)
+    b = build_platform("fluidmem-ramcloud", memory_scale=1.0 / 2048,
+                       seed=77)
+    assert a.env.now == b.env.now  # identical boot trajectories
+    assert a.monitor.counters.as_dict() == b.monitor.counters.as_dict()

@@ -1,0 +1,92 @@
+"""Tests for result rendering, CSV export, and the CLI plumbing."""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench.cli import _parser, main
+from repro.bench.reporting import (
+    format_ratio,
+    render_cdf,
+    render_table,
+    write_csv,
+)
+from repro.sim import Cdf
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ("name", "value"),
+        [("alpha", 1.0), ("beta-long-name", 123456.5)],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "alpha" in text
+    assert "123,456.5" in text
+    # Header separator present.
+    assert set(lines[3]) <= {"-", " "}
+
+
+def test_render_table_empty_rows():
+    text = render_table(("a", "b"), [])
+    assert "a" in text and "b" in text
+
+
+def test_render_cdf_shape():
+    cdf = Cdf([1.0, 2.0, 5.0, 10.0, 100.0] * 10)
+    text = render_cdf(cdf, width=40, height=8, label="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert any("*" in line for line in lines)
+    assert "1.00 |" in text  # the top fraction label
+    assert "us" in lines[-1]
+
+
+def test_render_cdf_linear_mode():
+    cdf = Cdf([float(i) for i in range(1, 50)])
+    text = render_cdf(cdf, width=30, height=6, log_x=False)
+    assert "*" in text
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = str(tmp_path / "out.csv")
+    write_csv(path, ("a", "b"), [(1, "x"), (2, "y")])
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+
+def test_format_ratio():
+    text = format_ratio(12.0, 10.0)
+    assert "12.00" in text and "x1.20" in text
+    assert format_ratio(5.0, 0.0) == "5.00"
+
+
+def test_parser_accepts_all_experiments():
+    parser = _parser()
+    for name in ("fig3", "table1", "table2", "fig4", "fig5", "table3",
+                 "ablations", "all"):
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        _parser().parse_args(["fig9"])
+
+
+def test_cli_quick_table3_runs_and_exports(tmp_path, capsys):
+    csv_dir = str(tmp_path / "csv")
+    rc = main(["table3", "--quick", "--csv", csv_dir])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert os.path.exists(os.path.join(csv_dir, "table3.csv"))
+
+
+def test_cli_quick_table1_runs(capsys):
+    rc = main(["table1", "--quick"])
+    assert rc == 0
+    assert "UFFD_COPY" in capsys.readouterr().out

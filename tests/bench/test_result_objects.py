@@ -1,0 +1,116 @@
+"""Unit tests for experiment result objects (synthetic data, no runs)."""
+
+import pytest
+
+from repro.bench.fig3_latency_cdf import Fig3Result, PAPER_FIG3_AVERAGES_US
+from repro.bench.fig4_graph500 import Fig4Result
+from repro.bench.fig5_mongodb import Fig5Result
+from repro.bench.table1_codepaths import Table1Result
+from repro.bench.table2_optimizations import (
+    OPTIMIZATION_MODES,
+    PAPER_TABLE2_US,
+    Table2Result,
+)
+from repro.bench.table3_footprint import Table3Result, Table3Row
+from repro.sim import LatencyRecorder
+from repro.workloads import PmbenchResult
+from repro.workloads.ycsb import YcsbResult
+
+
+def synthetic_pmbench(avg):
+    reads = LatencyRecorder("r")
+    writes = LatencyRecorder("w")
+    reads.extend([avg] * 50)
+    writes.extend([avg] * 50)
+    return PmbenchResult(reads, writes, 0.0, 100.0, hits=25, faults=75)
+
+
+def test_fig3_result_speedups_and_rows():
+    results = {
+        name: synthetic_pmbench(paper)
+        for name, paper in PAPER_FIG3_AVERAGES_US.items()
+    }
+    fig3 = Fig3Result(results=results, memory_scale=1.0,
+                      measured_accesses=100)
+    assert fig3.average("swap-ssd") == pytest.approx(106.56)
+    speedup = fig3.speedup_over("fluidmem-ramcloud", "swap-nvmeof")
+    assert speedup == pytest.approx(1 - 24.87 / 41.73, abs=1e-6)
+    rows = fig3.rows()
+    assert len(rows) == 6
+    assert all(row[3] == 1.0 for row in rows)  # ratio == 1 by design
+    assert "Figure 3" in fig3.table_text()
+    assert "*" in fig3.cdf_text("swap-ssd")
+
+
+def test_table1_result_lookup():
+    measured = [("READ_PAGE", 15.0, 1.0, 20.0)]
+    result = Table1Result(measured=measured)
+    assert result.row_for("READ_PAGE")[1] == 15.0
+    with pytest.raises(KeyError):
+        result.row_for("NOPE")
+    assert "Table I" in result.table_text()
+
+
+def test_table2_result_rows_cover_all_modes():
+    measured = {key: value for key, value in PAPER_TABLE2_US.items()}
+    result = Table2Result(measured=measured)
+    rows = result.rows()
+    assert len(rows) == len(OPTIMIZATION_MODES)
+    assert result.value("ramcloud", "async-rw", "rand") == 29.20
+    text = result.table_text()
+    assert "default" in text and "async-rw" in text
+
+
+def test_fig4_result_helpers():
+    platforms = ("fluidmem-dram", "swap-dram")
+    fractions = (0.6, 1.2)
+    mteps = {
+        (0.6, "fluidmem-dram"): 10.0,
+        (0.6, "swap-dram"): 10.3,
+        (1.2, "fluidmem-dram"): 5.0,
+        (1.2, "swap-dram"): 3.0,
+    }
+    result = Fig4Result(mteps=mteps, graph_scales={0.6: 12, 1.2: 12},
+                        platforms=platforms, wss_fractions=fractions)
+    assert result.overhead_at_local() == pytest.approx(1 - 10.0 / 10.3)
+    rows = result.rows()
+    assert rows[0][0] == "60%"
+    assert "Figure 4" in result.table_text()
+
+
+def synthetic_ycsb(avg, jitter=0.0):
+    result = YcsbResult()
+    for index in range(40):
+        value = avg + (jitter if index % 2 else -jitter)
+        result.read_latency.record(value)
+        result.timeline.record(float(index), value)
+    return result
+
+
+def test_fig5_result_stability_and_rows():
+    results = {
+        ("swap-nvmeof", 1.0): synthetic_ycsb(1000.0, jitter=400.0),
+        ("fluidmem-ramcloud", 1.0): synthetic_ycsb(500.0, jitter=10.0),
+    }
+    fig5 = Fig5Result(results=results,
+                      platforms=("swap-nvmeof", "fluidmem-ramcloud"),
+                      cache_fractions=(1.0,))
+    assert fig5.average("swap-nvmeof", 1.0) == pytest.approx(1000.0)
+    # The noisy swap trace has a much higher coefficient of variation.
+    assert fig5.stability("swap-nvmeof", 1.0) > \
+        3 * fig5.stability("fluidmem-ramcloud", 1.0)
+    assert "Figure 5" in fig5.table_text()
+
+
+def test_table3_result_lookup_and_render():
+    rows = [
+        Table3Row("After startup", 81042, True, True, None),
+        Table3Row("FluidMem (KVM)", 180, True, True, True),
+    ]
+    result = Table3Result(rows_data=rows)
+    row = result.row("FluidMem (KVM)", 180)
+    assert row.footprint_mib == pytest.approx(180 * 4096 / (1 << 20))
+    with pytest.raises(KeyError):
+        result.row("FluidMem (KVM)", 999)
+    text = result.table_text()
+    assert "81042" in text and "n/a" in text and "yes" in text

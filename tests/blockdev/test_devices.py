@@ -1,0 +1,127 @@
+"""Tests for the block-device layer."""
+
+import random
+
+import pytest
+
+from repro.blockdev import NvmeofDisk, PmemDisk, SECTOR_BYTES, SsdDisk
+from repro.errors import OutOfRangeError
+from repro.sim import Environment
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make(env, cls, mib=16, **kwargs):
+    return cls(env, mib * 1024 * 1024, random.Random(7), **kwargs)
+
+
+def test_capacity_minimum(env):
+    with pytest.raises(OutOfRangeError):
+        PmemDisk(env, 100, random.Random(0))
+
+
+def test_sector_count(env):
+    disk = make(env, PmemDisk, mib=1)
+    assert disk.num_sectors == 256  # 1 MiB / 4 KiB
+
+
+def test_read_write_advance_time(env):
+    disk = make(env, PmemDisk)
+    run(env, disk.read(0))
+    t_read = env.now
+    assert t_read > 0
+    run(env, disk.write(1))
+    assert env.now > t_read
+    assert disk.counters["reads"] == 1
+    assert disk.counters["writes"] == 1
+
+
+def test_out_of_range_io_rejected(env):
+    disk = make(env, PmemDisk, mib=1)
+
+    def bad(env):
+        yield from disk.read(disk.num_sectors)
+
+    env.process(bad(env))
+    with pytest.raises(OutOfRangeError):
+        env.run()
+    with pytest.raises(OutOfRangeError):
+        disk._check(0, 100)      # non-sector-multiple size
+    with pytest.raises(OutOfRangeError):
+        disk._check(-1, SECTOR_BYTES)
+
+
+def test_multi_sector_io_amortizes(env):
+    """Contiguous multi-page reads cost base + marginal per page, far
+    less than independent reads (what swap readahead exploits)."""
+    disk = make(env, PmemDisk)
+    run(env, disk.read(0, 8 * SECTOR_BYTES))
+    eight_page = disk.read_latency.samples[0]
+    env2 = Environment()
+    disk2 = make(env2, PmemDisk)
+    run(env2, disk2.read(0, SECTOR_BYTES))
+    one_page = disk2.read_latency.samples[0]
+    assert eight_page > one_page          # more data costs more...
+    assert eight_page < 4 * one_page      # ...but amortizes well
+
+
+def test_latency_ordering_pmem_nvmeof_ssd(env):
+    """Device service times must order DRAM < NVMeoF < SSD (Fig. 3)."""
+    rng = random.Random(3)
+    pmem = PmemDisk(env, 1 << 24, rng)
+    nvmeof = NvmeofDisk(env, 1 << 24, rng)
+    ssd = SsdDisk(env, 1 << 24, rng)
+
+    def avg_read(disk):
+        return sum(
+            disk.read_service_us(SECTOR_BYTES) for _ in range(500)
+        ) / 500
+
+    pmem_avg, nvmeof_avg, ssd_avg = map(avg_read, (pmem, nvmeof, ssd))
+    assert pmem_avg < nvmeof_avg < ssd_avg
+    assert 10 <= pmem_avg <= 24
+    assert 28 <= nvmeof_avg <= 48
+    assert 100 <= ssd_avg <= 170
+
+
+def test_queue_depth_causes_waiting(env):
+    disk = make(env, SsdDisk)
+    # Saturate a queue of depth 32 with 64 concurrent reads: the last
+    # completion must be later than any single service time.
+    done = []
+
+    def reader(env, i):
+        yield from disk.read(i % disk.num_sectors)
+        done.append(env.now)
+
+    for i in range(64):
+        env.process(reader(env, i))
+    env.run()
+    assert len(done) == 64
+    assert max(done) > 2 * min(done)
+
+
+def test_latency_recorders_populate(env):
+    disk = make(env, PmemDisk)
+    for i in range(10):
+        run(env, disk.read(i))
+    assert disk.read_latency.count == 10
+    assert disk.read_latency.mean > 0
+
+
+def test_ssd_writes_faster_than_reads(env):
+    """SSD writes land in the device buffer: cheaper than flash reads."""
+    rng = random.Random(11)
+    ssd = SsdDisk(env, 1 << 24, rng)
+    reads = sum(ssd.read_service_us(SECTOR_BYTES) for _ in range(300)) / 300
+    writes = sum(ssd.write_service_us(SECTOR_BYTES) for _ in range(300)) / 300
+    assert writes < reads

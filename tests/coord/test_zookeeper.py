@@ -1,0 +1,166 @@
+"""Tests for the mini-ZooKeeper ensemble."""
+
+import pytest
+
+from repro.coord import ZooKeeperEnsemble
+from repro.errors import (
+    CoordinationError,
+    NodeExistsError,
+    NoNodeError,
+    QuorumLostError,
+    SessionExpiredError,
+)
+
+
+@pytest.fixture
+def zk():
+    return ZooKeeperEnsemble(replica_count=3)
+
+
+@pytest.fixture
+def client(zk):
+    return zk.connect()
+
+
+def test_even_replica_count_rejected():
+    with pytest.raises(CoordinationError):
+        ZooKeeperEnsemble(replica_count=2)
+
+
+def test_create_and_get(client):
+    client.create("/a", b"hello")
+    data, version = client.get("/a")
+    assert data == b"hello"
+    assert version == 0
+
+
+def test_create_duplicate_rejected(client):
+    client.create("/a")
+    with pytest.raises(NodeExistsError):
+        client.create("/a")
+
+
+def test_create_needs_parent(client):
+    with pytest.raises(NoNodeError):
+        client.create("/a/b")
+
+
+def test_ensure_path_builds_ancestors(client):
+    client.ensure_path("/a/b/c")
+    assert client.exists("/a/b/c")
+    client.ensure_path("/a/b/c")  # idempotent
+
+
+def test_invalid_paths_rejected(client):
+    for bad in ("a", "/a//b", "/a/", ""):
+        with pytest.raises(CoordinationError):
+            client.create(bad)
+
+
+def test_set_bumps_version(client):
+    client.create("/a", b"v0")
+    assert client.set("/a", b"v1") == 1
+    data, version = client.get("/a")
+    assert data == b"v1" and version == 1
+
+
+def test_set_with_version_cas(client):
+    client.create("/a", b"v0")
+    client.set("/a", b"v1", version=0)
+    with pytest.raises(CoordinationError):
+        client.set("/a", b"v2", version=0)  # stale version
+
+
+def test_delete(client):
+    client.create("/a")
+    client.delete("/a")
+    assert not client.exists("/a")
+    with pytest.raises(NoNodeError):
+        client.get("/a")
+
+
+def test_delete_with_children_rejected(client):
+    client.create("/a")
+    client.create("/a/b")
+    with pytest.raises(CoordinationError):
+        client.delete("/a")
+
+
+def test_children_sorted(client):
+    client.create("/a")
+    for name in ("zed", "alpha", "mid"):
+        client.create(f"/a/{name}")
+    assert client.children("/a") == ["alpha", "mid", "zed"]
+
+
+def test_sequence_nodes_monotonic(client):
+    client.create("/q")
+    first = client.create("/q/n-", sequence=True)
+    second = client.create("/q/n-", sequence=True)
+    assert first == "/q/n-0000000000"
+    assert second == "/q/n-0000000001"
+    assert first < second
+
+
+def test_ephemeral_nodes_vanish_on_session_close(zk):
+    owner = zk.connect()
+    other = zk.connect()
+    owner.create("/lock", ephemeral=True)
+    assert other.exists("/lock")
+    owner.close()
+    assert not other.exists("/lock")
+
+
+def test_expired_session_rejected(zk):
+    client = zk.connect()
+    client.close()
+    with pytest.raises(SessionExpiredError):
+        client.create("/x")
+
+
+def test_persistent_nodes_survive_session_close(zk):
+    owner = zk.connect()
+    owner.create("/durable", b"d")
+    owner.close()
+    assert zk.connect().get("/durable")[0] == b"d"
+
+
+def test_replicas_consistent_after_ops(zk, client):
+    client.create("/a", b"1")
+    client.set("/a", b"2")
+    for replica in zk.replicas:
+        node = replica.walk(["a"])
+        assert node.data == b"2"
+        assert node.version == 1
+
+
+def test_quorum_loss_blocks_operations(zk, client):
+    zk.stop_replica(0)
+    client.create("/still-works", b"")  # 2/3 alive: fine
+    zk.stop_replica(1)
+    with pytest.raises(QuorumLostError):
+        client.create("/nope")
+    with pytest.raises(QuorumLostError):
+        client.get("/still-works")
+
+
+def test_restarted_replica_catches_up(zk, client):
+    client.create("/a", b"before")
+    zk.stop_replica(0)
+    client.set("/a", b"after")
+    zk.start_replica(0)
+    # Replica 0 must now hold the committed state.
+    assert zk.replicas[0].walk(["a"]).data == b"after"
+    # And future ops keep it in sync.
+    client.set("/a", b"final")
+    assert zk.replicas[0].walk(["a"]).data == b"final"
+
+
+def test_single_replica_ensemble_works():
+    zk = ZooKeeperEnsemble(replica_count=1)
+    client = zk.connect()
+    client.create("/a", b"solo")
+    assert client.get("/a")[0] == b"solo"
+    zk.stop_replica(0)
+    with pytest.raises(QuorumLostError):
+        client.get("/a")

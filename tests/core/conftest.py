@@ -1,0 +1,10 @@
+"""Fixtures for core tests (helpers shared via tests.helpers)."""
+
+import pytest
+
+from tests.helpers import Stack, build_stack  # noqa: F401
+
+
+@pytest.fixture
+def stack():
+    return build_stack()

@@ -1,0 +1,161 @@
+"""Failure injection: what breaks, and how loudly.
+
+A production system's error paths deserve the same scrutiny as its
+happy paths: data loss must be loud, resource exhaustion must be
+attributable, and infrastructure failures must surface as the right
+domain error.
+"""
+
+import pytest
+
+from repro.core import FluidMemConfig
+from repro.errors import (
+    FluidMemError,
+    KVError,
+    MonitorStateError,
+    OutOfFramesError,
+)
+from repro.kv import MemcachedServer, MemcachedStore, ReplicatedStore
+from repro.kv.memcached import chunk_class_for
+from repro.mem import PAGE_SIZE
+from repro.net import IPOIB, Fabric
+from repro.sim import RandomStreams
+
+from tests.helpers import build_stack
+
+
+def touch(stack, port, vm, indexes, is_write=True):
+    base = vm.first_free_guest_addr()
+
+    def gen(env):
+        for index in indexes:
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=is_write)
+
+    stack.run(gen(stack.env))
+
+
+def test_memcached_eviction_is_loud_data_loss():
+    """An undersized Memcached silently drops pages; the monitor must
+    turn the resulting miss into an explicit FluidMem error."""
+    stack = build_stack(config=FluidMemConfig(
+        lru_capacity_pages=4, writeback_batch_pages=2,
+    ))
+    fabric = Fabric(stack.env, RandomStreams(seed=3))
+    fabric.add_host("hypervisor")
+    fabric.add_host("memcached")
+    fabric.connect("hypervisor", "memcached", IPOIB)
+    # One slab only: it evicts almost immediately.
+    server = MemcachedServer(memory_bytes=1024 * 1024)
+    chunk = chunk_class_for(PAGE_SIZE)
+    capacity = (1024 * 1024) // chunk
+    store = MemcachedStore(stack.env, fabric, "hypervisor", "memcached",
+                           server)
+    vm, _qemu, port, _reg = stack.make_vm(store=store)
+
+    def gen(env):
+        base = vm.first_free_guest_addr()
+        # Evict far more pages than memcached can hold...
+        for index in range(capacity + 16):
+            yield from port.access(base + index * PAGE_SIZE, True)
+        yield from stack.monitor.writeback.drain()
+        assert server.evictions > 0
+        # ...then fault the earliest one back: its data is gone.
+        yield from port.access(base)
+
+    stack.env.process(gen(stack.env))
+    with pytest.raises(FluidMemError, match="remote memory lost page"):
+        stack.env.run()
+
+
+def test_replication_prevents_the_same_loss():
+    """The §III replication customization turns the crash into a
+    failover instead of an outage."""
+    stack = build_stack(config=FluidMemConfig(lru_capacity_pages=4))
+    replicas = [stack.make_dram_store(), stack.make_dram_store()]
+    store = ReplicatedStore(stack.env, replicas)
+    vm, _qemu, port, _reg = stack.make_vm(store=store)
+    touch(stack, port, vm, range(12))
+
+    def drain(env):
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(drain(stack.env))
+    store.fail_replica(0)
+    touch(stack, port, vm, [0])  # reads fail over to replica 1
+    assert port.is_resident(vm.first_free_guest_addr())
+
+
+def test_host_frame_exhaustion_is_attributable():
+    # An LRU budget larger than host DRAM is a misconfiguration: the
+    # resident set grows past the frame pool and fails attributably.
+    stack = build_stack(
+        config=FluidMemConfig(lru_capacity_pages=4096),
+        host_dram_mib=1,  # 256 frames total
+    )
+    vm, _qemu, port, _reg = stack.make_vm()
+    base = vm.first_free_guest_addr()
+
+    def gen(env):
+        for index in range(512):
+            yield from port.access(base + index * PAGE_SIZE, True)
+
+    stack.env.process(gen(stack.env))
+    with pytest.raises(OutOfFramesError):
+        stack.env.run()
+
+
+def test_monitor_double_start_rejected():
+    stack = build_stack()
+    with pytest.raises(MonitorStateError):
+        stack.monitor.start()
+
+
+def test_fault_on_unregistered_region_is_uffd_error():
+    from repro.errors import UffdError
+
+    stack = build_stack()
+    with pytest.raises(UffdError):
+        stack.monitor.uffd.raise_fault(0xDEAD000, pid=1, is_write=False)
+
+
+def test_deregistered_vm_faults_rejected():
+    stack = build_stack()
+    vm, _qemu, port, registration = stack.make_vm()
+    touch(stack, port, vm, range(4))
+
+    def dereg(env):
+        yield from stack.monitor.deregister_vm(registration)
+
+    stack.run(dereg(stack.env))
+    # The uffd region is gone: a fresh fault cannot even be raised.
+    from repro.errors import UffdError
+    with pytest.raises(UffdError):
+        stack.monitor.uffd.raise_fault(
+            registration.qemu.guest_to_host(vm.first_free_guest_addr()),
+            registration.qemu.pid,
+            False,
+        )
+
+
+def test_store_failure_mid_writeback_propagates():
+    """A store that dies mid-flush surfaces, not silently drops pages."""
+    stack = build_stack(config=FluidMemConfig(
+        lru_capacity_pages=4, writeback_batch_pages=4,
+    ))
+    store = ReplicatedStore(
+        stack.env, [stack.make_dram_store()]
+    )
+    vm, _qemu, port, _reg = stack.make_vm(store=store)
+    touch(stack, port, vm, range(4))
+    store.fail_replica(0)  # everything is now down
+
+    def gen(env):
+        base = vm.first_free_guest_addr()
+        for index in range(4, 12):
+            yield from port.access(base + index * PAGE_SIZE, True)
+        yield from stack.monitor.writeback.drain()
+
+    stack.env.process(gen(stack.env))
+    with pytest.raises(KVError, match="all replicas are down"):
+        stack.env.run()

@@ -1,0 +1,139 @@
+"""Unit tests for LruBuffer and PageTracker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LruBuffer, PageTracker
+from repro.errors import FluidMemError
+
+
+# ---------------------------------------------------------------- LruBuffer
+
+def test_insert_and_contains():
+    lru = LruBuffer(capacity_pages=4)
+    lru.insert(0x1000, "reg")
+    assert 0x1000 in lru
+    assert len(lru) == 1
+
+
+def test_double_insert_rejected():
+    lru = LruBuffer(capacity_pages=4)
+    lru.insert(0x1000, "reg")
+    with pytest.raises(FluidMemError):
+        lru.insert(0x1000, "reg")
+
+
+def test_eviction_order_is_insertion_order():
+    """Paper V-A: the ordering never changes (FIFO among residents)."""
+    lru = LruBuffer(capacity_pages=10)
+    for i in range(5):
+        lru.insert(i * 0x1000, "reg")
+    # Accesses do NOT reorder (the monitor never sees them anyway).
+    lru.note_access(0x0000)
+    lru.note_access(0x1000)
+    assert lru.pop_eviction_candidate() == (0x0000, "reg")
+    assert lru.pop_eviction_candidate() == (0x1000, "reg")
+
+
+def test_reorder_ablation_changes_order():
+    lru = LruBuffer(capacity_pages=10, reorder_on_access=True)
+    for i in range(3):
+        lru.insert(i * 0x1000, "reg")
+    lru.note_access(0x0000)  # moves to MRU under the ablation
+    assert lru.pop_eviction_candidate() == (0x1000, "reg")
+
+
+def test_overflow_accounting():
+    lru = LruBuffer(capacity_pages=2)
+    for i in range(4):
+        lru.insert(i * 0x1000, "reg")
+    assert lru.overflow == 2
+    lru.resize(4)
+    assert lru.overflow == 0
+    lru.resize(1)
+    assert lru.overflow == 3
+
+
+def test_resize_validation():
+    lru = LruBuffer(capacity_pages=2)
+    with pytest.raises(FluidMemError):
+        lru.resize(0)
+    with pytest.raises(FluidMemError):
+        LruBuffer(capacity_pages=0)
+
+
+def test_remove():
+    lru = LruBuffer(capacity_pages=4)
+    lru.insert(0x1000, "reg")
+    assert lru.remove(0x1000) == "reg"
+    with pytest.raises(FluidMemError):
+        lru.remove(0x1000)
+
+
+def test_discard_registration():
+    lru = LruBuffer(capacity_pages=10)
+    lru.insert(0x1000, "a")
+    lru.insert(0x2000, "b")
+    lru.insert(0x3000, "a")
+    dropped = lru.discard_registration("a")
+    assert sorted(dropped) == [0x1000, 0x3000]
+    assert len(lru) == 1
+
+
+def test_eviction_candidates_peek():
+    lru = LruBuffer(capacity_pages=10)
+    for i in range(5):
+        lru.insert(i * 0x1000, "reg")
+    peek = lru.eviction_candidates(2)
+    assert peek == [(0x0000, "reg"), (0x1000, "reg")]
+    assert len(lru) == 5  # not removed
+    with pytest.raises(FluidMemError):
+        lru.eviction_candidates(-1)
+
+
+def test_pop_empty_returns_none():
+    lru = LruBuffer(capacity_pages=2)
+    assert lru.pop_eviction_candidate() is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 50), unique=True, min_size=1, max_size=50),
+       st.integers(1, 20))
+def test_fifo_property(pages, capacity):
+    """Property: with no reordering, eviction order == insertion order."""
+    lru = LruBuffer(capacity_pages=capacity)
+    for p in pages:
+        lru.insert(p * 0x1000, "reg")
+    popped = []
+    while True:
+        entry = lru.pop_eviction_candidate()
+        if entry is None:
+            break
+        popped.append(entry[0] // 0x1000)
+    assert popped == pages
+
+
+# -------------------------------------------------------------- PageTracker
+
+def test_tracker_first_access():
+    tracker = PageTracker()
+    assert tracker.is_first_access(42)
+    tracker.mark_seen(42)
+    assert not tracker.is_first_access(42)
+    assert 42 in tracker
+    assert len(tracker) == 1
+
+
+def test_tracker_double_mark_rejected():
+    tracker = PageTracker()
+    tracker.mark_seen(42)
+    with pytest.raises(FluidMemError):
+        tracker.mark_seen(42)
+
+
+def test_tracker_forget():
+    tracker = PageTracker()
+    tracker.mark_seen(42)
+    tracker.forget(42)
+    assert tracker.is_first_access(42)
+    tracker.forget(42)  # silent when absent

@@ -1,0 +1,299 @@
+"""Behavioural tests for the FluidMem monitor."""
+
+import pytest
+
+from repro.core import CodePath, FluidMemConfig
+from repro.errors import VcpuDeadlockError
+from repro.mem import PAGE_SIZE
+from repro.vm import VirtMode
+
+from .conftest import build_stack
+
+
+def addr(vm, i):
+    """i-th page of the workload area of a VM."""
+    return vm.first_free_guest_addr() + i * PAGE_SIZE
+
+
+def touch_pages(stack, port, vm, indexes, is_write=True):
+    def gen(env):
+        for i in indexes:
+            yield from port.access(addr(vm, i), is_write=is_write)
+
+    stack.run(gen(stack.env))
+
+
+def test_first_touch_resolved_with_zero_page(stack):
+    vm, qemu, port, _reg = stack.make_vm()
+    touch_pages(stack, port, vm, [0])
+    assert stack.monitor.counters["zero_page_faults"] == 1
+    assert stack.ops.counters["zeropage"] == 1
+    assert port.is_resident(addr(vm, 0))
+    # Second access is a pure hit: no new fault.
+    touch_pages(stack, port, vm, [0])
+    assert stack.monitor.counters["faults"] == 1
+
+
+def test_no_store_read_on_first_access(stack):
+    """The pagetracker avoids remote reads for first touches (V-A)."""
+    store = stack.make_ramcloud_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(10))
+    assert store.counters["reads"] == 0
+
+
+def test_eviction_after_capacity(stack):
+    stack.monitor.set_lru_capacity(8)
+    vm, qemu, port, _reg = stack.make_vm()
+    touch_pages(stack, port, vm, range(12))
+    assert len(stack.monitor.lru) == 8
+    assert stack.monitor.counters["evictions"] == 4
+    # The four oldest pages are no longer resident (FIFO).
+    for i in range(4):
+        assert not port.is_resident(addr(vm, i))
+    for i in range(4, 12):
+        assert port.is_resident(addr(vm, i))
+
+
+def test_evicted_page_read_back_from_store(stack):
+    stack.monitor.set_lru_capacity(4)
+    store = stack.make_dram_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(8))
+
+    def drain(env):
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(drain(stack.env))
+    assert store.stored_keys() >= 4
+
+    touch_pages(stack, port, vm, [0])  # evicted earlier -> remote read
+    assert stack.monitor.counters["remote_reads"] >= 1
+    assert port.is_resident(addr(vm, 0))
+
+
+def test_page_contents_survive_eviction_roundtrip(stack):
+    """Data integrity: the same Page object (version intact) comes back."""
+    stack.monitor.set_lru_capacity(2)
+    vm, qemu, port, _reg = stack.make_vm()
+
+    page_versions = {}
+
+    def gen(env):
+        for i in range(6):
+            page = yield from port.access(addr(vm, i), is_write=True)
+            page_versions[i] = (page, page.version)
+        # Page 0 was evicted; fault it back.
+        restored = yield from port.access(addr(vm, 0), is_write=False)
+        assert restored is not None
+
+    stack.run(gen(stack.env))
+    restored_page = qemu.page_table.entry(
+        qemu.guest_to_host(addr(vm, 0))
+    ).page
+    original, version = page_versions[0]
+    assert restored_page is original       # zero-copy identity
+    assert restored_page.version >= version
+
+
+def test_async_writeback_batches(stack):
+    config = FluidMemConfig(lru_capacity_pages=4, writeback_batch_pages=8)
+    stack = build_stack(config=config)
+    store = stack.make_ramcloud_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(20))
+
+    def drain(env):
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(drain(stack.env))
+    # 16 evictions flushed in batches of 8 -> at least 2 multiwrites,
+    # far fewer than 16 individual puts.
+    assert store.counters["multi_writes"] >= 2
+    assert store.counters["writes"] == 16
+
+
+def test_sync_writeback_writes_inline(stack):
+    config = FluidMemConfig(
+        lru_capacity_pages=4, async_writeback=False, async_read=False
+    )
+    stack = build_stack(config=config)
+    store = stack.make_dram_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(8))
+    # Writes happened inline: nothing pending.
+    assert stack.monitor.writeback.pending_count == 0
+    assert store.counters["writes"] == 4
+    assert stack.monitor.profiler.has_samples(CodePath.WRITE_PAGE)
+
+
+def test_write_list_steal_pending(stack):
+    """A fault on a just-evicted page is resolved from the write list."""
+    config = FluidMemConfig(
+        lru_capacity_pages=4,
+        writeback_batch_pages=64,   # keep writes pending for a while
+        writeback_stale_us=1e9,
+    )
+    stack = build_stack(config=config)
+    store = stack.make_ramcloud_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(6))  # evicts pages 0,1 to the list
+    assert stack.monitor.writeback.pending_count == 2
+
+    touch_pages(stack, port, vm, [0])       # steal it back
+    assert stack.monitor.counters["steals_resolved_locally"] == 1
+    assert store.counters["reads"] == 0     # no round trip at all
+    assert port.is_resident(addr(vm, 0))
+
+
+def test_steal_disabled_reads_from_store(stack):
+    config = FluidMemConfig(
+        lru_capacity_pages=4,
+        write_list_steal=False,
+        writeback_batch_pages=2,
+    )
+    stack = build_stack(config=config)
+    store = stack.make_dram_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(8))
+
+    def drain(env):
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(drain(stack.env))
+    touch_pages(stack, port, vm, [0])
+    assert stack.monitor.counters["steals_resolved_locally"] == 0
+    assert store.counters["reads"] == 1
+
+
+def test_lru_shrink_to_capacity(stack):
+    """Table III's lever: shrink the footprint at runtime."""
+    vm, qemu, port, _reg = stack.make_vm()
+    touch_pages(stack, port, vm, range(32))
+    assert qemu.page_table.present_pages == 32
+
+    stack.monitor.set_lru_capacity(5)
+
+    def shrink(env):
+        yield from stack.monitor.shrink_to_capacity()
+
+    stack.run(shrink(stack.env))
+    assert len(stack.monitor.lru) == 5
+    assert qemu.page_table.present_pages == 5
+
+
+def test_lru_grow_revives_access(stack):
+    """After shrinking, growing the budget restores normal paging."""
+    vm, qemu, port, _reg = stack.make_vm()
+    touch_pages(stack, port, vm, range(16))
+    stack.monitor.set_lru_capacity(2)
+
+    def shrink(env):
+        yield from stack.monitor.shrink_to_capacity()
+
+    stack.run(shrink(stack.env))
+    stack.monitor.set_lru_capacity(64)
+    touch_pages(stack, port, vm, range(16))  # all fault back in
+    assert qemu.page_table.present_pages == 16
+
+
+def test_two_vms_share_one_lru(stack):
+    """The LRU budget is global across VMs (paper V-A)."""
+    stack.monitor.set_lru_capacity(10)
+    store_a = stack.make_ramcloud_store(table_id=1)
+    store_b = stack.make_ramcloud_store(table_id=2)
+    vm_a, _qa, port_a, _ = stack.make_vm(store=store_a, name="vm-a")
+    vm_b, _qb, port_b, _ = stack.make_vm(store=store_b, name="vm-b")
+    touch_pages(stack, port_a, vm_a, range(6))
+    touch_pages(stack, port_b, vm_b, range(6))
+    assert len(stack.monitor.lru) == 10
+    # vm-a's earliest pages were the global FIFO victims.
+    assert not port_a.is_resident(addr(vm_a, 0))
+    assert port_b.is_resident(addr(vm_b, 5))
+
+
+def test_deregister_vm_releases_everything(stack):
+    store = stack.make_dram_store()
+    vm, qemu, port, registration = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(8))
+    frames_used_before = stack.ops.frames.used_frames
+
+    def dereg(env):
+        yield from stack.monitor.deregister_vm(registration)
+
+    stack.run(dereg(stack.env))
+    assert qemu.page_table.present_pages == 0
+    assert len(stack.monitor.lru) == 0
+    assert stack.ops.frames.used_frames < frames_used_before
+
+
+def test_kvm_deadlock_at_one_page(stack):
+    """Table III last row: KVM cannot run with a 1-page footprint."""
+    vm, qemu, port, _reg = stack.make_vm()
+    assert vm.virt_mode is VirtMode.KVM
+    stack.monitor.set_lru_capacity(1)
+
+    def gen(env):
+        yield from port.access(addr(vm, 0))
+
+    proc = stack.env.process(gen(stack.env))
+    with pytest.raises(VcpuDeadlockError):
+        stack.env.run()
+
+
+def test_full_emulation_survives_one_page(stack):
+    from repro.vm import GuestVM, BootProfile, QemuProcess
+    from repro.core import FluidMemoryPort
+    from repro.mem import MIB
+
+    vm = GuestVM(stack.env, "emul", memory_bytes=32 * MIB,
+                 boot_profile=BootProfile(total_pages=4),
+                 virt_mode=VirtMode.FULL_EMULATION)
+    qemu = QemuProcess(vm)
+    registration = stack.monitor.register_vm(qemu, stack.make_dram_store())
+    port = FluidMemoryPort(stack.env, vm, qemu, stack.monitor, registration)
+    vm.attach_port(port)
+    stack.monitor.set_lru_capacity(1)
+    touch_pages(stack, port, vm, range(4))
+    assert qemu.page_table.present_pages == 1
+
+
+def test_profiler_covers_table1_paths(stack):
+    stack.monitor.set_lru_capacity(4)
+    store = stack.make_ramcloud_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    touch_pages(stack, port, vm, range(8))
+
+    def drain(env):
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(drain(stack.env))
+    # Re-touch evicted pages after the flush so the read path (with
+    # UFFD_COPY) runs rather than a write-list steal.
+    touch_pages(stack, port, vm, [0, 1])
+    profiler = stack.monitor.profiler
+    for path in (CodePath.UFFD_ZEROPAGE, CodePath.UFFD_REMAP,
+                 CodePath.UFFD_COPY, CodePath.READ_PAGE,
+                 CodePath.INSERT_PAGE_HASH_NODE,
+                 CodePath.INSERT_LRU_CACHE_NODE,
+                 CodePath.UPDATE_PAGE_CACHE):
+        assert profiler.has_samples(path), path
+
+
+def test_hotplug_region_registration(stack):
+    from repro.vm import MemoryHotplug
+    from repro.mem import MIB
+
+    vm, qemu, port, registration = stack.make_vm(memory_mib=16)
+    hotplug = MemoryHotplug(qemu)
+    slot = hotplug.add_memory(16 * MIB)
+    stack.monitor.register_region(registration, slot.host_region)
+    # An address in the hotplugged range faults through FluidMem.
+    hot_addr = slot.guest_phys_start + 5 * PAGE_SIZE
+    touch_pages(stack, port, vm, [])  # no-op warm
+
+    def gen(env):
+        yield from port.access(hot_addr, is_write=True)
+
+    stack.run(gen(stack.env))
+    assert port.is_resident(hot_addr)

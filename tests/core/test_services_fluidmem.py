@@ -1,0 +1,86 @@
+"""Table III behaviours: service responsiveness under footprint squeeze."""
+
+from repro.core import FluidMemConfig
+from repro.vm import (
+    ICMP_WORKING_SET_PAGES,
+    SSH_WORKING_SET_PAGES,
+    IcmpService,
+    SshService,
+)
+
+from .conftest import build_stack
+
+
+def make_booted_vm(lru_pages, boot_pages=600):
+    stack = build_stack(
+        config=FluidMemConfig(lru_capacity_pages=max(lru_pages, boot_pages)),
+        host_dram_mib=512,
+    )
+    vm, qemu, port, reg = stack.make_vm(
+        memory_mib=64, boot_pages=boot_pages
+    )
+    # Now squeeze to the target footprint (the Table III procedure).
+    stack.monitor.set_lru_capacity(lru_pages)
+
+    def shrink(env):
+        yield from stack.monitor.shrink_to_capacity()
+
+    stack.run(shrink(stack.env))
+    assert stack.monitor.resident_pages <= lru_pages
+    return stack, vm, port
+
+
+def attempt(stack, service):
+    def gen(env):
+        result = yield from service.attempt()
+        return result
+
+    return stack.run(gen(stack.env))
+
+
+def test_ssh_works_at_180_pages():
+    stack, vm, _port = make_booted_vm(lru_pages=180)
+    assert attempt(stack, SshService(stack.env, vm)) is True
+
+
+def test_ssh_fails_at_80_pages():
+    stack, vm, _port = make_booted_vm(lru_pages=80)
+    assert attempt(stack, SshService(stack.env, vm)) is False
+
+
+def test_icmp_works_at_80_pages():
+    stack, vm, _port = make_booted_vm(lru_pages=80)
+    assert attempt(stack, IcmpService(stack.env, vm)) is True
+
+
+def test_icmp_fails_below_its_working_set():
+    stack, vm, _port = make_booted_vm(lru_pages=32)
+    assert attempt(stack, IcmpService(stack.env, vm)) is False
+
+
+def test_revival_by_growing_footprint():
+    """Table III's last column: increasing the footprint revives the VM."""
+    stack, vm, _port = make_booted_vm(lru_pages=80)
+    ssh = SshService(stack.env, vm)
+    assert attempt(stack, ssh) is False
+    stack.monitor.set_lru_capacity(600)
+    assert attempt(stack, ssh) is True
+
+
+def test_working_set_constants_bracket_table3():
+    # SSH works at 180 but not 80 => its WS is in (80, 180].
+    assert 80 < SSH_WORKING_SET_PAGES <= 180
+    # ICMP works at 80 => its WS is <= 80.
+    assert ICMP_WORKING_SET_PAGES <= 80
+
+
+def test_footprint_shrink_reaches_near_zero():
+    """FluidMem can squeeze far below the balloon's 20480-page floor."""
+    stack, vm, port = make_booted_vm(lru_pages=5)
+    assert stack.monitor.resident_pages <= 5
+    # The VM is still *alive*: touching memory faults pages back in.
+    def gen(env):
+        yield from port.access(vm.boot_page_addresses()[0])
+
+    stack.run(gen(stack.env))
+    assert stack.monitor.resident_pages <= 5

@@ -1,0 +1,57 @@
+"""Tests for the monitor's operational stats snapshot."""
+
+from repro.mem import PAGE_SIZE
+
+from tests.helpers import build_stack
+
+
+def test_stats_empty_monitor():
+    stack = build_stack()
+    stats = stack.monitor.stats()
+    assert stats["resident_pages"] == 0
+    assert stats["registered_vms"] == 0
+    assert stats["vms"] == {}
+    assert "fault_latency_avg_us" not in stats
+
+
+def test_stats_reflect_activity():
+    stack = build_stack()
+    stack.monitor.set_lru_capacity(8)
+    store = stack.make_ramcloud_store()
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    base = vm.first_free_guest_addr()
+
+    def gen(env):
+        for index in range(16):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(gen(stack.env))
+    stats = stack.monitor.stats()
+    assert stats["resident_pages"] == 8
+    assert stats["lru_capacity"] == 8
+    assert stats["registered_vms"] == 1
+    assert stats["tracked_pages"] == 16
+    assert stats["writeback_pending"] == 0
+    assert stats["fault_latency_avg_us"] > 0
+    assert stats["counters"]["faults"] == 16
+    vm_stats = stats["vms"][qemu.pid]
+    assert vm_stats["resident_pages"] == 8
+    assert vm_stats["store"] == "ramcloud"
+    assert vm_stats["store_keys"] == 8
+
+
+def test_stats_frames_accounting_matches():
+    stack = build_stack()
+    vm, qemu, port, _reg = stack.make_vm()
+    base = vm.first_free_guest_addr()
+
+    def gen(env):
+        for index in range(4):
+            yield from port.access(base + index * PAGE_SIZE, True)
+
+    stack.run(gen(stack.env))
+    stats = stack.monitor.stats()
+    assert stats["host_frames_used"] == qemu.page_table.present_pages
+    assert stats["host_frames_used"] <= stats["host_frames_total"]

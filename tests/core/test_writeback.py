@@ -1,0 +1,163 @@
+"""Focused tests for the asynchronous write-back queue."""
+
+import pytest
+
+from repro.core import WritebackEntry, WritebackQueue
+from repro.core.writeback import StealResult
+from repro.errors import FluidMemError
+from repro.kv import DramStore
+from repro.mem import PAGE_SIZE, FrameAllocator, Page, PageTable
+from repro.sim import Environment
+
+
+class FakeRegistration:
+    """Minimal registration: just a store."""
+
+    def __init__(self, store):
+        self.store = store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_queue(env, batch=4, stale=1000.0):
+    table = PageTable("buffer")
+    frames = FrameAllocator(1024)
+    queue = WritebackQueue(env, table, frames, batch_pages=batch,
+                           stale_us=stale)
+    return queue, table, frames
+
+
+import itertools
+
+_slots = itertools.count()
+
+
+def buffered_entry(env, table, frames, key, registration):
+    """Simulate an eviction: page parked in the buffer with a frame."""
+    vaddr = 0x600000000000 + next(_slots) * PAGE_SIZE
+    frame = frames.allocate()
+    page = Page(vaddr=vaddr)
+    table.map(vaddr, frame, page)
+    return WritebackEntry(key, page, vaddr, registration, env.now)
+
+
+def test_flush_triggers_at_batch_size(env):
+    queue, table, frames = make_queue(env, batch=4)
+    registration = FakeRegistration(DramStore(env))
+    for key in range(4):
+        queue.enqueue(buffered_entry(env, table, frames, key, registration))
+    env.run()
+    assert queue.pending_count == 0
+    assert registration.store.stored_keys() == 4
+    assert frames.used_frames == 0  # buffer copies released
+    assert queue.counters["batches"] == 1
+
+
+def test_below_batch_stays_pending_until_stale(env):
+    queue, table, frames = make_queue(env, batch=8, stale=100.0)
+    registration = FakeRegistration(DramStore(env))
+    queue.enqueue(buffered_entry(env, table, frames, 1, registration))
+    env.run()
+    assert queue.pending_count == 1  # not yet stale, below batch
+
+    def later(env):
+        yield env.timeout(200.0)
+        queue.check_stale()
+
+    env.process(later(env))
+    env.run()
+    assert queue.pending_count == 0
+    assert registration.store.contains(1)
+
+
+def test_duplicate_enqueue_rejected(env):
+    queue, table, frames = make_queue(env, batch=8)
+    registration = FakeRegistration(DramStore(env))
+    queue.enqueue(buffered_entry(env, table, frames, 1, registration))
+    with pytest.raises(FluidMemError):
+        queue.enqueue(
+            buffered_entry(env, table, frames, 1, registration)
+        )
+
+
+def test_steal_pending_removes_entry(env):
+    queue, table, frames = make_queue(env, batch=8)
+    registration = FakeRegistration(DramStore(env))
+    entry = buffered_entry(env, table, frames, 1, registration)
+    queue.enqueue(entry)
+    result = queue.steal(1)
+    assert result.state == StealResult.PENDING
+    assert result.entry is entry
+    assert queue.pending_count == 0
+    assert not registration.store.contains(1)  # never written
+
+
+def test_steal_missing_returns_none(env):
+    queue, _table, _frames = make_queue(env)
+    assert queue.steal(42) is None
+
+
+def test_steal_in_flight_waits_for_completion(env):
+    queue, table, frames = make_queue(env, batch=2)
+    registration = FakeRegistration(DramStore(env))
+    results = {}
+
+    def producer(env):
+        # Two entries trigger a flush; steal while the write is in the
+        # store's simulated latency window.
+        queue.enqueue(buffered_entry(env, table, frames, 1, registration))
+        queue.enqueue(buffered_entry(env, table, frames, 2, registration))
+        yield env.timeout(0.01)
+        result = queue.steal(1)
+        results["state"] = result.state
+        if result.completion is not None and not result.completion.processed:
+            yield result.completion
+        results["done_at"] = env.now
+
+    env.process(producer(env))
+    env.run()
+    assert results["state"] == StealResult.IN_FLIGHT
+    assert results["done_at"] > 0.01
+    assert registration.store.contains(1)  # the write did complete
+
+
+def test_drain_flushes_everything(env):
+    queue, table, frames = make_queue(env, batch=100)
+    registration = FakeRegistration(DramStore(env))
+    for key in range(10):
+        queue.enqueue(buffered_entry(env, table, frames, key, registration))
+
+    def drain(env):
+        yield from queue.drain()
+
+    proc = env.process(drain(env))
+    env.run()
+    assert queue.pending_count == 0
+    assert queue.in_flight_count == 0
+    assert registration.store.stored_keys() == 10
+
+
+def test_batches_group_by_registration(env):
+    """Multi-write batches never mix VMs (per-region multiwrite)."""
+    queue, table, frames = make_queue(env, batch=4)
+    reg_a = FakeRegistration(DramStore(env))
+    reg_b = FakeRegistration(DramStore(env))
+    queue.enqueue(buffered_entry(env, table, frames, 1, reg_a))
+    queue.enqueue(buffered_entry(env, table, frames, 2, reg_b))
+    queue.enqueue(buffered_entry(env, table, frames, 3, reg_a))
+    queue.enqueue(buffered_entry(env, table, frames, 4, reg_b))
+    env.run()
+    assert reg_a.store.stored_keys() == 2
+    assert reg_b.store.stored_keys() == 2
+    assert sorted([reg_a.store.contains(1), reg_a.store.contains(3)]) == \
+        [True, True]
+
+
+def test_batch_validation(env):
+    table = PageTable()
+    frames = FrameAllocator(4)
+    with pytest.raises(FluidMemError):
+        WritebackQueue(env, table, frames, batch_pages=0, stale_us=10.0)

@@ -1,0 +1,77 @@
+"""Shared test helpers: a full FluidMem stack wired together."""
+
+from repro.core import FluidMemConfig, FluidMemoryPort, Monitor
+from repro.kernel import UffdLatency, UffdOps, Userfaultfd
+from repro.kv import DramStore, RamCloudServer, RamCloudStore
+from repro.mem import MIB, PAGE_SIZE, FrameAllocator
+from repro.net import Fabric, RDMA_FDR
+from repro.sim import Environment, RandomStreams
+from repro.vm import BootProfile, GuestVM, QemuProcess
+
+
+class Stack:
+    """Bundle of everything the core tests need."""
+
+    def __init__(self, env, uffd, ops, monitor, fabric):
+        self.env = env
+        self.uffd = uffd
+        self.ops = ops
+        self.monitor = monitor
+        self.fabric = fabric
+
+    def run(self, gen):
+        proc = self.env.process(gen)
+        self.env.run()
+        return proc.value
+
+    def make_dram_store(self):
+        return DramStore(self.env)
+
+    def make_ramcloud_store(self, table_id=1):
+        server = RamCloudServer(memory_bytes=64 * MIB)
+        return RamCloudStore(
+            self.env, self.fabric, "hypervisor", "kv-server", server,
+            table_id=table_id,
+        )
+
+    def make_vm(self, memory_mib=32, boot_pages=0, lru_pages=None,
+                store=None, name="vm"):
+        """A FluidMem-backed VM, optionally booted."""
+        vm = GuestVM(
+            self.env,
+            name,
+            memory_bytes=memory_mib * MIB,
+            boot_profile=BootProfile(total_pages=max(4, boot_pages or 4)),
+        )
+        qemu = QemuProcess(vm)
+        store = store or self.make_dram_store()
+        registration = self.monitor.register_vm(qemu, store)
+        port = FluidMemoryPort(self.env, vm, qemu, self.monitor,
+                               registration)
+        vm.attach_port(port)
+        if lru_pages is not None:
+            self.monitor.set_lru_capacity(lru_pages)
+        if boot_pages:
+            self.run(vm.boot())
+        return vm, qemu, port, registration
+
+
+def build_stack(config=None, host_dram_mib=256, seed=7):
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    fabric = Fabric(env, streams)
+    fabric.add_host("hypervisor")
+    fabric.add_host("kv-server")
+    fabric.connect("hypervisor", "kv-server", RDMA_FDR)
+    uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd"))
+    ops = UffdOps(
+        env, UffdLatency(), streams.stream("ops"),
+        FrameAllocator.for_bytes(host_dram_mib * MIB),
+    )
+    monitor = Monitor(
+        env, uffd, ops,
+        config=config or FluidMemConfig(lru_capacity_pages=64),
+        rng=streams.stream("monitor"),
+    )
+    monitor.start()
+    return Stack(env, uffd, ops, monitor, fabric)

@@ -1,0 +1,60 @@
+"""Reproducibility: the same seed must give bit-identical results.
+
+Every number in EXPERIMENTS.md should be regenerable exactly; these
+tests pin that property at the experiment level (not just the RNG
+level), catching any accidental use of global random state, dict
+ordering dependence, or wall-clock leakage.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.fig3_latency_cdf import run_fig3
+from repro.bench.table2_optimizations import _measure
+from repro.workloads import ZipfianGenerator
+
+
+def test_fig3_is_deterministic():
+    first = run_fig3(measured_accesses=1500, seed=11,
+                     platforms=["fluidmem-ramcloud", "swap-nvmeof"])
+    second = run_fig3(measured_accesses=1500, seed=11,
+                      platforms=["fluidmem-ramcloud", "swap-nvmeof"])
+    for name in first.results:
+        assert first.results[name].average_latency_us == \
+            second.results[name].average_latency_us
+        assert first.results[name].hits == second.results[name].hits
+
+
+def test_fig3_seed_changes_results():
+    a = run_fig3(measured_accesses=1500, seed=11,
+                 platforms=["fluidmem-ramcloud"])
+    b = run_fig3(measured_accesses=1500, seed=12,
+                 platforms=["fluidmem-ramcloud"])
+    assert a.results["fluidmem-ramcloud"].average_latency_us != \
+        b.results["fluidmem-ramcloud"].average_latency_us
+
+
+def test_table2_cell_deterministic():
+    a = _measure("ramcloud", "async-rw", "rand", lru_pages=64,
+                 accesses=800, seed=3)
+    b = _measure("ramcloud", "async-rw", "rand", lru_pages=64,
+                 accesses=800, seed=3)
+    assert a == b
+
+
+def test_zipfian_matches_theory():
+    """The generator's head mass tracks the analytic zipf(0.99) CDF."""
+    n = 2000
+    rng = random.Random(17)
+    gen = ZipfianGenerator(n, rng)
+    samples = [gen.next() for _ in range(60_000)]
+
+    def zeta(upto):
+        return sum(1.0 / (i ** 0.99) for i in range(1, upto + 1))
+
+    total = zeta(n)
+    for head in (1, 10, 100, 1000):
+        expected = zeta(head) / total
+        observed = sum(1 for s in samples if s < head) / len(samples)
+        assert observed == pytest.approx(expected, abs=0.04), head

@@ -1,0 +1,180 @@
+"""Tests for file-extent reads and swap readahead mechanics."""
+
+import random
+
+import pytest
+
+from repro.blockdev import PmemDisk
+from repro.errors import KernelError, SwapError
+from repro.kernel import GuestMemoryManager, SwapPathLatency
+from repro.mem import PAGE_SIZE
+from repro.sim import Environment
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_mm(env, dram_pages=256, page_cluster=1, data_disk=True):
+    return GuestMemoryManager(
+        env,
+        random.Random(3),
+        dram_bytes=dram_pages * PAGE_SIZE,
+        latency=SwapPathLatency(page_cluster=page_cluster),
+        swap_device=PmemDisk(env, 8 << 20, random.Random(1)),
+        data_disk=PmemDisk(env, 32 << 20, random.Random(2))
+        if data_disk else None,
+        swappiness=100,
+    )
+
+
+# ------------------------------------------------------------ file extents
+
+def test_extent_reads_whole_run(env):
+    mm = make_mm(env)
+    hit = run(env, mm.read_file_extent(1, 0, 8))
+    assert hit is False
+    for index in range(8):
+        assert mm.is_file_page_cached(1, index)
+    # Re-read: all cached.
+    assert run(env, mm.read_file_extent(1, 0, 8)) is True
+    assert mm.counters["pagecache_hits"] == 1
+
+
+def test_extent_partial_hit_reads_only_missing(env):
+    mm = make_mm(env)
+    run(env, mm.read_file_page(1, 2))
+    before = mm.data_disk.counters["reads"]
+    run(env, mm.read_file_extent(1, 0, 4))
+    assert mm.data_disk.counters["reads"] == before + 1
+    for index in range(4):
+        assert mm.is_file_page_cached(1, index)
+
+
+def test_extent_cheaper_than_page_by_page(env):
+    mm_extent = make_mm(env)
+    start = env.now
+    run(env, mm_extent.read_file_extent(1, 0, 8))
+    extent_cost = env.now - start
+
+    env2 = Environment()
+    mm_pages = make_mm(env2)
+    start = env2.now
+    for index in range(8):
+        run(env2, mm_pages.read_file_page(1, index))
+    assert extent_cost < (env2.now - start) / 2
+
+
+def test_extent_validation(env):
+    mm = make_mm(env)
+    with pytest.raises(KernelError):
+        run(env, mm.read_file_extent(1, 0, 0))
+    mm_nodisk = GuestMemoryManager(
+        env, random.Random(0), dram_bytes=64 * PAGE_SIZE
+    )
+    with pytest.raises(KernelError):
+        run(env, mm_nodisk.read_file_extent(1, 0, 4))
+
+
+# ---------------------------------------------------------- swap readahead
+
+def fill_and_reclaim(env, mm, pages):
+    def gen(env):
+        for index in range(pages):
+            yield from mm.access_fault(0x100000 + index * PAGE_SIZE,
+                                       is_write=True)
+        # Push everything out deterministically.  The first scan only
+        # clears referenced bits (second chance), so iterate.
+        for _ in range(20):
+            yield from mm.reclaim_pages(64)
+            if mm.swap.entries_count >= pages:
+                break
+
+    run(env, gen(env))
+    assert mm.swap.entries_count >= pages
+
+
+def test_readahead_pulls_neighbours(env):
+    mm = make_mm(env, dram_pages=256, page_cluster=8)
+    fill_and_reclaim(env, mm, 32)
+    assert mm.swap.entries_count == 32
+
+    def fault_one(env):
+        yield from mm.access_fault(0x100000, is_write=False)
+
+    run(env, fault_one(env))
+    # The fault brought in its slot-run neighbours too.
+    assert mm.counters["prefetched_mapped"] > 0
+    assert mm.swap.counters["readahead_reads"] > 0
+    mapped = sum(
+        1 for index in range(8)
+        if mm.is_resident(0x100000 + index * PAGE_SIZE)
+    )
+    assert mapped >= 2
+
+
+def test_page_cluster_one_disables_readahead(env):
+    mm = make_mm(env, page_cluster=1)
+    fill_and_reclaim(env, mm, 16)
+
+    def fault_one(env):
+        yield from mm.access_fault(0x100000, is_write=False)
+
+    run(env, fault_one(env))
+    assert mm.counters["prefetched_mapped"] == 0
+    assert mm.swap.counters["readahead_reads"] == 0
+
+
+def test_unconsumed_prefetch_is_never_data_loss(env):
+    """Readahead reads whose pages can't be mapped keep their entries."""
+    mm = make_mm(env, dram_pages=40, page_cluster=8)
+    fill_and_reclaim(env, mm, 32)
+    entries_before = mm.swap.entries_count
+
+    # Fill DRAM so prefetches cannot be mapped.
+    while mm.frames.try_allocate() is not None:
+        pass
+
+    def fault_one(env):
+        yield from mm.access_fault(0x100000, is_write=False)
+
+    # The fault itself needs a frame: give it exactly one via direct
+    # reclaim being impossible -> use a fresh mm instead.
+    env2 = Environment()
+    mm2 = make_mm(env2, dram_pages=64, page_cluster=8)
+    fill_and_reclaim(env2, mm2, 32)
+
+    def nearly_fill(env):
+        # Leave very few free frames so most prefetches are dropped.
+        while mm2.frames.free_frames > 2:
+            mm2.populate_resident(
+                0x900000 + mm2.frames.used_frames * PAGE_SIZE,
+                kind=__import__("repro.mem", fromlist=["PageKind"])
+                .PageKind.KERNEL,
+            )
+        yield from mm2.access_fault(0x100000, is_write=False)
+
+    run(env2, nearly_fill(env2))
+    # Every swapped page is either resident now or still has its entry.
+    for index in range(32):
+        vaddr = 0x100000 + index * PAGE_SIZE
+        assert mm2.is_resident(vaddr) or mm2.swap.has_entry(vaddr)
+
+
+def test_take_prefetched_requires_entry(env):
+    mm = make_mm(env)
+    with pytest.raises(SwapError):
+        mm.swap.take_prefetched(0x100000)
+
+
+def test_swap_in_page_cluster_validation(env):
+    mm = make_mm(env)
+    with pytest.raises(SwapError):
+        run(env, mm.swap.swap_in(0x100000, page_cluster=0))

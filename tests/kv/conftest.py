@@ -1,0 +1,60 @@
+"""Shared fixtures for key-value backend tests."""
+
+import pytest
+
+from repro.kv import (
+    DramStore,
+    MemcachedServer,
+    MemcachedStore,
+    RamCloudServer,
+    RamCloudStore,
+)
+from repro.net import Fabric, IPOIB, RDMA_FDR
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fabric(env):
+    fabric = Fabric(env, RandomStreams(seed=99))
+    fabric.add_host("hypervisor")
+    fabric.add_host("kv-server")
+    fabric.connect("hypervisor", "kv-server", RDMA_FDR)
+    return fabric
+
+
+@pytest.fixture
+def ipoib_fabric(env):
+    fabric = Fabric(env, RandomStreams(seed=99))
+    fabric.add_host("hypervisor")
+    fabric.add_host("kv-server")
+    fabric.connect("hypervisor", "kv-server", IPOIB)
+    return fabric
+
+
+@pytest.fixture
+def dram_store(env):
+    return DramStore(env)
+
+
+@pytest.fixture
+def ramcloud_store(env, fabric):
+    server = RamCloudServer(memory_bytes=64 * 1024 * 1024)
+    return RamCloudStore(env, fabric, "hypervisor", "kv-server", server)
+
+
+@pytest.fixture
+def memcached_store(env, ipoib_fabric):
+    server = MemcachedServer(memory_bytes=8 * 1024 * 1024)
+    return MemcachedStore(env, ipoib_fabric, "hypervisor", "kv-server", server)
+
+
+def run_op(env, generator):
+    """Drive one backend operation to completion; returns its value."""
+    proc = env.process(generator)
+    env.run()
+    return proc.value

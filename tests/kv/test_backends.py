@@ -1,0 +1,147 @@
+"""Backend-generic contract tests run against all three stores."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.kv import DramStore
+from repro.sim import Environment
+
+from .conftest import run_op
+
+
+BACKENDS = ["dram_store", "ramcloud_store", "memcached_store"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.getfixturevalue(request.param)
+
+
+def test_put_get_roundtrip(env, backend):
+    run_op(env, backend.put(1, "page-a"))
+    assert run_op(env, backend.get(1)) == "page-a"
+
+
+def test_get_missing_raises(env, backend):
+    def attempt(env):
+        yield from backend.get(404)
+
+    proc = env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_overwrite_replaces(env, backend):
+    run_op(env, backend.put(1, "old"))
+    run_op(env, backend.put(1, "new"))
+    assert run_op(env, backend.get(1)) == "new"
+    assert backend.stored_keys() == 1
+
+
+def test_remove(env, backend):
+    run_op(env, backend.put(1, "x"))
+    run_op(env, backend.remove(1))
+    assert not backend.contains(1)
+    def attempt(env):
+        yield from backend.remove(1)
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_multi_write_stores_all(env, backend):
+    items = [(key, f"v{key}", 4096) for key in range(10)]
+    run_op(env, backend.multi_write(items))
+    for key in range(10):
+        assert backend.contains(key)
+    assert backend.stored_keys() == 10
+
+
+def test_operations_cost_time(env, backend):
+    before = env.now
+    run_op(env, backend.put(1, "x"))
+    t_put = env.now - before
+    assert t_put > 0
+    before = env.now
+    run_op(env, backend.get(1))
+    assert env.now - before > 0
+
+
+def test_read_async_top_bottom_halves(env, backend):
+    run_op(env, backend.put(7, "async-value"))
+    results = []
+
+    def monitor(env):
+        handle = backend.read_async(7)
+        issued = env.now
+        # Top half returns without any time passing.
+        assert env.now == issued
+        value = yield handle.event
+        results.append((env.now - issued, value))
+
+    env.process(monitor(env))
+    env.run()
+    elapsed, value = results[0]
+    assert value == "async-value"
+    assert elapsed > 0
+
+
+def test_read_async_missing_key_fails_event(env, backend):
+    def monitor(env):
+        handle = backend.read_async(404)
+        yield handle.event
+
+    env.process(monitor(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_write_async_completes(env, backend):
+    results = []
+
+    def monitor(env):
+        handle = backend.write_async([(1, "a", 4096), (2, "b", 4096)])
+        count = yield handle.event
+        results.append(count)
+
+    env.process(monitor(env))
+    env.run()
+    assert results == [2]
+    assert backend.contains(1) and backend.contains(2)
+
+
+def test_counters_track_operations(env, backend):
+    run_op(env, backend.put(1, "x"))
+    run_op(env, backend.get(1))
+    assert backend.counters["writes"] == 1
+    assert backend.counters["reads"] == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["put", "get", "remove"]),
+              st.integers(0, 5)),
+    max_size=40,
+))
+def test_dram_store_matches_dict_model(ops):
+    """Property: DramStore behaves exactly like a dict (latency aside)."""
+    env = Environment()
+    store = DramStore(env)
+    model = {}
+    for op, key in ops:
+        if op == "put":
+            run_op(env, store.put(key, f"v{key}"))
+            model[key] = f"v{key}"
+        elif op == "get":
+            if key in model:
+                assert run_op(env, store.get(key)) == model[key]
+            else:
+                assert not store.contains(key)
+        else:
+            if key in model:
+                run_op(env, store.remove(key))
+                del model[key]
+    assert store.stored_keys() == len(model)
+    for key, value in model.items():
+        assert store.contains(key)

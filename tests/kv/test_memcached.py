@@ -1,0 +1,90 @@
+"""Memcached-specific behaviour: slabs, LRU eviction, IPoIB latency."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, KVError
+from repro.kv import MemcachedServer, SLAB_BYTES
+from repro.kv.memcached import chunk_class_for
+
+from .conftest import run_op
+
+
+def test_chunk_class_powers_of_two():
+    assert chunk_class_for(10) == 128
+    assert chunk_class_for(128) == 256  # 128 + overhead > 128
+    assert chunk_class_for(4096) == 8192
+
+
+def test_value_too_big_rejected():
+    with pytest.raises(KVError):
+        chunk_class_for(SLAB_BYTES * 2)
+
+
+def test_server_minimum_memory():
+    with pytest.raises(KVError):
+        MemcachedServer(memory_bytes=1000)
+
+
+def test_basic_set_get_delete():
+    server = MemcachedServer(memory_bytes=SLAB_BYTES)
+    server.set(1, "v", 4096)
+    assert server.get(1) == ("v", 4096)
+    server.delete(1)
+    with pytest.raises(KeyNotFoundError):
+        server.get(1)
+
+
+def test_lru_eviction_when_full():
+    server = MemcachedServer(memory_bytes=SLAB_BYTES)
+    chunk = chunk_class_for(4096)
+    capacity = SLAB_BYTES // chunk
+    for key in range(capacity + 1):
+        server.set(key, f"v{key}", 4096)
+    assert server.evictions == 1
+    assert 0 not in server           # key 0 was the LRU victim
+    assert capacity in server
+
+
+def test_get_touch_protects_from_eviction():
+    server = MemcachedServer(memory_bytes=SLAB_BYTES)
+    chunk = chunk_class_for(4096)
+    capacity = SLAB_BYTES // chunk
+    for key in range(capacity):
+        server.set(key, "v", 4096)
+    server.get(0)                    # touch key 0 to MRU
+    server.set(capacity, "v", 4096)  # forces one eviction
+    assert 0 in server               # survived
+    assert 1 not in server           # key 1 became the victim
+
+
+def test_size_class_change_on_overwrite():
+    server = MemcachedServer(memory_bytes=2 * SLAB_BYTES)
+    server.set(1, "small", 64)
+    server.set(1, "big", 4096)
+    assert server.get(1) == ("big", 4096)
+    assert len(server) == 1
+
+
+def test_used_bytes_accounting():
+    server = MemcachedServer(memory_bytes=SLAB_BYTES)
+    server.set(1, "v", 4096)
+    server.set(2, "v", 4096)
+    assert server.used_bytes == 8192
+
+
+def test_memcached_slower_than_ramcloud(env, ipoib_fabric, memcached_store,
+                                        request):
+    """The IPoIB TCP stack must make memcached reads several times
+    slower than RAMCloud's RDMA reads (Fig. 3b vs 3c)."""
+    run_op(env, memcached_store.put(1, "page"))
+    samples = []
+    for _ in range(200):
+        start = env.now
+        run_op(env, memcached_store.get(1))
+        samples.append(env.now - start)
+    avg = sum(samples) / len(samples)
+    assert avg > 30.0  # RAMCloud sits near 10us
+
+
+def test_store_has_no_native_partitions(memcached_store):
+    assert not memcached_store.supports_partitions

@@ -1,0 +1,46 @@
+"""Tests for RAMCloud's multiRead."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+
+from .conftest import run_op
+
+
+def test_multiread_returns_in_key_order(env, ramcloud_store):
+    for key in range(8):
+        run_op(env, ramcloud_store.put(key, f"v{key}"))
+    values = run_op(env, ramcloud_store.multi_read([5, 1, 3]))
+    assert values == ["v5", "v1", "v3"]
+    assert ramcloud_store.counters["multi_reads"] == 1
+
+
+def test_multiread_single_round_trip(env, ramcloud_store):
+    for key in range(16):
+        run_op(env, ramcloud_store.put(key, "v"))
+    start = env.now
+    run_op(env, ramcloud_store.multi_read(list(range(16))))
+    batch_time = env.now - start
+
+    start = env.now
+    for key in range(16):
+        run_op(env, ramcloud_store.get(key))
+    sequential_time = env.now - start
+    assert batch_time < sequential_time / 3
+
+
+def test_multiread_missing_key_raises(env, ramcloud_store):
+    run_op(env, ramcloud_store.put(1, "v"))
+
+    def attempt(env):
+        yield from ramcloud_store.multi_read([1, 404])
+
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_multiread_empty_is_noop(env, ramcloud_store):
+    start = env.now
+    assert run_op(env, ramcloud_store.multi_read([])) == []
+    assert env.now == start

@@ -1,0 +1,113 @@
+"""RAMCloud-specific behaviour: log structure, multiwrite, latency scale."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, KVError
+from repro.kv import RamCloudServer, RamCloudStore, SEGMENT_BYTES
+
+from .conftest import run_op
+
+
+def test_server_needs_a_segment():
+    with pytest.raises(KVError):
+        RamCloudServer(memory_bytes=100)
+
+
+def test_table_lifecycle():
+    server = RamCloudServer(memory_bytes=SEGMENT_BYTES)
+    server.create_table(5)
+    with pytest.raises(KVError):
+        server.create_table(5)
+    server.write(5, 1, "x", 4096)
+    assert server.live_bytes == 4096
+    server.drop_table(5)
+    assert server.live_bytes == 0
+    with pytest.raises(KVError):
+        server.drop_table(5)
+    with pytest.raises(KVError):
+        server.write(5, 1, "x", 4096)
+
+
+def test_overwrite_keeps_live_bytes_but_appends():
+    server = RamCloudServer(memory_bytes=SEGMENT_BYTES)
+    server.create_table(1)
+    server.write(1, 1, "a", 4096)
+    server.write(1, 1, "b", 4096)
+    assert server.live_bytes == 4096
+    # Log utilization halves: one live object, two appended.
+    assert server.log_utilization == pytest.approx(0.5)
+
+
+def test_memory_limit_enforced():
+    server = RamCloudServer(memory_bytes=SEGMENT_BYTES)
+    server.create_table(1)
+    pages = SEGMENT_BYTES // 4096
+    for i in range(pages):
+        server.write(1, i, "x", 4096)
+    with pytest.raises(KVError):
+        server.write(1, pages, "x", 4096)
+
+
+def test_delete_appends_tombstone():
+    server = RamCloudServer(memory_bytes=SEGMENT_BYTES)
+    server.create_table(1)
+    server.write(1, 1, "x", 4096)
+    server.delete(1, 1)
+    assert server.live_bytes == 0
+    with pytest.raises(KeyNotFoundError):
+        server.read(1, 1)
+
+
+def test_segments_roll_over():
+    server = RamCloudServer(memory_bytes=4 * SEGMENT_BYTES)
+    server.create_table(1)
+    pages_per_segment = SEGMENT_BYTES // 4096
+    for i in range(pages_per_segment + 1):
+        server.write(1, i, "x", 4096)
+    assert server._segments_live == 2
+
+
+def test_multiwrite_single_round_trip(env, fabric, ramcloud_store):
+    """A 32-page multiwrite must cost far less than 32 sequential puts."""
+    items = [(k, "v", 4096) for k in range(32)]
+    start = env.now
+    run_op(env, ramcloud_store.multi_write(list(items)))
+    batch_time = env.now - start
+
+    start = env.now
+    for key, value, nbytes in items:
+        run_op(env, ramcloud_store.put(key + 100, value, nbytes))
+    sequential_time = env.now - start
+
+    assert batch_time < sequential_time / 3
+    assert ramcloud_store.counters["multi_writes"] == 1
+
+
+def test_empty_multiwrite_is_noop(env, ramcloud_store):
+    start = env.now
+    run_op(env, ramcloud_store.multi_write([]))
+    assert env.now == start
+
+
+def test_read_latency_near_paper_10us(env, ramcloud_store):
+    """Paper V-B: a RAMCloud page read waits ~10us on the network."""
+    run_op(env, ramcloud_store.put(1, "page"))
+    samples = []
+    for _ in range(300):
+        start = env.now
+        run_op(env, ramcloud_store.get(1))
+        samples.append(env.now - start)
+    avg = sum(samples) / len(samples)
+    assert 7.0 <= avg <= 16.0
+
+
+def test_native_partitions_isolate_tables(env, fabric):
+    server = RamCloudServer(memory_bytes=SEGMENT_BYTES)
+    store_a = RamCloudStore(env, fabric, "hypervisor", "kv-server", server,
+                            table_id=1)
+    store_b = RamCloudStore(env, fabric, "hypervisor", "kv-server", server,
+                            table_id=2)
+    run_op(env, store_a.put(1, "from-a"))
+    assert store_a.contains(1)
+    assert not store_b.contains(1)
+    assert store_a.supports_partitions

@@ -1,0 +1,190 @@
+"""Tests for the compression and replication store wrappers."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, KVError
+from repro.kv import (
+    CompressedStore,
+    CompressionModel,
+    DramStore,
+    ReplicatedStore,
+)
+from repro.mem import PAGE_SIZE, Page
+from repro.sim import Environment
+
+from .conftest import run_op
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+# ---------------------------------------------------------- CompressedStore
+
+def make_compressed(env):
+    inner = DramStore(env)
+    return CompressedStore(env, inner), inner
+
+
+def test_compressed_roundtrip_metadata(env):
+    store, inner = make_compressed(env)
+    run_op(env, store.put(1, "token"))
+    assert run_op(env, store.get(1)) == "token"
+    assert store.contains(1)
+    assert store.stored_keys() == 1
+
+
+def test_compressed_roundtrip_real_bytes(env):
+    store, _inner = make_compressed(env)
+    page = Page(vaddr=0x1000)
+    page.write(b"A" * PAGE_SIZE)           # highly compressible
+    run_op(env, store.put(1, page))
+    restored = run_op(env, store.get(1))
+    assert restored is page
+    assert restored.data == b"A" * PAGE_SIZE
+
+
+def test_compressed_saves_remote_bytes(env):
+    store, inner = make_compressed(env)
+    page = Page(vaddr=0x1000)
+    page.write(bytes(PAGE_SIZE))            # zeros: compresses hard
+    run_op(env, store.put(1, page))
+    assert inner.used_bytes < PAGE_SIZE
+    assert store.bytes_saved > 0
+
+
+def test_compressed_model_sizes(env):
+    model = CompressionModel(ratio=4.0)
+    assert model.compressed_bytes(4096) == 1024
+    assert model.compressed_bytes(100) == 64  # floor
+
+
+def test_compressed_multiwrite(env):
+    store, inner = make_compressed(env)
+    run_op(env, store.multi_write([(k, f"v{k}", PAGE_SIZE)
+                                   for k in range(5)]))
+    assert store.stored_keys() == 5
+    assert inner.used_bytes < 5 * PAGE_SIZE
+    for k in range(5):
+        assert run_op(env, store.get(k)) == f"v{k}"
+
+
+def test_compressed_costs_cpu_time(env):
+    store, _inner = make_compressed(env)
+    bare = DramStore(env)
+    start = env.now
+    run_op(env, store.put(1, "x"))
+    compressed_cost = env.now - start
+    start = env.now
+    run_op(env, bare.put(1, "x"))
+    assert compressed_cost > env.now - start
+
+
+def test_compressed_remove(env):
+    store, _inner = make_compressed(env)
+    run_op(env, store.put(1, "x"))
+    run_op(env, store.remove(1))
+    assert not store.contains(1)
+
+
+# ---------------------------------------------------------- ReplicatedStore
+
+def make_replicated(env, n=3):
+    replicas = [DramStore(env) for _ in range(n)]
+    return ReplicatedStore(env, replicas), replicas
+
+
+def test_replicated_requires_replicas(env):
+    with pytest.raises(KVError):
+        ReplicatedStore(env, [])
+
+
+def test_replicated_writes_everywhere(env):
+    store, replicas = make_replicated(env)
+    run_op(env, store.put(1, "v"))
+    for replica in replicas:
+        assert replica.contains(1)
+
+
+def test_replicated_parallel_write_cost(env):
+    """3-way replication costs ~one write, not three (parallel)."""
+    store, _replicas = make_replicated(env)
+    start = env.now
+    run_op(env, store.put(1, "v"))
+    replicated_cost = env.now - start
+    solo = DramStore(env)
+    start = env.now
+    run_op(env, solo.put(1, "v"))
+    solo_cost = env.now - start
+    assert replicated_cost < 2.5 * solo_cost
+
+
+def test_replicated_survives_replica_failure(env):
+    store, replicas = make_replicated(env)
+    run_op(env, store.put(1, "precious"))
+    store.fail_replica(0)
+    assert store.live_count == 2
+    assert run_op(env, store.get(1)) == "precious"
+    # Writes keep going to the survivors.
+    run_op(env, store.put(2, "more"))
+    assert replicas[1].contains(2)
+    assert not replicas[0].contains(2)
+
+
+def test_replicated_all_down_raises(env):
+    store, _replicas = make_replicated(env, n=1)
+    store.fail_replica(0)
+
+    def attempt(env):
+        yield from store.put(1, "x")
+
+    env.process(attempt(env))
+    with pytest.raises(KVError):
+        env.run()
+
+
+def test_replicated_failover_counts(env):
+    """A key missing on replica 0 (it recovered empty) fails over."""
+    store, replicas = make_replicated(env)
+    run_op(env, store.put(1, "v"))
+    # Simulate replica 0 losing its data (crash + empty recovery).
+    run_op(env, replicas[0].remove(1))
+    assert run_op(env, store.get(1)) == "v"
+    assert store.counters["failovers"] == 1
+
+
+def test_replicated_get_missing(env):
+    store, _replicas = make_replicated(env)
+
+    def attempt(env):
+        yield from store.get(404)
+
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_replicated_remove(env):
+    store, replicas = make_replicated(env)
+    run_op(env, store.put(1, "v"))
+    run_op(env, store.remove(1))
+    for replica in replicas:
+        assert not replica.contains(1)
+
+    def attempt(env):
+        yield from store.remove(1)
+
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_composition_compressed_over_replicated(env):
+    """Wrappers compose: compression in front of replication."""
+    replicated, replicas = make_replicated(env)
+    store = CompressedStore(env, replicated)
+    run_op(env, store.put(1, "deep"))
+    assert run_op(env, store.get(1)) == "deep"
+    replicated.fail_replica(0)
+    assert run_op(env, store.get(1)) == "deep"

@@ -1,0 +1,112 @@
+"""Tests for address arithmetic and 52+12-bit page-key encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import (
+    MAX_PARTITION,
+    PAGE_SIZE,
+    decode_page_key,
+    encode_page_key,
+    is_page_aligned,
+    page_address,
+    page_align_down,
+    page_align_up,
+    page_number,
+    pages_for_bytes,
+)
+
+addresses = st.integers(0, 2**64 - 1)
+partitions = st.integers(0, MAX_PARTITION)
+
+
+def test_page_size_is_4k():
+    assert PAGE_SIZE == 4096
+
+
+def test_align_down():
+    assert page_align_down(0) == 0
+    assert page_align_down(1) == 0
+    assert page_align_down(4096) == 4096
+    assert page_align_down(4097) == 4096
+    assert page_align_down(8191) == 4096
+
+
+def test_align_up():
+    assert page_align_up(0) == 0
+    assert page_align_up(1) == 4096
+    assert page_align_up(4096) == 4096
+    assert page_align_up(4097) == 8192
+
+
+def test_is_page_aligned():
+    assert is_page_aligned(0)
+    assert is_page_aligned(4096)
+    assert not is_page_aligned(2048)
+
+
+def test_page_number_roundtrip():
+    assert page_number(page_address(5)) == 5
+    assert page_number(4096 * 5 + 123) == 5
+
+
+def test_pages_for_bytes():
+    assert pages_for_bytes(0) == 0
+    assert pages_for_bytes(1) == 1
+    assert pages_for_bytes(4096) == 1
+    assert pages_for_bytes(4097) == 2
+    with pytest.raises(ValueError):
+        pages_for_bytes(-1)
+
+
+def test_address_range_checked():
+    with pytest.raises(ValueError):
+        page_align_down(-1)
+    with pytest.raises(ValueError):
+        page_align_down(2**64)
+
+
+def test_encode_key_paper_layout():
+    """Upper 52 bits = VPN, lower 12 = partition (paper section IV)."""
+    addr = 0xDEAD_BEEF_F000
+    key = encode_page_key(addr, partition=7)
+    assert key & 0xFFF == 7
+    assert key >> 12 == addr >> 12
+
+
+def test_encode_key_partition_bounds():
+    with pytest.raises(ValueError):
+        encode_page_key(0, partition=-1)
+    with pytest.raises(ValueError):
+        encode_page_key(0, partition=MAX_PARTITION + 1)
+
+
+def test_decode_key_bounds():
+    with pytest.raises(ValueError):
+        decode_page_key(-1)
+    with pytest.raises(ValueError):
+        decode_page_key(2**64)
+
+
+@given(addresses, partitions)
+def test_key_roundtrip(addr, partition):
+    key = encode_page_key(addr, partition)
+    base, part = decode_page_key(key)
+    assert part == partition
+    assert base == page_align_down(addr)
+    assert 0 <= key < 2**64
+
+
+@given(addresses)
+def test_align_down_le_up(addr):
+    down = page_align_down(addr)
+    assert down <= addr
+    assert down % PAGE_SIZE == 0
+
+
+@given(st.integers(0, 2**52 - 1), partitions)
+def test_distinct_pages_distinct_keys(vpn, partition):
+    a = encode_page_key(page_address(vpn), partition)
+    other_vpn = (vpn + 1) % (2**52)
+    b = encode_page_key(page_address(other_vpn), partition)
+    assert a != b

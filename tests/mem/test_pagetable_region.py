@@ -1,0 +1,194 @@
+"""Tests for PageTable remap semantics and AddressSpace invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PageTableError, RegionError
+from repro.mem import (
+    PAGE_SIZE,
+    AddressSpace,
+    MemoryRegion,
+    Page,
+    PageTable,
+)
+
+
+# --------------------------------------------------------------- PageTable
+
+def make_mapped(table, vaddr, frame=0):
+    page = Page(vaddr=vaddr)
+    table.map(vaddr, frame, page)
+    return page
+
+
+def test_map_lookup_unmap():
+    table = PageTable()
+    page = make_mapped(table, 0x1000, frame=3)
+    assert 0x1000 in table
+    pte = table.lookup(0x1000)
+    assert pte.frame == 3
+    assert pte.page is page
+    removed = table.unmap(0x1000)
+    assert removed.page is page
+    assert 0x1000 not in table
+
+
+def test_lookup_absent_returns_none():
+    table = PageTable()
+    assert table.lookup(0x1000) is None
+    with pytest.raises(PageTableError):
+        table.entry(0x1000)
+
+
+def test_double_map_rejected():
+    table = PageTable()
+    make_mapped(table, 0x1000)
+    with pytest.raises(PageTableError):
+        make_mapped(table, 0x1000)
+
+
+def test_unmap_absent_rejected():
+    table = PageTable()
+    with pytest.raises(PageTableError):
+        table.unmap(0x1000)
+
+
+def test_unaligned_rejected():
+    table = PageTable()
+    with pytest.raises(PageTableError):
+        table.map(123, 0, Page(vaddr=0))
+    with pytest.raises(PageTableError):
+        table.lookup(123)
+
+
+def test_present_pages_counts_footprint():
+    table = PageTable()
+    for i in range(5):
+        make_mapped(table, i * PAGE_SIZE, frame=i)
+    assert table.present_pages == 5
+    table.unmap(0)
+    assert table.present_pages == 4
+
+
+def test_remap_moves_mapping_without_copy():
+    """UFFD_REMAP semantics: same frame + page object, new table/addr."""
+    vm = PageTable("vm")
+    buf = PageTable("buffer")
+    page = make_mapped(vm, 0x5000, frame=9)
+    vm.remap_to(0x5000, buf, 0xA000)
+    assert 0x5000 not in vm
+    pte = buf.entry(0xA000)
+    assert pte.frame == 9
+    assert pte.page is page  # zero-copy: identical object
+
+
+def test_remap_conflict_rolls_back():
+    vm = PageTable("vm")
+    buf = PageTable("buffer")
+    make_mapped(vm, 0x5000, frame=1)
+    make_mapped(buf, 0xA000, frame=2)
+    with pytest.raises(PageTableError):
+        vm.remap_to(0x5000, buf, 0xA000)
+    # Source mapping must be intact after the failed remap.
+    assert vm.entry(0x5000).frame == 1
+
+
+# ------------------------------------------------------------ MemoryRegion
+
+def test_region_bounds():
+    region = MemoryRegion(0x1000, 3 * PAGE_SIZE)
+    assert region.end == 0x1000 + 3 * PAGE_SIZE
+    assert region.num_pages == 3
+    assert 0x1000 in region
+    assert region.end not in region
+    assert list(region.pages()) == [0x1000, 0x2000, 0x3000]
+
+
+def test_region_validation():
+    with pytest.raises(RegionError):
+        MemoryRegion(123, PAGE_SIZE)
+    with pytest.raises(RegionError):
+        MemoryRegion(0, 100)
+    with pytest.raises(RegionError):
+        MemoryRegion(0, 0)
+
+
+def test_region_overlap_detection():
+    a = MemoryRegion(0, 2 * PAGE_SIZE)
+    b = MemoryRegion(PAGE_SIZE, 2 * PAGE_SIZE)
+    c = MemoryRegion(2 * PAGE_SIZE, PAGE_SIZE)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+# ------------------------------------------------------------ AddressSpace
+
+def test_addrspace_add_and_find():
+    space = AddressSpace()
+    region = space.add(MemoryRegion(0x10000, 4 * PAGE_SIZE, name="guest-ram"))
+    assert space.find(0x10000) is region
+    assert space.find(0x10000 + 4 * PAGE_SIZE - 1) is region
+    assert space.find(0x10000 + 4 * PAGE_SIZE) is None
+    assert space.find(0) is None
+
+
+def test_addrspace_rejects_overlap():
+    space = AddressSpace()
+    space.add(MemoryRegion(0x10000, 4 * PAGE_SIZE))
+    with pytest.raises(RegionError):
+        space.add(MemoryRegion(0x10000 + PAGE_SIZE, PAGE_SIZE))
+    with pytest.raises(RegionError):
+        space.add(MemoryRegion(0x10000 - PAGE_SIZE, 2 * PAGE_SIZE))
+
+
+def test_addrspace_adjacent_ok():
+    space = AddressSpace()
+    space.add(MemoryRegion(0x10000, PAGE_SIZE))
+    space.add(MemoryRegion(0x10000 + PAGE_SIZE, PAGE_SIZE))
+    assert len(space) == 2
+
+
+def test_addrspace_remove():
+    space = AddressSpace()
+    region = space.add(MemoryRegion(0x10000, PAGE_SIZE))
+    space.remove(region)
+    assert space.find(0x10000) is None
+    with pytest.raises(RegionError):
+        space.remove(region)
+
+
+def test_addrspace_total_pages():
+    space = AddressSpace()
+    space.add(MemoryRegion(0x10000, 2 * PAGE_SIZE))
+    space.add(MemoryRegion(0x40000, 3 * PAGE_SIZE))
+    assert space.total_pages() == 5
+
+
+def test_allocate_gap_finds_space():
+    space = AddressSpace()
+    space.add(MemoryRegion(PAGE_SIZE, PAGE_SIZE))  # occupies [1p, 2p)
+    start = space.allocate_gap(2 * PAGE_SIZE)
+    region = MemoryRegion(start, 2 * PAGE_SIZE)
+    space.add(region)  # must not overlap
+    assert len(space) == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 8)),
+                min_size=1, max_size=40))
+def test_addrspace_never_overlapping(specs):
+    """Property: whatever sequence of adds, accepted regions never overlap."""
+    space = AddressSpace()
+    accepted = []
+    for start_page, npages in specs:
+        region = MemoryRegion(start_page * PAGE_SIZE, npages * PAGE_SIZE)
+        try:
+            space.add(region)
+            accepted.append(region)
+        except RegionError:
+            pass
+    for i, a in enumerate(accepted):
+        for b in accepted[i + 1:]:
+            assert not a.overlaps(b)
+    # find() agrees with membership
+    for region in accepted:
+        assert space.find(region.start) is region

@@ -1,0 +1,305 @@
+"""Unit tests for Resource, Store, and Container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, name):
+        req = res.request()
+        yield req
+        granted.append((name, env.now))
+        yield env.timeout(10.0)
+        res.release(req)
+
+    for name in ("a", "b", "c"):
+        env.process(user(env, name))
+    env.run()
+    assert granted == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name, arrive):
+        yield env.timeout(arrive)
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(5.0)
+        res.release(req)
+
+    env.process(user(env, "first", 1.0))
+    env.process(user(env, "second", 2.0))
+    env.process(user(env, "third", 3.0))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    observed = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        observed.append((res.count, res.queue_length))
+        yield env.timeout(1.0)
+        res.release(req)
+
+    def waiter(env):
+        req = res.request()
+        yield req
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert observed == [(1, 0)] or observed == [(1, 1)]
+
+
+def test_resource_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_release_unknown_request_rejected():
+    env = Environment()
+    res = Resource(env)
+    other = Resource(env)
+    req = other.request()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_release_waiting_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        req = res.request()  # queued behind holder
+        res.release(req)     # cancel before grant
+        got.append("cancelled")
+
+    def third(env):
+        yield env.timeout(2.0)
+        req = res.request()
+        yield req
+        got.append(("granted", env.now))
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.process(third(env))
+    env.run()
+    assert got == ["cancelled", ("granted", 10.0)]
+
+
+# ------------------------------------------------------------------- Store
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        yield store.put("item-1")
+        yield env.timeout(5.0)
+        yield store.put("item-2")
+
+    def consumer(env):
+        for _ in range(2):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == [(0.0, "item-1"), (5.0, "item-2")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        item = yield store.get()
+        received.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(9.0)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == [(9.0, "late")]
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        for i in range(5):
+            yield store.put(i)
+
+    out = []
+
+    def consumer(env):
+        for _ in range(5):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_bounded_store_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")
+        times.append(("b", env.now))
+
+    def consumer(env):
+        yield env.timeout(7.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [("a", 0.0), ("b", 7.0)]
+
+
+def test_store_predicate_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for item in ("apple", "banana", "cherry"):
+            yield store.put(item)
+
+    def consumer(env):
+        item = yield store.get(lambda x: x.startswith("b"))
+        got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["banana"]
+    assert list(store.items) == ["apple", "cherry"]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("x")
+    env.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+
+
+# --------------------------------------------------------------- Container
+
+def test_container_levels():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=50.0)
+    assert tank.level == 50.0
+
+    def proc(env):
+        yield tank.get(30.0)
+        yield tank.put(10.0)
+
+    env.process(proc(env))
+    env.run()
+    assert tank.level == 30.0
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=0.0)
+    times = []
+
+    def getter(env):
+        yield tank.get(5.0)
+        times.append(env.now)
+
+    def putter(env):
+        yield env.timeout(4.0)
+        yield tank.put(5.0)
+
+    env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert times == [4.0]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=10.0)
+    times = []
+
+    def putter(env):
+        yield tank.put(3.0)
+        times.append(env.now)
+
+    def getter(env):
+        yield env.timeout(6.0)
+        yield tank.get(5.0)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert times == [6.0]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=0.0)
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5.0, init=6.0)
+    tank = Container(env, capacity=5.0)
+    with pytest.raises(SimulationError):
+        tank.get(0.0)
+    with pytest.raises(SimulationError):
+        tank.put(-1.0)

@@ -1,0 +1,223 @@
+"""Unit and property tests for measurement utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    Cdf,
+    CounterSet,
+    LatencyRecorder,
+    TimeSeries,
+    harmonic_mean,
+    percentile,
+)
+
+
+# ------------------------------------------------------------- percentile
+
+def test_percentile_simple():
+    assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50) == 3.0
+    assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0) == 1.0
+    assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 100) == 5.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == 1.5
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_range_check():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200),
+       st.floats(0, 100))
+def test_percentile_within_bounds(samples, q):
+    result = percentile(samples, q)
+    assert min(samples) <= result <= max(samples)
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100))
+def test_percentile_monotone_in_q(samples):
+    values = [percentile(samples, q) for q in (0, 25, 50, 75, 100)]
+    for lower, higher in zip(values, values[1:]):
+        # Interpolation of adjacent denormals can round a hair below
+        # exact monotonicity; allow that epsilon.
+        assert higher >= lower or math.isclose(
+            lower, higher, rel_tol=1e-12, abs_tol=1e-300
+        )
+
+
+def test_percentile_matches_numpy():
+    numpy = pytest.importorskip("numpy")
+    samples = [3.1, 0.2, 9.9, 4.4, 4.4, 7.0, 1.5]
+    for q in (0, 10, 25, 50, 75, 90, 99, 100):
+        assert percentile(samples, q) == pytest.approx(
+            float(numpy.percentile(samples, q))
+        )
+
+
+# ---------------------------------------------------------- harmonic mean
+
+def test_harmonic_mean_basic():
+    assert harmonic_mean([1.0, 1.0]) == 1.0
+    assert harmonic_mean([2.0, 6.0]) == 3.0
+
+
+def test_harmonic_mean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        harmonic_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        harmonic_mean([])
+
+
+@given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=50))
+def test_harmonic_le_arithmetic(values):
+    hm = harmonic_mean(values)
+    am = sum(values) / len(values)
+    assert hm <= am * (1 + 1e-9)
+
+
+# --------------------------------------------------------------------- Cdf
+
+def test_cdf_fraction_below():
+    cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+    assert cdf.fraction_below(0.5) == 0.0
+    assert cdf.fraction_below(1.0) == 0.25
+    assert cdf.fraction_below(2.5) == 0.5
+    assert cdf.fraction_below(10.0) == 1.0
+
+
+def test_cdf_quantile():
+    cdf = Cdf([10.0, 20.0, 30.0, 40.0])
+    assert cdf.quantile(0.25) == 10.0
+    assert cdf.quantile(0.5) == 20.0
+    assert cdf.quantile(1.0) == 40.0
+
+
+def test_cdf_points_monotone():
+    cdf = Cdf([5.0, 1.0, 3.0, 2.0, 4.0])
+    points = cdf.points(count=10)
+    values = [p[0] for p in points]
+    fracs = [p[1] for p in points]
+    assert values == sorted(values)
+    assert fracs == sorted(fracs)
+    assert fracs[-1] == 1.0
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        Cdf([])
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200),
+       st.floats(0, 1e6))
+def test_cdf_fraction_consistent_with_count(samples, x):
+    cdf = Cdf(samples)
+    expected = sum(1 for s in samples if s <= x) / len(samples)
+    assert cdf.fraction_below(x) == pytest.approx(expected)
+
+
+# --------------------------------------------------------- LatencyRecorder
+
+def test_recorder_summary():
+    rec = LatencyRecorder("fault")
+    rec.extend([1.0, 2.0, 3.0])
+    assert rec.count == 3
+    assert rec.mean == 2.0
+    assert rec.minimum == 1.0
+    assert rec.maximum == 3.0
+    assert rec.stdev == pytest.approx(1.0)
+
+
+def test_recorder_rejects_negative():
+    rec = LatencyRecorder("x")
+    with pytest.raises(ValueError):
+        rec.record(-1.0)
+
+
+def test_recorder_empty_mean_raises():
+    rec = LatencyRecorder("x")
+    with pytest.raises(ValueError):
+        _ = rec.mean
+
+
+def test_recorder_sample_cap_keeps_exact_aggregates():
+    rec = LatencyRecorder("x", max_samples=10)
+    rec.extend(float(i) for i in range(100))
+    assert rec.count == 100
+    assert rec.mean == pytest.approx(49.5)
+    assert len(rec.samples) == 10
+
+
+def test_recorder_summary_dict_keys():
+    rec = LatencyRecorder("x")
+    rec.extend([5.0] * 10)
+    summary = rec.summary()
+    assert set(summary) == {"count", "avg", "stdev", "p99", "min", "max"}
+    assert summary["avg"] == 5.0
+    assert summary["stdev"] == 0.0
+
+
+@given(st.lists(st.floats(0, 1e5), min_size=2, max_size=300))
+def test_recorder_stdev_matches_direct_computation(samples):
+    rec = LatencyRecorder("x")
+    rec.extend(samples)
+    mean = sum(samples) / len(samples)
+    var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+    assert rec.stdev == pytest.approx(math.sqrt(var), abs=1e-6, rel=1e-6)
+
+
+# --------------------------------------------------------------- TimeSeries
+
+def test_timeseries_records_in_order():
+    ts = TimeSeries("lat")
+    ts.record(0.0, 100.0)
+    ts.record(1.0, 200.0)
+    assert ts.mean() == 150.0
+    assert len(ts) == 2
+
+
+def test_timeseries_rejects_backwards_time():
+    ts = TimeSeries("lat")
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 1.0)
+
+
+def test_timeseries_bucketed():
+    ts = TimeSeries("lat")
+    for t, v in [(0.0, 10.0), (0.5, 20.0), (1.2, 30.0)]:
+        ts.record(t, v)
+    buckets = ts.bucketed(1.0)
+    assert buckets == [(0.0, 15.0), (1.0, 30.0)]
+
+
+def test_timeseries_empty_mean_raises():
+    ts = TimeSeries("lat")
+    with pytest.raises(ValueError):
+        ts.mean()
+
+
+# --------------------------------------------------------------- CounterSet
+
+def test_counterset():
+    counters = CounterSet()
+    counters.incr("faults")
+    counters.incr("faults", by=2)
+    assert counters["faults"] == 3
+    assert counters["missing"] == 0
+    assert counters.as_dict() == {"faults": 3}
+
+
+def test_counterset_monotonic():
+    counters = CounterSet()
+    with pytest.raises(ValueError):
+        counters.incr("x", by=-1)

@@ -1,0 +1,60 @@
+"""The exception hierarchy: every error is a ReproError of the right kind."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    BenchError,
+    CoordinationError,
+    FluidMemError,
+    InterruptError,
+    KVError,
+    KernelError,
+    KeyNotFoundError,
+    MemoryError_,
+    OutOfFramesError,
+    OutOfSwapError,
+    QuorumLostError,
+    ReproError,
+    SimulationError,
+    SwapError,
+    UffdError,
+    VcpuDeadlockError,
+    VmError,
+)
+
+
+def test_everything_derives_from_repro_error():
+    for _name, obj in inspect.getmembers(errors_module, inspect.isclass):
+        if issubclass(obj, BaseException):
+            assert issubclass(obj, ReproError), obj
+
+
+def test_domain_groupings():
+    assert issubclass(InterruptError, SimulationError)
+    assert issubclass(OutOfFramesError, MemoryError_)
+    assert issubclass(KeyNotFoundError, KVError)
+    assert issubclass(QuorumLostError, CoordinationError)
+    assert issubclass(OutOfSwapError, SwapError)
+    assert issubclass(SwapError, KernelError)
+    assert issubclass(UffdError, KernelError)
+    assert issubclass(VcpuDeadlockError, VmError)
+
+
+def test_interrupt_error_cause():
+    exc = InterruptError(cause="wakeup")
+    assert exc.cause == "wakeup"
+    assert InterruptError().cause is None
+
+
+def test_catching_by_domain():
+    """Callers can catch a whole domain with one except clause."""
+    with pytest.raises(KernelError):
+        raise OutOfSwapError("full")
+    with pytest.raises(ReproError):
+        raise BenchError("nope")
+    with pytest.raises(FluidMemError):
+        from repro.errors import MonitorStateError
+        raise MonitorStateError("stopped")

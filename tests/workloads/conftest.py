@@ -1,0 +1,88 @@
+"""Shared fixtures: both memory worlds, small scale."""
+
+import random
+
+import pytest
+
+from repro.blockdev import PmemDisk, SsdDisk
+from repro.core import FluidMemConfig, FluidMemoryPort, Monitor
+from repro.kernel import GuestMemoryManager, UffdLatency, UffdOps, Userfaultfd
+from repro.kv import DramStore
+from repro.mem import MIB, PAGE_SIZE, FrameAllocator
+from repro.sim import Environment, RandomStreams
+from repro.vm import BootProfile, GuestVM, QemuProcess, SwapMemoryPort
+
+
+class World:
+    """One memory world ready to run a workload."""
+
+    def __init__(self, env, vm, port, monitor=None, mm=None):
+        self.env = env
+        self.vm = vm
+        self.port = port
+        self.monitor = monitor
+        self.mm = mm
+
+    def run(self, gen):
+        proc = self.env.process(gen)
+        self.env.run()
+        return proc.value
+
+    @property
+    def base_addr(self):
+        return self.vm.first_free_guest_addr()
+
+
+def make_fluidmem_world(lru_pages=128, vm_mib=64, boot_pages=16, seed=5):
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd"))
+    ops = UffdOps(env, UffdLatency(), streams.stream("ops"),
+                  FrameAllocator.for_bytes(256 * MIB))
+    monitor = Monitor(env, uffd, ops,
+                      config=FluidMemConfig(lru_capacity_pages=lru_pages),
+                      rng=streams.stream("monitor"))
+    monitor.start()
+    vm = GuestVM(env, "fm-vm", memory_bytes=vm_mib * MIB,
+                 boot_profile=BootProfile(total_pages=boot_pages))
+    qemu = QemuProcess(vm)
+    store = DramStore(env)
+    registration = monitor.register_vm(qemu, store)
+    port = FluidMemoryPort(env, vm, qemu, monitor, registration)
+    vm.attach_port(port)
+    world = World(env, vm, port, monitor=monitor)
+    world.run(vm.boot())
+    return world
+
+
+def make_swap_world(dram_pages=128, vm_mib=64, boot_pages=16, seed=5,
+                    data_disk=False, swap_mib=32):
+    env = Environment()
+    rng = random.Random(seed)
+    swap_device = PmemDisk(env, swap_mib * MIB, random.Random(seed + 1))
+    disk = SsdDisk(env, 64 * MIB, random.Random(seed + 2)) if data_disk \
+        else None
+    mm = GuestMemoryManager(
+        env, rng,
+        dram_bytes=dram_pages * PAGE_SIZE,
+        swap_device=swap_device,
+        data_disk=disk,
+        swappiness=100,
+    )
+    vm = GuestVM(env, "swap-vm", memory_bytes=vm_mib * MIB,
+                 boot_profile=BootProfile(total_pages=boot_pages))
+    port = SwapMemoryPort(mm)
+    vm.attach_port(port)
+    world = World(env, vm, port, mm=mm)
+    world.run(vm.boot())
+    return world
+
+
+@pytest.fixture
+def fluid_world():
+    return make_fluidmem_world()
+
+
+@pytest.fixture
+def swap_world():
+    return make_swap_world()

@@ -1,0 +1,144 @@
+"""Tests for the Kronecker generator and traced BFS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    Graph500,
+    Graph500Config,
+    KroneckerGraph,
+    generate_kronecker_edges,
+)
+
+from .conftest import make_fluidmem_world
+
+
+def test_generator_shape_and_range():
+    rng = np.random.default_rng(0)
+    edges = generate_kronecker_edges(scale=8, edgefactor=4, rng=rng)
+    assert edges.shape == (4 * 256, 2)
+    assert edges.min() >= 0
+    assert edges.max() < 256
+
+
+def test_generator_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkloadError):
+        generate_kronecker_edges(0, 4, rng)
+    with pytest.raises(WorkloadError):
+        generate_kronecker_edges(4, 0, rng)
+
+
+def test_generator_skewed_degrees():
+    """R-MAT graphs have heavy-tailed degree distributions."""
+    graph = KroneckerGraph(scale=10, edgefactor=8, seed=3)
+    degrees = np.diff(graph.xadj)
+    assert degrees.max() > 8 * degrees.mean()
+
+
+def test_csr_consistency():
+    graph = KroneckerGraph(scale=7, edgefactor=4, seed=1)
+    assert graph.xadj[0] == 0
+    assert graph.xadj[-1] == len(graph.adjacency)
+    assert (np.diff(graph.xadj) >= 0).all()
+    # Undirected: every edge appears in both directions.
+    for v in range(0, graph.num_vertices, 13):
+        for w in graph.neighbors(v):
+            assert v in graph.neighbors(int(w))
+
+
+def test_csr_has_no_self_loops():
+    graph = KroneckerGraph(scale=7, edgefactor=4, seed=2)
+    for v in range(graph.num_vertices):
+        assert v not in graph.neighbors(v)
+
+
+def test_bfs_tree_validates():
+    """The traced BFS produces a valid BFS tree (Graph500 validation)."""
+    world = make_fluidmem_world(lru_pages=4096, vm_mib=128)
+    config = Graph500Config(scale=7, edgefactor=4, num_bfs_roots=1, seed=2)
+    bench = Graph500(world.env, world.port, world.base_addr, config)
+
+    def gen(env):
+        yield from bench.load_graph()
+        from repro.workloads.driver import AccessDriver
+        driver = AccessDriver(env, world.port)
+        root = bench.pick_roots()[0]
+        edges, parent = yield from bench.bfs(root, driver)
+        return root, edges, parent
+
+    root, edges, parent = world.run(gen(world.env))
+    assert edges > 0
+    assert bench.validate_bfs(root, parent)
+
+
+def test_bfs_distances_match_networkx():
+    networkx = pytest.importorskip("networkx")
+    world = make_fluidmem_world(lru_pages=4096, vm_mib=128)
+    config = Graph500Config(scale=6, edgefactor=4, num_bfs_roots=1, seed=4)
+    bench = Graph500(world.env, world.port, world.base_addr, config)
+    graph = bench.graph
+
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    for v in range(graph.num_vertices):
+        for w in graph.neighbors(v):
+            nx_graph.add_edge(v, int(w))
+
+    def gen(env):
+        yield from bench.load_graph()
+        from repro.workloads.driver import AccessDriver
+        driver = AccessDriver(env, world.port)
+        root = bench.pick_roots()[0]
+        _edges, parent = yield from bench.bfs(root, driver)
+        return root, parent
+
+    root, parent = world.run(gen(world.env))
+    reachable_model = set(
+        networkx.single_source_shortest_path_length(nx_graph, root)
+    )
+    reachable_ours = {v for v in range(graph.num_vertices)
+                      if parent[v] != -1}
+    assert reachable_ours == reachable_model
+
+
+def test_full_run_reports_teps():
+    world = make_fluidmem_world(lru_pages=4096, vm_mib=128)
+    config = Graph500Config(scale=7, edgefactor=4, num_bfs_roots=2, seed=5)
+    bench = Graph500(world.env, world.port, world.base_addr, config)
+    result = world.run(bench.run())
+    assert len(result.teps) == 2
+    assert result.harmonic_mean_teps > 0
+    assert result.mean_teps_millions > 0
+
+
+def test_teps_degrades_with_less_local_memory():
+    """The Figure 4 mechanism: less DRAM -> remote faults -> lower TEPS."""
+    # Scale 10 x edgefactor 8 -> ~40 traced pages of CSR arrays; a
+    # 24-page budget forces remote faults, 8192 keeps it all local.
+    config = Graph500Config(scale=10, edgefactor=8, num_bfs_roots=1, seed=6)
+
+    big = make_fluidmem_world(lru_pages=8192, vm_mib=128)
+    bench_big = Graph500(big.env, big.port, big.base_addr, config)
+    fast = big.run(bench_big.run())
+
+    small = make_fluidmem_world(lru_pages=24, vm_mib=128)
+    bench_small = Graph500(small.env, small.port, small.base_addr, config)
+    slow = small.run(bench_small.run())
+
+    assert fast.harmonic_mean_teps > 2 * slow.harmonic_mean_teps
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        Graph500Config(num_bfs_roots=0)
+
+
+def test_memory_bytes_accounting():
+    graph = KroneckerGraph(scale=8, edgefactor=4, seed=0)
+    expected = (257 * 8) + len(graph.adjacency) * 8 + 256 * 9
+    # scale 8 -> 256 vertices... num_vertices is 256.
+    expected = (graph.num_vertices + 1) * 8 \
+        + len(graph.adjacency) * 8 + graph.num_vertices * 9
+    assert graph.memory_bytes() == expected

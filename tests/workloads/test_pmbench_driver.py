@@ -1,0 +1,111 @@
+"""Tests for the access driver and pmbench."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import AccessDriver, Pmbench, PmbenchConfig
+
+from .conftest import make_fluidmem_world, make_swap_world
+
+
+# ------------------------------------------------------------- AccessDriver
+
+def test_driver_counts_hits_and_faults(fluid_world):
+    world = fluid_world
+    driver = AccessDriver(world.env, world.port)
+
+    def gen(env):
+        yield from driver.access(world.base_addr, is_write=True)  # fault
+        yield from driver.access(world.base_addr)                 # hit
+        yield from driver.flush()
+
+    world.run(gen(world.env))
+    assert driver.faults == 1
+    assert driver.hits == 1
+
+
+def test_driver_hits_are_cheap(fluid_world):
+    """1000 hits must produce far fewer events than 1000 faults would."""
+    world = fluid_world
+    driver = AccessDriver(world.env, world.port)
+
+    def gen(env):
+        yield from driver.access(world.base_addr, is_write=True)
+        before = env.now
+        for _ in range(1000):
+            yield from driver.access(world.base_addr)
+        yield from driver.flush()
+        return env.now - before
+
+    elapsed = world.run(gen(world.env))
+    # ~0.15us per hit, all accounted.
+    assert elapsed == pytest.approx(1000 * 0.15, rel=0.1)
+
+
+def test_driver_flush_every_validation(fluid_world):
+    with pytest.raises(ValueError):
+        AccessDriver(fluid_world.env, fluid_world.port, flush_every=0)
+
+
+# ----------------------------------------------------------------- Pmbench
+
+def test_pmbench_config_validation():
+    with pytest.raises(WorkloadError):
+        PmbenchConfig(wss_pages=0)
+    with pytest.raises(WorkloadError):
+        PmbenchConfig(read_ratio=1.5)
+    with pytest.raises(WorkloadError):
+        PmbenchConfig(measured_accesses=0)
+
+
+def run_pmbench(world, wss_pages, accesses=2000):
+    bench = Pmbench(
+        world.env, world.port, world.base_addr,
+        PmbenchConfig(wss_pages=wss_pages, measured_accesses=accesses),
+    )
+    return world.run(bench.run())
+
+
+def test_pmbench_all_local_is_fast():
+    """WSS below the LRU budget: everything hits after warm-up."""
+    world = make_fluidmem_world(lru_pages=256)
+    result = run_pmbench(world, wss_pages=64)
+    assert result.hit_fraction == 1.0
+    assert result.average_latency_us < 5.0
+
+
+def test_pmbench_hit_fraction_tracks_local_remote_ratio():
+    """Paper VI-B: sub-10us faults ~= the local:total memory ratio."""
+    world = make_fluidmem_world(lru_pages=64)
+    result = run_pmbench(world, wss_pages=256, accesses=4000)
+    # 64 local / 256 WSS = 25% expected hits (boot pages add noise).
+    assert 0.12 <= result.hit_fraction <= 0.40
+    cdf = result.cdf()
+    assert cdf.fraction_below(10.0) == pytest.approx(
+        result.hit_fraction, abs=0.08
+    )
+
+
+def test_pmbench_read_write_split():
+    world = make_fluidmem_world(lru_pages=64)
+    result = run_pmbench(world, wss_pages=128, accesses=1000)
+    assert result.read_latency.count + result.write_latency.count == 1000
+    # 50/50 mix within statistical noise.
+    assert 350 <= result.read_latency.count <= 650
+
+
+def test_pmbench_swap_world_runs():
+    world = make_swap_world(dram_pages=96)
+    result = run_pmbench(world, wss_pages=256, accesses=1500)
+    assert result.faults > 0
+    assert result.average_latency_us > 1.0
+    # kswapd actually reclaimed into swap.
+    assert world.mm.swap.counters["swapped_out"] > 0
+
+
+def test_pmbench_remote_slower_than_local():
+    local = make_fluidmem_world(lru_pages=512)
+    remote = make_fluidmem_world(lru_pages=64)
+    fast = run_pmbench(local, wss_pages=128, accesses=1500)
+    slow = run_pmbench(remote, wss_pages=256, accesses=1500)
+    assert slow.average_latency_us > 2 * fast.average_latency_us

@@ -1,0 +1,236 @@
+"""Tests for the YCSB generators and the MongoDB/WiredTiger model."""
+
+import random
+
+import pytest
+
+from repro.blockdev import SsdDisk
+from repro.errors import WorkloadError
+from repro.mem import MIB, PAGE_SIZE
+from repro.workloads import (
+    GuestCacheFileReader,
+    KernelFileReader,
+    MongoConfig,
+    MongoServer,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    WiredTigerCache,
+    YcsbClient,
+    YcsbConfig,
+    ZipfianGenerator,
+)
+
+from .conftest import make_fluidmem_world, make_swap_world
+
+
+# ----------------------------------------------------------- distributions
+
+def test_zipfian_skew():
+    rng = random.Random(1)
+    gen = ZipfianGenerator(1000, rng)
+    samples = [gen.next() for _ in range(20_000)]
+    assert all(0 <= s < 1000 for s in samples)
+    # Key 0 is the hottest by a wide margin.
+    frac_zero = samples.count(0) / len(samples)
+    assert frac_zero > 0.05
+    top10 = sum(1 for s in samples if s < 10) / len(samples)
+    assert top10 > 0.3
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    rng = random.Random(2)
+    gen = ScrambledZipfianGenerator(1000, rng)
+    samples = [gen.next() for _ in range(20_000)]
+    assert all(0 <= s < 1000 for s in samples)
+    # Still skewed (a few keys dominate)...
+    counts = {}
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+    hottest = max(counts.values())
+    assert hottest > 20 * (len(samples) / 1000)
+    # ...but the hottest keys are not the low ids.
+    hot_keys = sorted(counts, key=counts.get, reverse=True)[:5]
+    assert any(k > 100 for k in hot_keys)
+
+
+def test_uniform_generator():
+    rng = random.Random(3)
+    gen = UniformGenerator(100, rng)
+    samples = [gen.next() for _ in range(5000)]
+    assert min(samples) >= 0 and max(samples) < 100
+    counts = [samples.count(k) for k in range(0, 100, 17)]
+    assert max(counts) < 3 * min(counts)
+
+
+def test_generator_validation():
+    rng = random.Random(0)
+    with pytest.raises(WorkloadError):
+        ZipfianGenerator(0, rng)
+    with pytest.raises(WorkloadError):
+        UniformGenerator(0, rng)
+    with pytest.raises(WorkloadError):
+        YcsbConfig(request_distribution="latest")
+
+
+# ---------------------------------------------------------- WiredTigerCache
+
+def make_cache(cache_pages=4):
+    config = MongoConfig(
+        record_count=1000, wt_cache_bytes=cache_pages * PAGE_SIZE
+    )
+    return config, WiredTigerCache(config, region_base=0x100000)
+
+
+def test_cache_insert_lookup():
+    _config, cache = make_cache()
+    slot = cache.insert(5)
+    assert cache.lookup(5) == slot
+    assert cache.lookup(6) is None
+    assert cache.counters["hits"] == 1
+    assert cache.counters["misses"] == 1
+
+
+def test_cache_packs_records_per_page():
+    config, cache = make_cache()
+    slots = {cache.insert(i) for i in range(config.records_per_page)}
+    assert len(slots) == 1  # 4 x 1KB records share one page
+
+
+def test_cache_evicts_lru_page():
+    config, cache = make_cache(cache_pages=2)
+    per_page = config.records_per_page
+    for i in range(3 * per_page):  # needs 3 pages, capacity 2
+        cache.insert(i)
+    assert cache.counters["evictions"] == 1
+    # The first page's records are gone.
+    assert cache.lookup(0) is None
+    assert cache.lookup(3 * per_page - 1) is not None
+
+
+def test_cache_double_insert_rejected():
+    _config, cache = make_cache()
+    cache.insert(1)
+    with pytest.raises(WorkloadError):
+        cache.insert(1)
+
+
+def test_mongo_config_validation():
+    with pytest.raises(WorkloadError):
+        MongoConfig(record_count=0)
+    with pytest.raises(WorkloadError):
+        MongoConfig(record_bytes=0)
+    with pytest.raises(WorkloadError):
+        MongoConfig(wt_cache_bytes=100)
+
+
+# ------------------------------------------------------------- MongoServer
+
+def make_fluid_mongo(lru_pages=512, cache_pages=64, records=2000):
+    world = make_fluidmem_world(lru_pages=lru_pages, vm_mib=128)
+    disk = SsdDisk(world.env, 64 * MIB, random.Random(11))
+    config = MongoConfig(
+        record_count=records,
+        wt_cache_bytes=cache_pages * PAGE_SIZE,
+        base_op_mean_us=100.0,
+        base_op_sigma_us=10.0,
+    )
+    cache_base = world.base_addr
+    index_base = cache_base + (cache_pages + 8) * PAGE_SIZE
+    pagecache_base = index_base + config.index_pages * PAGE_SIZE
+    reader = GuestCacheFileReader(
+        world.env, world.port, disk,
+        region_base=pagecache_base, capacity_pages=128,
+    )
+    server = MongoServer(
+        world.env, world.port, reader,
+        cache_region_base=cache_base,
+        index_region_base=index_base,
+        config=config,
+        rng=random.Random(12),
+    )
+    return world, server, reader
+
+
+def test_mongo_read_miss_then_hit():
+    world, server, reader = make_fluid_mongo()
+
+    def gen(env):
+        yield from server.read_record(42)
+        yield from server.read_record(42)
+
+    world.run(gen(world.env))
+    assert server.counters["wt_cache_misses"] == 1
+    assert server.counters["wt_cache_hits"] == 1
+    assert reader.counters["misses"] == 1
+
+
+def test_mongo_record_bounds():
+    world, server, _reader = make_fluid_mongo()
+
+    def gen(env):
+        yield from server.read_record(999_999)
+
+    world.env.process(gen(world.env))
+    with pytest.raises(WorkloadError):
+        world.env.run()
+
+
+def test_mongo_cache_hit_faster_than_disk_miss():
+    world, server, _reader = make_fluid_mongo()
+
+    def timed(env, record):
+        start = env.now
+        yield from server.read_record(record)
+        return env.now - start
+
+    miss = world.run(timed(world.env, 7))
+    hit = world.run(timed(world.env, 7))
+    assert hit < miss
+
+
+def test_ycsb_client_against_mongo():
+    world, server, _reader = make_fluid_mongo()
+    client = YcsbClient(
+        world.env, server,
+        YcsbConfig(record_count=2000, operation_count=300),
+        rng=random.Random(13),
+    )
+    result = world.run(client.run())
+    assert result.read_latency.count == 300
+    assert result.average_latency_us > 100.0
+    assert len(result.timeline) == 300
+    # Zipfian skew produces WT cache hits even with a small cache.
+    assert server.counters["wt_cache_hits"] > 0
+
+
+def test_mongo_swap_world_uses_kernel_page_cache():
+    world = make_swap_world(dram_pages=1024, vm_mib=64, data_disk=True)
+    config = MongoConfig(
+        record_count=1000,
+        wt_cache_bytes=32 * PAGE_SIZE,
+        base_op_mean_us=100.0,
+    )
+    cache_base = world.base_addr
+    index_base = cache_base + 64 * PAGE_SIZE
+    reader = KernelFileReader(world.mm)
+    server = MongoServer(
+        world.env, world.port, reader,
+        cache_region_base=cache_base,
+        index_region_base=index_base,
+        config=config,
+        rng=random.Random(14),
+    )
+    client = YcsbClient(
+        world.env, server,
+        YcsbConfig(record_count=1000, operation_count=200),
+        rng=random.Random(15),
+    )
+    result = world.run(client.run())
+    assert result.read_latency.count == 200
+    assert world.mm.counters["pagecache_misses"] > 0
+
+
+def test_kernel_reader_requires_data_disk():
+    world = make_swap_world(data_disk=False)
+    with pytest.raises(WorkloadError):
+        KernelFileReader(world.mm)
