@@ -14,7 +14,7 @@ Quick start::
     # platform.vm / platform.port / platform.monitor are live objects.
 """
 
-from . import blockdev, coord, core, kernel, kv, mem, net, sim, vm
+from . import blockdev, coord, core, faults, kernel, kv, mem, net, sim, vm
 from ._version import __version__
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "mem",
     "net",
     "kv",
+    "faults",
     "coord",
     "blockdev",
     "kernel",

@@ -22,10 +22,12 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from ..faults import NAMED_PLANS
 from .ablations import run_all_ablations
 from .fig3_latency_cdf import run_fig3
 from .fig4_graph500 import run_fig4
 from .fig5_mongodb import run_fig5
+from .platform import set_default_fault_plan
 from .reporting import write_csv
 from .table1_codepaths import run_table1
 from .table2_optimizations import run_table2
@@ -64,6 +66,16 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fig3: also print ASCII CDF plots per backend",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        choices=sorted(NAMED_PLANS),
+        default=None,
+        help="run the experiment under a named fault plan: FluidMem "
+             "stores become 2 fault-injected replicas behind "
+             "retry/failover (plans: %(choices)s); swap platforms are "
+             "unaffected",
+    )
     return parser
 
 
@@ -77,6 +89,12 @@ def _maybe_csv(csv_dir: Optional[str], name: str, headers, rows) -> None:
 def _run_one(name: str, args) -> None:
     quick = args.quick
     seed = args.seed
+    if args.faults and name in ("table2", "ablations"):
+        print(
+            f"note: {name} drives bare test processes, not full "
+            f"platforms; --faults {args.faults} has no effect on it",
+            file=sys.stderr,
+        )
     if name == "fig3":
         result = run_fig3(
             measured_accesses=4000 if quick else 20000, seed=seed
@@ -165,10 +183,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
     targets = EXPERIMENTS if args.experiment == "all" \
         else (args.experiment,)
-    for index, name in enumerate(targets):
-        if index:
-            print("\n" + "#" * 70 + "\n")
-        _run_one(name, args)
+    set_default_fault_plan(args.faults)
+    try:
+        for index, name in enumerate(targets):
+            if index:
+                print("\n" + "#" * 70 + "\n")
+            _run_one(name, args)
+    finally:
+        set_default_fault_plan(None)
     return 0
 
 

@@ -28,6 +28,7 @@ from typing import Generator, Optional
 from ..blockdev import BlockDevice, NvmeofDisk, PmemDisk, SsdDisk
 from ..core import FluidMemConfig, FluidMemoryPort, Monitor, VmRegistration
 from ..errors import BenchError
+from ..faults import NAMED_PLANS, FaultyStore, named_plan
 from ..kernel import (
     GuestMemoryManager,
     SwapPathLatency,
@@ -42,6 +43,7 @@ from ..kv import (
     MemcachedStore,
     RamCloudServer,
     RamCloudStore,
+    ReplicatedStore,
 )
 from ..mem import GIB, MIB, PAGE_SIZE, FrameAllocator
 from ..net import Fabric, IPOIB, RDMA_FDR
@@ -56,7 +58,33 @@ __all__ = [
     "PlatformShape",
     "Platform",
     "build_platform",
+    "set_default_fault_plan",
+    "default_fault_plan",
+    "FAULT_REPLICAS",
 ]
+
+#: Replicas a fault-injected platform spreads the store over; the
+#: named plans keep at least one of them alive (except "blackout").
+FAULT_REPLICAS = 2
+
+#: Process-wide default fault plan name, set by the CLI's ``--faults``
+#: so every build_platform() call inside an experiment runs under it.
+_DEFAULT_FAULT_PLAN: Optional[str] = None
+
+
+def set_default_fault_plan(name: Optional[str]) -> None:
+    """Set (or clear, with None) the default fault plan for builds."""
+    global _DEFAULT_FAULT_PLAN
+    if name is not None and name not in NAMED_PLANS:
+        raise BenchError(
+            f"unknown fault plan {name!r}; choose from "
+            f"{sorted(NAMED_PLANS)}"
+        )
+    _DEFAULT_FAULT_PLAN = name
+
+
+def default_fault_plan() -> Optional[str]:
+    return _DEFAULT_FAULT_PLAN
 
 FLUIDMEM_PLATFORMS = (
     "fluidmem-dram",
@@ -257,11 +285,19 @@ def build_platform(
     fluidmem_config: Optional[FluidMemConfig] = None,
     boot_profile: Optional[BootProfile] = None,
     remote_factor: int = 4,
+    faults: Optional[str] = None,
 ) -> Platform:
     """Build one of the six named configurations.
 
     ``with_data_disk`` attaches the SSD holding MongoDB's collection
     (only the Figure 5 experiment needs it).
+
+    ``faults`` names a :data:`repro.faults.NAMED_PLANS` plan: the
+    FluidMem store is then built as :data:`FAULT_REPLICAS` independent
+    replicas, each behind a fault-injecting wrapper driven by that plan
+    (seed-derived, so runs stay reproducible).  When None, the
+    process-wide default from :func:`set_default_fault_plan` applies.
+    Swap platforms have no store and ignore fault plans.
     """
     if name not in PLATFORM_NAMES:
         raise BenchError(
@@ -280,14 +316,40 @@ def build_platform(
             streams.stream("datadisk"),
         )
 
+    if faults is None:
+        faults = _DEFAULT_FAULT_PLAN
     if name in FLUIDMEM_PLATFORMS:
         return _build_fluidmem(
             name, env, streams, fabric, shape, profile, data_disk,
-            fluidmem_config, boot,
+            fluidmem_config, boot, faults=faults, seed=seed,
         )
     return _build_swap(
         name, env, streams, fabric, shape, profile, data_disk, boot,
     )
+
+
+def _make_faulty_store(
+    name: str,
+    env: Environment,
+    fabric: Fabric,
+    shape: PlatformShape,
+    plan_name: str,
+    seed: int,
+) -> KeyValueBackend:
+    """The chaos configuration: N replicas, each behind a FaultyStore."""
+    from ..sim import derive_seed
+
+    plan = named_plan(plan_name, seed=derive_seed(seed, "bench-faults"))
+    replicas = [
+        FaultyStore(
+            env,
+            _make_store(name, env, fabric, shape),
+            plan,
+            node=f"replica{index}",
+        )
+        for index in range(FAULT_REPLICAS)
+    ]
+    return ReplicatedStore(env, replicas)
 
 
 def _build_fluidmem(
@@ -300,6 +362,8 @@ def _build_fluidmem(
     data_disk: Optional[BlockDevice],
     config: Optional[FluidMemConfig],
     boot: bool,
+    faults: Optional[str] = None,
+    seed: int = 42,
 ) -> Platform:
     uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd"))
     # Host DRAM: local budget + generous headroom for monitor buffers.
@@ -321,7 +385,10 @@ def _build_fluidmem(
     vm = GuestVM(env, name, memory_bytes=shape.local_dram_bytes,
                  boot_profile=profile)
     qemu = QemuProcess(vm)
-    store = _make_store(name, env, fabric, shape)
+    if faults is not None:
+        store = _make_faulty_store(name, env, fabric, shape, faults, seed)
+    else:
+        store = _make_store(name, env, fabric, shape)
     registration = monitor.register_vm(qemu, store)
     hotplug = MemoryHotplug(qemu)
     slot = hotplug.add_memory(shape.remote_bytes)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..errors import FluidMemError
+from ..faults.retry import RetryPolicy
 
 __all__ = ["FluidMemConfig", "MonitorLatency"]
 
@@ -79,6 +80,13 @@ class FluidMemConfig:
     #: ordered ("the internal ordering of the list does not change"),
     #: which is why guest kswapd picks better victims in Fig. 4c/d.
     lru_reorder_on_access: bool = False
+
+    #: Retry policy for remote-store operations: critical-path reads
+    #: retry against (replicated) backends with capped exponential
+    #: backoff; the write-back flusher re-enqueues batches whose
+    #: retries exhaust.  Exhaustion quarantines the VM with a
+    #: :class:`~repro.errors.StoreUnavailableError`.
+    retry_policy: RetryPolicy = RetryPolicy()
 
     latency: MonitorLatency = MonitorLatency()
 

@@ -25,7 +25,14 @@ from __future__ import annotations
 import random
 from typing import Dict, Generator, List, Optional
 
-from ..errors import FluidMemError, KeyNotFoundError, MonitorStateError
+from ..errors import (
+    FluidMemError,
+    KeyNotFoundError,
+    MonitorStateError,
+    StoreUnavailableError,
+    TransientStoreError,
+)
+from ..faults.retry import retry_call
 from ..kernel import UffdFault, UffdOps, UffdRegion, Userfaultfd
 from ..kv import KeyValueBackend, PartitionedKeyCodec
 from ..mem import PAGE_SIZE, MemoryRegion, Page, PageTable
@@ -62,6 +69,11 @@ class VmRegistration:
         self.codec = codec
         self.handles: List[UffdRegion] = []
         self.active = True
+        #: Set when the VM's backend was declared dead (retries
+        #: exhausted): the monitor refuses further faults for this VM
+        #: with StoreUnavailableError instead of hanging on a store
+        #: that will never answer.
+        self.quarantined = False
 
     @property
     def table(self) -> PageTable:
@@ -115,6 +127,9 @@ class Monitor:
             ops.frames,
             batch_pages=self.config.writeback_batch_pages,
             stale_us=self.config.writeback_stale_us,
+            retry_policy=self.config.retry_policy,
+            rng=self._rng,
+            profiler=self.profiler,
         )
 
         self._by_handle: Dict[UffdRegion, VmRegistration] = {}
@@ -144,7 +159,17 @@ class Monitor:
         while self._running:
             fault = yield self.uffd.events.get()
             start = self.env.now
-            yield from self._handle_fault(fault)
+            try:
+                yield from self._handle_fault(fault)
+            except StoreUnavailableError as exc:
+                # Graceful degradation: the faulting vCPU gets the
+                # error (fail fast, no hang) while the monitor keeps
+                # serving the other VMs' faults.
+                self.counters.incr("faults_failed_unavailable")
+                if fault.resolved.callbacks is not None:
+                    fault.resolved._defused = True  # may have no waiter
+                    fault.resolved.fail(exc)
+                continue
             self.fault_latency.record(self.env.now - start)
             self.writeback.check_stale()
 
@@ -321,6 +346,13 @@ class Monitor:
             raise FluidMemError(
                 f"fault {fault!r} for an unregistered region"
             )
+        if registration.quarantined:
+            # Fail fast: the backend was declared dead; do not hang the
+            # vCPU on a store that will never answer.
+            raise StoreUnavailableError(
+                f"VM pid={registration.qemu.pid} is quarantined: "
+                f"backend {registration.store.name!r} declared dead"
+            )
         self.counters.incr("faults")
         latency = self.config.latency
         yield from self._charge(
@@ -410,6 +442,74 @@ class Monitor:
         else:
             yield from self._read_sync_path(fault, registration, key)
 
+    # -- resilience (retry / quarantine) ------------------------------------
+
+    def _quarantine(self, registration: VmRegistration) -> None:
+        """Declare a VM's backend dead after retries exhausted."""
+        if not registration.quarantined:
+            registration.quarantined = True
+            self.counters.incr("vms_quarantined")
+
+    def _retry_counters(self, counter: str, path: CodePath):
+        def on_retry(attempt: int, delay_us: float, exc: Exception) -> None:
+            self.counters.incr(counter)
+            self.profiler.record(path, delay_us)
+        return on_retry
+
+    def _fetch_with_retry(
+        self,
+        registration: VmRegistration,
+        key: int,
+        prior_attempts: int = 0,
+        initial_error: Optional[Exception] = None,
+    ) -> Generator:
+        """Critical-path read with backoff; quarantines on exhaustion.
+
+        Retries ride out transient store failures (crashed replica,
+        dropped fabric message, detected corruption) — a replicated
+        backend usually answers from a survivor on the next attempt.
+        KeyNotFoundError is *not* retried: it means the store durably
+        lost the page, which the callers escalate.
+        """
+        try:
+            page = yield from retry_call(
+                self.env,
+                lambda: registration.store.get(key),
+                self.config.retry_policy,
+                rng=self._rng,
+                on_retry=self._retry_counters(
+                    "read_retries", CodePath.READ_RETRY
+                ),
+                prior_attempts=prior_attempts,
+                initial_error=initial_error,
+                what=f"read of key {key:#x} from "
+                     f"{registration.store.name!r}",
+            )
+        except StoreUnavailableError:
+            self._quarantine(registration)
+            raise
+        return page
+
+    def _put_with_retry(
+        self, registration: VmRegistration, key: int, page: Page
+    ) -> Generator:
+        """Synchronous eviction write with backoff (same policy)."""
+        try:
+            yield from retry_call(
+                self.env,
+                lambda: registration.store.put(key, page, PAGE_SIZE),
+                self.config.retry_policy,
+                rng=self._rng,
+                on_retry=self._retry_counters(
+                    "write_retries", CodePath.WRITE_RETRY
+                ),
+                what=f"write of key {key:#x} to "
+                     f"{registration.store.name!r}",
+            )
+        except StoreUnavailableError:
+            self._quarantine(registration)
+            raise
+
     def _read_async_path(
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
@@ -442,6 +542,14 @@ class Monitor:
                 f"{registration.store.name!r} — an evicting store "
                 "(e.g. undersized Memcached) cannot back FluidMem"
             ) from exc
+        except TransientStoreError as exc:
+            # The asynchronous top half failed; fall back to retried
+            # synchronous reads (that first attempt counts against the
+            # policy's budget).
+            self.counters.incr("async_read_failures")
+            page = yield from self._fetch_with_retry(
+                registration, key, prior_attempts=1, initial_error=exc
+            )
         self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
         page = self._as_page(page, fault.addr)
         yield from self._install_unless_present(
@@ -475,7 +583,7 @@ class Monitor:
         latency = self.config.latency
         issued_at = self.env.now
         try:
-            page = yield from registration.store.get(key)
+            page = yield from self._fetch_with_retry(registration, key)
         except KeyNotFoundError as exc:
             raise FluidMemError(
                 f"remote memory lost page {fault.addr:#x} "
@@ -553,6 +661,11 @@ class Monitor:
         except KeyNotFoundError:
             self._prefetch_inflight.discard(token)
             return  # raced with a remove; drop silently
+        except TransientStoreError:
+            # Prefetch is best-effort: never retry off the fault path.
+            self._prefetch_inflight.discard(token)
+            self.counters.incr("prefetches_failed")
+            return
         if not registration.active or addr in registration.table:
             self._prefetch_inflight.discard(token)
             self.counters.incr("prefetches_dropped")
@@ -577,7 +690,7 @@ class Monitor:
 
         issued_at = self.env.now
         try:
-            page = yield from registration.store.get(key)
+            page = yield from self._fetch_with_retry(registration, key)
         except KeyNotFoundError:
             page = None
         self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
@@ -693,7 +806,7 @@ class Monitor:
             )
         else:
             issued_at = self.env.now
-            yield from registration.store.put(key, page, PAGE_SIZE)
+            yield from self._put_with_retry(registration, key, page)
             self.profiler.record(
                 CodePath.WRITE_PAGE, self.env.now - issued_at
             )
@@ -742,6 +855,10 @@ class Monitor:
             "writeback_in_flight": self.writeback.in_flight_count,
             "host_frames_used": self.ops.frames.used_frames,
             "host_frames_total": self.ops.frames.total_frames,
+            "quarantined_vms": sum(
+                1 for registration in self._registrations
+                if registration.quarantined
+            ),
             "counters": self.counters.as_dict(),
         }
         if self.fault_latency.count:
@@ -755,6 +872,7 @@ class Monitor:
                 "resident_pages": self.lru.count_for(registration),
                 "store": registration.store.name,
                 "store_keys": registration.store.stored_keys(),
+                "quarantined": registration.quarantined,
             }
         summary["vms"] = per_vm
         return summary

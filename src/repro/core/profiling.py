@@ -32,6 +32,10 @@ class CodePath(enum.Enum):
     EVENT_DISPATCH = "EVENT_DISPATCH"
     LOOKUP_PAGE_HASH = "LOOKUP_PAGE_HASH"
     WAKE = "WAKE"
+    # Resilience paths: backoff spent retrying remote-store operations
+    # (critical-path reads / sync eviction writes / write-back flushes).
+    READ_RETRY = "READ_RETRY"
+    WRITE_RETRY = "WRITE_RETRY"
 
     @classmethod
     def table1_paths(cls) -> List["CodePath"]:

@@ -21,12 +21,15 @@ Implementation notes:
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..errors import FluidMemError
+from ..errors import FluidMemError, StoreUnavailableError
+from ..faults.retry import RetryPolicy, retry_call
 from ..mem import FrameAllocator, Page, PageTable
 from ..sim import CounterSet, Environment, Event, Store
+from .profiling import CodePath, Profiler
 
 __all__ = ["WritebackEntry", "StealResult", "WritebackQueue"]
 
@@ -82,6 +85,9 @@ class WritebackQueue:
         frames: FrameAllocator,
         batch_pages: int,
         stale_us: float,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        profiler: Optional[Profiler] = None,
     ) -> None:
         if batch_pages < 1:
             raise FluidMemError(f"batch must be >= 1, got {batch_pages}")
@@ -90,6 +96,12 @@ class WritebackQueue:
         self.frames = frames
         self.batch_pages = batch_pages
         self.stale_us = stale_us
+        #: When set, flushes retry transient store failures with this
+        #: policy; a batch whose retries exhaust is re-enqueued (the
+        #: buffered pages are NOT dropped) before the error surfaces.
+        self.retry_policy = retry_policy
+        self._rng = rng
+        self._profiler = profiler
         self._pending: "OrderedDict[int, WritebackEntry]" = OrderedDict()
         self._in_flight: Dict[int, Tuple[WritebackEntry, Event]] = {}
         # A token channel so kicks raised before the flusher arms its
@@ -190,7 +202,18 @@ class WritebackQueue:
         store = registration.store  # type: ignore[attr-defined]
         items = [(entry.key, entry.page, 4096) for entry in batch]
         try:
-            yield from store.multi_write(items)
+            yield from self._write_items(store, items)
+        except StoreUnavailableError as exc:
+            # Retries exhausted.  The pages are still buffered: put the
+            # batch back at the FRONT of the write list so nothing is
+            # lost — a recovered store (or a drain after the fault
+            # window closes) flushes them later — then surface the
+            # failure.  The completion is defused because a waiter may
+            # not be attached.
+            self._requeue(batch)
+            completion._defused = True
+            completion.fail(exc)
+            raise
         except Exception as exc:
             completion.fail(exc)
             raise
@@ -205,6 +228,34 @@ class WritebackQueue:
         self.counters.incr("flushed", by=len(batch))
         self.counters.incr("batches")
         completion.succeed(len(batch))
+
+    def _write_items(self, store, items: List[Tuple]) -> Generator:
+        """One multi-write, retried under the queue's policy if set."""
+        if self.retry_policy is None:
+            yield from store.multi_write(items)
+            return
+
+        def on_retry(attempt: int, delay_us: float, exc: Exception) -> None:
+            self.counters.incr("flush_retries")
+            if self._profiler is not None:
+                self._profiler.record(CodePath.WRITE_RETRY, delay_us)
+
+        yield from retry_call(
+            self.env,
+            lambda: store.multi_write(list(items)),
+            self.retry_policy,
+            rng=self._rng,
+            on_retry=on_retry,
+            what=f"write-back flush of {len(items)} page(s) to "
+                 f"{store.name!r}",
+        )
+
+    def _requeue(self, batch: List[WritebackEntry]) -> None:
+        """Put a failed batch back at the front of the write list."""
+        for entry in reversed(batch):
+            self._pending[entry.key] = entry
+            self._pending.move_to_end(entry.key, last=False)
+        self.counters.incr("reenqueued", by=len(batch))
 
     def wait_durable(self, key: int) -> Generator:
         """Block until ``key`` is safely in the store.

@@ -59,6 +59,29 @@ class KeyNotFoundError(KVError):
     """GET/REMOVE on a key the store does not hold."""
 
 
+class TransientStoreError(KVError):
+    """A retryable backend failure: crashed/partitioned/flaky node.
+
+    Raised while the failure *might* clear (the node can recover, the
+    partition can heal, the next attempt can succeed).  Retry layers
+    catch exactly this type; anything else is treated as permanent.
+    """
+
+
+class DataCorruptionError(TransientStoreError):
+    """A read returned bytes whose checksum does not match what was
+    written.  Transient in the retry sense: the same page can be
+    re-read from another replica or re-fetched cleanly."""
+
+
+class StoreUnavailableError(KVError):
+    """A backend was declared dead: retries and failovers exhausted.
+
+    Terminal — the monitor quarantines the affected VM rather than
+    retrying further.
+    """
+
+
 class PartitionError(KVError):
     """Invalid partition id or virtual-partition encoding failure."""
 

@@ -1,0 +1,40 @@
+"""Fault injection and resilience.
+
+Failure handling is the open problem disaggregated-memory surveys keep
+naming; this package makes it a deterministic, testable part of the
+simulation:
+
+* :class:`FaultPlan` / :class:`FaultWindow` — a seeded schedule of
+  crash / partition / slow / flaky / corrupt-read events over
+  simulated time (:data:`NAMED_PLANS` holds the bench CLI's
+  ``--faults`` vocabulary);
+* :class:`FaultyStore` — a :class:`~repro.kv.KeyValueBackend` wrapper
+  that consults the plan on every operation and checksums everything
+  it stores;
+* :class:`RetryPolicy` / :func:`retry_call` — deadline plus capped
+  exponential backoff with deterministic jitter, shared by the
+  monitor's critical-path reads and the write-back flusher.
+"""
+
+from .plan import (
+    DEFAULT_NODES,
+    NAMED_PLANS,
+    FaultKind,
+    FaultPlan,
+    FaultWindow,
+    named_plan,
+)
+from .retry import RetryPolicy, retry_call
+from .store import FaultyStore
+
+__all__ = [
+    "FaultKind",
+    "FaultWindow",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "DEFAULT_NODES",
+    "named_plan",
+    "RetryPolicy",
+    "retry_call",
+    "FaultyStore",
+]

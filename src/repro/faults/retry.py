@@ -1,0 +1,140 @@
+"""Retry with deadline and capped exponential backoff.
+
+The monitor's critical-path reads and the write-back flusher both talk
+to remote stores that can now fail transiently (see
+:mod:`repro.faults.plan`).  :func:`retry_call` is the one retry loop
+they share: it retries on :class:`~repro.errors.TransientStoreError`,
+backs off exponentially with deterministic jitter (the caller passes a
+seeded stream from :mod:`repro.sim.randomness`), and converts
+exhaustion — attempts or deadline — into a terminal
+:class:`~repro.errors.StoreUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import KVError, StoreUnavailableError, TransientStoreError
+from ..sim import Environment
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+#: Callback signature: (attempt_number, backoff_us, error).
+OnRetry = Callable[[int, float, Exception], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry: deadline + capped exponential backoff + jitter.
+
+    Defaults are sized for the simulation's µs clock: first backoff
+    50 µs, doubling to a 1.6 ms cap, at most 4 attempts, all inside a
+    30 ms deadline — a remote store that cannot answer within that is
+    declared dead.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: float = 50.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 1_600.0
+    deadline_us: float = 30_000.0
+    #: Fractional jitter: each backoff is scaled by a uniform factor in
+    #: ``[1 - jitter, 1 + jitter]`` drawn from the caller's stream.
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise KVError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise KVError("backoff bounds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise KVError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if self.deadline_us <= 0:
+            raise KVError(
+                f"deadline_us must be positive, got {self.deadline_us}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise KVError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_us(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise KVError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.max_backoff_us,
+            self.base_backoff_us
+            * self.backoff_multiplier ** (attempt - 1),
+        )
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+def retry_call(
+    env: Environment,
+    make_op: Callable[[], Generator],
+    policy: RetryPolicy,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[OnRetry] = None,
+    prior_attempts: int = 0,
+    initial_error: Optional[Exception] = None,
+    what: str = "store operation",
+) -> Generator:
+    """Run ``make_op()`` (a generator factory) with retries.
+
+    ``prior_attempts`` accounts for tries the caller already burned
+    (e.g. the failed asynchronous top half of a read): the loop backs
+    off before its first attempt and the attempt budget shrinks
+    accordingly.
+
+    Use as ``value = yield from retry_call(...)`` inside a process.
+    Raises :class:`StoreUnavailableError` once the policy is exhausted;
+    non-transient exceptions propagate untouched on the first throw.
+    """
+    started = env.now
+    attempt = prior_attempts
+    last_error: Optional[Exception] = initial_error
+
+    def give_up(reason: str) -> StoreUnavailableError:
+        return StoreUnavailableError(
+            f"{what} failed after {attempt} attempt(s) "
+            f"({env.now - started:.0f} us): {reason}"
+        )
+
+    if prior_attempts > 0:
+        if prior_attempts >= policy.max_attempts:
+            raise give_up(str(initial_error or "attempts exhausted")) \
+                from initial_error
+        delay = policy.backoff_us(prior_attempts, rng)
+        if on_retry is not None:
+            on_retry(prior_attempts, delay,
+                     initial_error or TransientStoreError(what))
+        yield env.timeout(delay)
+
+    while True:
+        attempt += 1
+        try:
+            result = yield from make_op()
+            return result
+        except TransientStoreError as exc:
+            last_error = exc
+            if attempt >= policy.max_attempts:
+                raise give_up(str(exc)) from exc
+            delay = policy.backoff_us(attempt, rng)
+            if env.now + delay - started > policy.deadline_us:
+                raise give_up(
+                    f"deadline {policy.deadline_us:.0f} us exceeded "
+                    f"({exc})"
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            yield env.timeout(delay)

@@ -1,0 +1,164 @@
+"""A fault-injecting store wrapper with end-to-end checksums.
+
+:class:`FaultyStore` sits between the monitor (or a
+:class:`~repro.kv.ReplicatedStore` replica slot) and any real backend,
+consulting a :class:`~repro.faults.plan.FaultPlan` on every operation:
+
+* **crash / partition** windows make the node unreachable — operations
+  stall for a request-timeout's worth of simulated time and then raise
+  :class:`~repro.errors.TransientStoreError`; ``is_alive`` turns False
+  so replica liveness checks skip the node without paying the stall;
+* **slow** windows add latency;
+* **flaky** windows fail a seeded fraction of operations;
+* **corrupt** windows flip bits on a seeded fraction of reads — which
+  the wrapper's own write-side checksum then catches, surfacing
+  :class:`~repro.errors.DataCorruptionError` instead of silently
+  handing the guest a bad page.
+
+The checksum check also runs on healthy reads, so a backend that loses
+or mangles bytes on its own is caught too.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Generator, List
+
+from ..errors import DataCorruptionError, TransientStoreError
+from ..kv.api import KeyValueBackend, WriteItem
+from ..mem import PAGE_SIZE, Page
+from ..sim import Environment
+from .plan import FaultPlan
+
+__all__ = ["FaultyStore"]
+
+#: Simulated request timeout spent discovering a dead node the hard
+#: way (client-side timer firing), µs.
+CRASH_STALL_US = 200.0
+
+
+def _fingerprint(value: Any) -> int:
+    """A stable content fingerprint for integrity checking.
+
+    Pages with real bytes hash their data; metadata-only pages use the
+    version counter (the benchmarks' stale-read tripwire); anything
+    else hashes its repr.
+    """
+    if isinstance(value, Page):
+        if value.data is not None:
+            return zlib.crc32(value.data)
+        return 0x8000_0000 ^ value.version
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class FaultyStore(KeyValueBackend):
+    """Wrap ``inner`` so a fault plan governs its behaviour."""
+
+    def __init__(
+        self,
+        env: Environment,
+        inner: KeyValueBackend,
+        plan: FaultPlan,
+        node: str = "replica0",
+        crash_stall_us: float = CRASH_STALL_US,
+    ) -> None:
+        super().__init__(env)
+        self.inner = inner
+        self.plan = plan
+        self.node = node
+        self.crash_stall_us = crash_stall_us
+        self.name = f"faulty-{inner.name}@{node}"
+        self.supports_partitions = inner.supports_partitions
+        #: key -> fingerprint of the last durable value.
+        self._checksums = {}
+
+    # -- liveness -----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        return self.plan.is_reachable(self.node, self.env.now)
+
+    # -- the fault gate ------------------------------------------------------
+
+    def _gate(self) -> Generator:
+        """Run the plan's checks for one operation, charging time."""
+        now = self.env.now
+        if self.plan.is_crashed(self.node, now):
+            self.counters.incr("crash_errors")
+            self.plan.counters.incr(f"{self.node}.crash_errors")
+            yield self.env.timeout(self.crash_stall_us)
+            raise TransientStoreError(f"node {self.node!r} is crashed")
+        if self.plan.is_partitioned(self.node, now):
+            self.counters.incr("partition_errors")
+            self.plan.counters.incr(f"{self.node}.partition_errors")
+            yield self.env.timeout(self.crash_stall_us)
+            raise TransientStoreError(
+                f"node {self.node!r} is unreachable (network partition)"
+            )
+        extra = self.plan.extra_latency_us(self.node, now)
+        if extra > 0:
+            self.counters.incr("slowed_ops")
+            yield self.env.timeout(extra)
+        flaky = self.plan.flaky_probability(self.node, now)
+        if flaky > 0 and self.plan.draw() < flaky:
+            self.counters.incr("transient_errors")
+            self.plan.counters.incr(f"{self.node}.transient_errors")
+            raise TransientStoreError(
+                f"transient failure talking to node {self.node!r}"
+            )
+
+    # -- operations ----------------------------------------------------------
+
+    def get(self, key: int) -> Generator:
+        yield from self._gate()
+        value = yield from self.inner.get(key)
+        corrupt = self.plan.corrupt_probability(self.node, self.env.now)
+        if corrupt > 0 and self.plan.draw() < corrupt:
+            # The plan flipped bits on the wire; our checksum catches it.
+            self.counters.incr("corrupt_reads_detected")
+            self.plan.counters.incr(f"{self.node}.corrupt_reads")
+            raise DataCorruptionError(
+                f"checksum mismatch reading key {key:#x} from node "
+                f"{self.node!r} (injected corruption)"
+            )
+        expected = self._checksums.get(key)
+        if expected is not None and _fingerprint(value) != expected:
+            # Not injected: the value really changed while remote.
+            self.counters.incr("integrity_violations")
+            raise DataCorruptionError(
+                f"checksum mismatch reading key {key:#x} from node "
+                f"{self.node!r} (stored data changed)"
+            )
+        self.counters.incr("reads")
+        return value
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        yield from self._gate()
+        yield from self.inner.put(key, value, nbytes)
+        self._checksums[key] = _fingerprint(value)
+        self.counters.incr("writes")
+
+    def multi_write(self, items: List[WriteItem]) -> Generator:
+        yield from self._gate()
+        yield from self.inner.multi_write(items)
+        for key, value, _nbytes in items:
+            self._checksums[key] = _fingerprint(value)
+        self.counters.incr("writes", by=len(items))
+
+    def remove(self, key: int) -> Generator:
+        yield from self._gate()
+        yield from self.inner.remove(key)
+        self._checksums.pop(key, None)
+        self.counters.incr("removes")
+
+    # -- introspection (no faults: these model host-side accounting) --------
+
+    def contains(self, key: int) -> bool:
+        return self.inner.contains(key)
+
+    def stored_keys(self) -> int:
+        return self.inner.stored_keys()
+
+    @property
+    def used_bytes(self) -> int:
+        return self.inner.used_bytes

@@ -66,6 +66,18 @@ class KeyValueBackend(abc.ABC):
         self.env = env
         self.counters = CounterSet()
 
+    @property
+    def is_alive(self) -> bool:
+        """Whether the backend is currently reachable.
+
+        Plain backends are always up; fault-injecting wrappers
+        (:class:`repro.faults.FaultyStore`) override this to consult
+        their fault plan, and :class:`repro.kv.ReplicatedStore` skips
+        replicas whose ``is_alive`` is False instead of timing out
+        against them.
+        """
+        return True
+
     # -- blocking operations (simulation generators) -------------------------
 
     @abc.abstractmethod

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Any, Generator, List, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
-from ..errors import KVError, KeyNotFoundError
+from ..errors import KVError, KeyNotFoundError, TransientStoreError
 from ..mem import PAGE_SIZE, Page
 from ..sim import Environment
 from .api import KeyValueBackend, WriteItem
@@ -119,8 +119,15 @@ class ReplicatedStore(KeyValueBackend):
     """Synchronous N-way replication across independent backends.
 
     Writes go to every live replica (in parallel: the cost is the
-    slowest write, not the sum).  Reads try replicas in order, failing
-    over past dead ones.  ``fail_replica`` injects a crash.
+    slowest write, not the sum) and succeed as long as at least one
+    replica accepts them.  Reads try replicas in order, failing over
+    past dead, unreachable, or transiently erroring ones.
+
+    Liveness has two sources: the manual ``fail_replica`` /
+    ``recover_replica`` switches (a provider draining a node), and each
+    replica's own :attr:`~repro.kv.KeyValueBackend.is_alive` — which a
+    :class:`repro.faults.FaultyStore` wires to its fault plan, so
+    crash / partition windows are skipped without paying a timeout.
     """
 
     def __init__(
@@ -138,7 +145,7 @@ class ReplicatedStore(KeyValueBackend):
             replica.supports_partitions for replica in self.replicas
         )
 
-    # -- failure injection ---------------------------------------------------
+    # -- failure injection / liveness ----------------------------------------
 
     def fail_replica(self, index: int) -> None:
         self._alive[index] = False
@@ -147,54 +154,96 @@ class ReplicatedStore(KeyValueBackend):
         """Bring a replica back (empty: it must re-replicate on write)."""
         self._alive[index] = True
 
+    def _replica_alive(self, index: int) -> bool:
+        return self._alive[index] and self.replicas[index].is_alive
+
     @property
     def live_count(self) -> int:
-        return sum(self._alive)
+        return sum(
+            1 for index in range(len(self.replicas))
+            if self._replica_alive(index)
+        )
+
+    @property
+    def is_alive(self) -> bool:
+        return self.live_count > 0
 
     def _live(self) -> List[KeyValueBackend]:
         live = [
             replica
-            for replica, alive in zip(self.replicas, self._alive)
-            if alive
+            for index, replica in enumerate(self.replicas)
+            if self._replica_alive(index)
         ]
         if not live:
-            raise KVError("all replicas are down")
+            # Transient: a crashed/partitioned replica can recover.
+            raise TransientStoreError("all replicas are down")
         return live
 
     # -- operations -------------------------------------------------------------
 
-    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+    def _write_live(self, items: List[WriteItem]) -> Generator:
+        """Issue one batched write to every live replica in parallel.
+
+        Succeeds when at least one replica made the batch durable;
+        replicas that fail mid-write are counted and skipped (the read
+        path's failover covers the gap until they re-replicate).
+        """
         events = [
-            replica.write_async([(key, value, nbytes)]).event
+            replica.write_async(list(items)).event
             for replica in self._live()
         ]
-        yield self.env.all_of(events)
+        survivors = 0
+        last_error: Optional[Exception] = None
+        for event in events:
+            try:
+                yield event
+            except (TransientStoreError, KVError) as exc:
+                last_error = exc
+                self.counters.incr("replica_write_failures")
+                continue
+            survivors += 1
+        if survivors == 0:
+            raise TransientStoreError(
+                f"write failed on every replica: {last_error}"
+            ) from last_error
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        yield from self._write_live([(key, value, nbytes)])
         self.counters.incr("writes")
 
     def multi_write(self, items: List[WriteItem]) -> Generator:
         if not items:
             return
-        events = [
-            replica.write_async(list(items)).event
-            for replica in self._live()
-        ]
-        yield self.env.all_of(events)
+        yield from self._write_live(list(items))
         self.counters.incr("writes", by=len(items))
 
     def get(self, key: int) -> Generator:
-        last_error: Exception = KeyNotFoundError(key)
-        for replica, alive in zip(self.replicas, self._alive):
-            if not alive:
+        transient: Optional[Exception] = None
+        missing: Optional[KeyNotFoundError] = None
+        for index, replica in enumerate(self.replicas):
+            if not self._replica_alive(index):
+                self.counters.incr("replicas_skipped")
                 continue
             try:
                 value = yield from replica.get(key)
             except KeyNotFoundError as exc:
-                last_error = exc
+                missing = exc
+                self.counters.incr("failovers")
+                continue
+            except TransientStoreError as exc:
+                transient = exc
                 self.counters.incr("failovers")
                 continue
             self.counters.incr("reads")
             return value
-        raise last_error
+        if transient is not None:
+            # The key may exist on a replica that errored: retryable.
+            raise TransientStoreError(
+                f"no replica could serve key {key:#x}: {transient}"
+            ) from transient
+        if missing is not None:
+            raise missing
+        raise TransientStoreError("all replicas are down")
 
     def remove(self, key: int) -> Generator:
         removed = False
@@ -204,6 +253,8 @@ class ReplicatedStore(KeyValueBackend):
                 removed = True
             except KeyNotFoundError:
                 pass
+            except TransientStoreError:
+                self.counters.incr("replica_remove_failures")
         if not removed:
             raise KeyNotFoundError(key)
         self.counters.incr("removes")
@@ -211,22 +262,24 @@ class ReplicatedStore(KeyValueBackend):
     def contains(self, key: int) -> bool:
         return any(
             replica.contains(key)
-            for replica, alive in zip(self.replicas, self._alive)
-            if alive
+            for index, replica in enumerate(self.replicas)
+            if self._replica_alive(index)
         )
 
     def stored_keys(self) -> int:
-        live = [
-            replica
-            for replica, alive in zip(self.replicas, self._alive)
-            if alive
-        ]
-        return max((replica.stored_keys() for replica in live), default=0)
+        return max(
+            (
+                replica.stored_keys()
+                for index, replica in enumerate(self.replicas)
+                if self._replica_alive(index)
+            ),
+            default=0,
+        )
 
     @property
     def used_bytes(self) -> int:
         return sum(
             replica.used_bytes
-            for replica, alive in zip(self.replicas, self._alive)
-            if alive
+            for index, replica in enumerate(self.replicas)
+            if self._replica_alive(index)
         )

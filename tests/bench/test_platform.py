@@ -92,6 +92,46 @@ def test_data_disk_optional():
     assert without.data_disk is None
 
 
+def test_faulty_platform_wiring():
+    from repro.bench.platform import (
+        default_fault_plan,
+        set_default_fault_plan,
+    )
+    from repro.kv import ReplicatedStore
+
+    platform = build_platform("fluidmem-ramcloud",
+                              memory_scale=1.0 / 2048, seed=1,
+                              faults="slow-replica")
+    assert isinstance(platform.store, ReplicatedStore)
+    assert len(platform.store.replicas) == 2
+    assert {replica.node for replica in platform.store.replicas} == \
+        {"replica0", "replica1"}
+    assert platform.vm.booted  # booted through the faulty store
+
+    # Swap platforms ignore the plan (no remote KV store to break).
+    swap = build_platform("swap-ssd", memory_scale=1.0 / 2048,
+                          faults="slow-replica")
+    assert not swap.is_fluidmem
+
+    # The CLI sets a process-wide default; unknown names are rejected.
+    set_default_fault_plan("chaos")
+    assert default_fault_plan() == "chaos"
+    set_default_fault_plan(None)
+    assert default_fault_plan() is None
+    with pytest.raises(BenchError):
+        set_default_fault_plan("not-a-plan")
+
+
+def test_faulty_platform_deterministic():
+    a = build_platform("fluidmem-ramcloud", memory_scale=1.0 / 2048,
+                       seed=5, faults="flaky-fabric")
+    b = build_platform("fluidmem-ramcloud", memory_scale=1.0 / 2048,
+                       seed=5, faults="flaky-fabric")
+    assert a.env.now == b.env.now
+    assert a.monitor.counters.as_dict() == b.monitor.counters.as_dict()
+    assert a.store.counters.as_dict() == b.store.counters.as_dict()
+
+
 def test_deterministic_given_seed():
     a = build_platform("fluidmem-ramcloud", memory_scale=1.0 / 2048,
                        seed=77)

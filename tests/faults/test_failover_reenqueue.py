@@ -1,0 +1,255 @@
+"""Failover and write-back re-enqueue under injected faults.
+
+The latent bug this module pins down: ``ReplicatedStore`` used to "read
+from the first live one" with liveness meaning only the *manual*
+``fail_replica`` switch — a replica inside a crash/partition window was
+still considered live, so reads hit the dead node and errored instead
+of failing over.  Wiring each replica's ``is_alive`` to its fault plan
+(and failing over on transient errors) fixes both halves.
+"""
+
+import pytest
+
+from repro.core import FluidMemConfig
+from repro.errors import (
+    StoreUnavailableError,
+    TransientStoreError,
+)
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultWindow,
+    FaultyStore,
+    RetryPolicy,
+)
+from repro.kv import DramStore, ReplicatedStore
+from repro.mem import PAGE_SIZE
+from repro.sim import Environment
+
+from tests.helpers import build_stack
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+def sleeper(env, delay):
+    yield env.timeout(delay)
+
+
+def make_replicated(env, windows, seed=0, n=2):
+    """N replicas of DRAM behind one fault plan."""
+    plan = FaultPlan(windows, seed=seed)
+    replicas = [
+        FaultyStore(env, DramStore(env), plan, node=f"replica{i}")
+        for i in range(n)
+    ]
+    return ReplicatedStore(env, replicas), replicas, plan
+
+
+# --------------------------------------------- ReplicatedStore + FaultPlan
+
+def test_read_skips_crashed_replica_without_timeout():
+    """The latent-bug regression: a replica in a crash window must be
+    skipped by liveness — no request-timeout stall, no error."""
+    env = Environment()
+    store, replicas, _plan = make_replicated(
+        env, [FaultWindow(FaultKind.CRASH, "replica0", 100.0, 10_000.0)]
+    )
+    run(env, store.put(1, "precious"))
+    run(env, sleeper(env, 500.0))
+
+    assert not replicas[0].is_alive
+    assert store.live_count == 1
+    start = env.now
+    assert run(env, store.get(1)) == "precious"
+    # Skipped via liveness: never paid replica0's crash stall.
+    assert env.now - start < replicas[0].crash_stall_us
+    assert store.counters["replicas_skipped"] == 1
+    assert replicas[0].counters["crash_errors"] == 0
+
+
+def test_read_fails_over_past_flaky_replica():
+    """Liveness cannot see flakiness; the error-driven failover must."""
+    env = Environment()
+    store, _replicas, _plan = make_replicated(
+        env,
+        [FaultWindow(FaultKind.FLAKY, "replica0", 0.0, param=1.0)],
+    )
+    run(env, store.put(1, "v"))  # replica0 write fails; replica1 holds it
+    assert run(env, store.get(1)) == "v"
+    assert store.counters["failovers"] >= 1
+
+
+def test_writes_survive_one_crashed_replica_and_reads_recover():
+    env = Environment()
+    store, replicas, _plan = make_replicated(
+        env, [FaultWindow(FaultKind.CRASH, "replica0", 0.0, 5_000.0)]
+    )
+    run(env, store.put(1, "v"))
+    assert not replicas[0].contains(1)
+    assert replicas[1].contains(1)
+
+    # After the window, replica0 is schedulable again (though empty:
+    # failover covers the gap until re-replication).
+    run(env, sleeper(env, 6_000.0))
+    assert store.live_count == 2
+    assert run(env, store.get(1)) == "v"
+
+
+def test_all_replicas_crashed_is_transient():
+    env = Environment()
+    store, _replicas, _plan = make_replicated(
+        env, [FaultWindow(FaultKind.CRASH, f"replica{i}", 0.0, 1_000.0)
+              for i in range(2)]
+    )
+    assert not store.is_alive
+
+    def attempt(env):
+        yield from store.get(1)
+
+    env.process(attempt(env))
+    with pytest.raises(TransientStoreError):
+        env.run()
+
+
+# ---------------------------------------------------- WritebackQueue retry
+
+def _fault_stack(windows, seed=7, batch=4, **config_kwargs):
+    config = FluidMemConfig(
+        lru_capacity_pages=4,
+        writeback_batch_pages=batch,
+        retry_policy=config_kwargs.pop("retry_policy", RetryPolicy()),
+        **config_kwargs,
+    )
+    stack = build_stack(config=config, seed=seed)
+    plan = FaultPlan(windows, seed=seed)
+    replicas = [
+        FaultyStore(env=stack.env, inner=DramStore(stack.env), plan=plan,
+                    node=f"replica{i}")
+        for i in range(2)
+    ]
+    store = ReplicatedStore(stack.env, replicas)
+    vm, qemu, port, reg = stack.make_vm(store=store)
+    return stack, store, replicas, vm, qemu, port, reg
+
+
+def test_flush_retries_through_a_crash_window():
+    """Kill replica 0 mid-run: flushes retry/fail over, the queue
+    drains, and nothing is lost."""
+    stack, store, replicas, vm, _qemu, port, _reg = _fault_stack(
+        [FaultWindow(FaultKind.CRASH, "replica0", 200.0, 3_000.0)],
+    )
+    base = vm.first_free_guest_addr()
+
+    def workload(env):
+        for index in range(12):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+        yield from stack.monitor.writeback.drain()
+        # Read everything back through the store (causing further
+        # evictions), then drain those too.
+        for index in range(12):
+            yield from port.access(base + index * PAGE_SIZE)
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(workload(stack.env))
+    queue = stack.monitor.writeback
+    assert queue.pending_count == 0
+    assert queue.in_flight_count == 0
+    assert queue.counters["flushed"] == queue.counters["enqueued"]
+    # Every flushed page is durable on the surviving replica.
+    assert replicas[1].stored_keys() >= 8
+    assert stack.monitor.stats()["quarantined_vms"] == 0
+
+
+def test_flush_reenqueues_when_every_replica_is_down():
+    """Retries exhaust against a dead store: the batch goes back on the
+    write list (no page dropped) and the failure surfaces."""
+    env = Environment()
+    stack, store, replicas, vm, _qemu, port, _reg = _fault_stack(
+        [FaultWindow(FaultKind.CRASH, f"replica{i}", 0.0)
+         for i in range(2)],
+        retry_policy=RetryPolicy(max_attempts=2, jitter=0.0),
+    )
+    base = vm.first_free_guest_addr()
+
+    def workload(env):
+        for index in range(8):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+        yield from stack.monitor.writeback.drain()
+
+    stack.env.process(workload(stack.env))
+    with pytest.raises(StoreUnavailableError):
+        stack.env.run()
+    queue = stack.monitor.writeback
+    assert queue.counters["reenqueued"] >= 1
+    assert queue.counters["flushed"] == 0
+    # The failed batch is back on the list, still buffered.
+    assert queue.pending_count >= 1
+    assert queue.in_flight_count == 0
+
+
+def test_writeback_counts_retries():
+    stack, _store, _replicas, vm, _qemu, port, _reg = _fault_stack(
+        [FaultWindow(FaultKind.FLAKY, "replica0", 0.0, param=1.0),
+         FaultWindow(FaultKind.FLAKY, "replica1", 0.0, param=0.6)],
+        retry_policy=RetryPolicy(max_attempts=10, jitter=0.0),
+        seed=3,
+    )
+    base = vm.first_free_guest_addr()
+
+    def workload(env):
+        for index in range(8):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(workload(stack.env))
+    queue = stack.monitor.writeback
+    assert queue.pending_count == 0
+    assert queue.counters["flush_retries"] >= 1
+
+
+# ------------------------------------------------------ monitor quarantine
+
+def test_monitor_quarantines_vm_when_store_dies():
+    """Reads against a permanently dead store fail fast: the VM is
+    quarantined and later faults raise immediately (no hang)."""
+    stack, store, _replicas, vm, _qemu, port, _reg = _fault_stack(
+        [FaultWindow(FaultKind.CRASH, f"replica{i}", 1_000.0)
+         for i in range(2)],
+        retry_policy=RetryPolicy(max_attempts=2, jitter=0.0),
+        async_read=False, async_writeback=False, write_list_steal=False,
+    )
+    base = vm.first_free_guest_addr()
+
+    def fill(env):
+        for index in range(10):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+
+    stack.run(fill(stack.env))  # evictions land before t=1000us
+
+    def read_remote(env):
+        yield from sleeper(env, 2_000.0)
+        yield from port.access(base, is_write=False)
+
+    stack.env.process(read_remote(stack.env))
+    with pytest.raises(StoreUnavailableError):
+        stack.env.run()
+
+    stats = stack.monitor.stats()
+    assert stats["quarantined_vms"] == 1
+    assert stack.monitor.counters["vms_quarantined"] == 1
+
+    # Subsequent faults on the quarantined VM fail fast.
+    def touch_again(env):
+        yield from port.access(base + PAGE_SIZE, is_write=False)
+
+    stack.env.process(touch_again(stack.env))
+    with pytest.raises(StoreUnavailableError, match="quarantined"):
+        stack.env.run()

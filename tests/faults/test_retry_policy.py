@@ -1,0 +1,186 @@
+"""RetryPolicy backoff math and the shared retry_call loop."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    KVError,
+    StoreUnavailableError,
+    TransientStoreError,
+)
+from repro.faults import RetryPolicy, retry_call
+from repro.sim import Environment
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+# ------------------------------------------------------------- RetryPolicy
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_backoff_us=50.0, backoff_multiplier=2.0,
+                         max_backoff_us=300.0, jitter=0.0)
+    assert policy.backoff_us(1) == 50.0
+    assert policy.backoff_us(2) == 100.0
+    assert policy.backoff_us(3) == 200.0
+    assert policy.backoff_us(4) == 300.0   # capped
+    assert policy.backoff_us(9) == 300.0
+
+
+def test_backoff_jitter_stays_in_bounds():
+    policy = RetryPolicy(base_backoff_us=100.0, jitter=0.25)
+    rng = random.Random(7)
+    values = [policy.backoff_us(1, rng) for _ in range(200)]
+    assert all(75.0 <= v <= 125.0 for v in values)
+    assert len(set(values)) > 1  # actually jittered
+
+
+def test_backoff_deterministic_given_seed():
+    policy = RetryPolicy()
+    a = [policy.backoff_us(i, random.Random(3)) for i in range(1, 5)]
+    b = [policy.backoff_us(i, random.Random(3)) for i in range(1, 5)]
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_attempts=0),
+        dict(base_backoff_us=-1.0),
+        dict(backoff_multiplier=0.5),
+        dict(deadline_us=0.0),
+        dict(jitter=1.0),
+        dict(jitter=-0.1),
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(KVError):
+        RetryPolicy(**kwargs)
+
+
+def test_backoff_rejects_bad_attempt():
+    with pytest.raises(KVError):
+        RetryPolicy().backoff_us(0)
+
+
+# -------------------------------------------------------------- retry_call
+
+class FlakyOp:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, env, failures, result="ok"):
+        self.env = env
+        self.failures = failures
+        self.result = result
+        self.calls = 0
+
+    def __call__(self):
+        return self._op()
+
+    def _op(self):
+        self.calls += 1
+        yield self.env.timeout(1.0)
+        if self.calls <= self.failures:
+            raise TransientStoreError(f"flake #{self.calls}")
+        return self.result
+
+
+def test_retry_succeeds_after_transients():
+    env = Environment()
+    op = FlakyOp(env, failures=2)
+    policy = RetryPolicy(max_attempts=4, jitter=0.0)
+    retries = []
+    value = run(env, retry_call(
+        env, op, policy,
+        on_retry=lambda attempt, delay, exc: retries.append((attempt, delay)),
+    ))
+    assert value == "ok"
+    assert op.calls == 3
+    assert [r[0] for r in retries] == [1, 2]
+    # Exponential spacing with jitter off.
+    assert retries[0][1] == 50.0
+    assert retries[1][1] == 100.0
+
+
+def test_retry_exhaustion_raises_store_unavailable():
+    env = Environment()
+    op = FlakyOp(env, failures=100)
+    policy = RetryPolicy(max_attempts=3, jitter=0.0)
+
+    with pytest.raises(StoreUnavailableError, match="after 3 attempt"):
+        run(env, retry_call(env, op, policy, what="test op"))
+    assert op.calls == 3
+
+
+def test_retry_deadline_enforced():
+    env = Environment()
+    op = FlakyOp(env, failures=100)
+    policy = RetryPolicy(max_attempts=50, base_backoff_us=400.0,
+                         max_backoff_us=400.0, deadline_us=1_000.0,
+                         jitter=0.0)
+    with pytest.raises(StoreUnavailableError, match="deadline"):
+        run(env, retry_call(env, op, policy))
+    # Two sleeps of 400us fit inside 1ms; the third would not.
+    assert op.calls < 5
+
+
+def test_retry_non_transient_errors_propagate():
+    env = Environment()
+
+    def op():
+        yield env.timeout(1.0)
+        raise ValueError("not retryable")
+
+    with pytest.raises(ValueError):
+        run(env, retry_call(env, op, RetryPolicy()))
+
+
+def test_retry_prior_attempts_backs_off_first():
+    """A failed async top half counts against the budget and pays a
+    backoff before the first synchronous retry."""
+    env = Environment()
+    op = FlakyOp(env, failures=0)
+    policy = RetryPolicy(max_attempts=4, jitter=0.0)
+    retries = []
+    start = env.now
+    value = run(env, retry_call(
+        env, op, policy, prior_attempts=1,
+        initial_error=TransientStoreError("async half failed"),
+        on_retry=lambda attempt, delay, exc: retries.append(attempt),
+    ))
+    assert value == "ok"
+    assert op.calls == 1
+    assert retries == [1]
+    assert env.now - start >= 50.0  # paid the first backoff
+
+
+def test_retry_prior_attempts_already_exhausted():
+    env = Environment()
+    op = FlakyOp(env, failures=0)
+    policy = RetryPolicy(max_attempts=2, jitter=0.0)
+    with pytest.raises(StoreUnavailableError):
+        run(env, retry_call(
+            env, op, policy, prior_attempts=2,
+            initial_error=TransientStoreError("boom"),
+        ))
+    assert op.calls == 0  # never even tried
+
+
+def test_retry_is_deterministic_with_seeded_rng():
+    def trace(seed):
+        env = Environment()
+        op = FlakyOp(env, failures=3)
+        policy = RetryPolicy(max_attempts=5, jitter=0.25)
+        delays = []
+        run(env, retry_call(
+            env, op, policy, rng=random.Random(seed),
+            on_retry=lambda attempt, delay, exc: delays.append(delay),
+        ))
+        return delays
+
+    assert trace(11) == trace(11)
+    assert trace(11) != trace(12)

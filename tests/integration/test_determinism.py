@@ -12,7 +12,13 @@ import pytest
 
 from repro.bench.fig3_latency_cdf import run_fig3
 from repro.bench.table2_optimizations import _measure
+from repro.core import FluidMemConfig
+from repro.faults import FaultyStore, named_plan
+from repro.kv import DramStore, ReplicatedStore
+from repro.mem import PAGE_SIZE
 from repro.workloads import ZipfianGenerator
+
+from tests.helpers import build_stack
 
 
 def test_fig3_is_deterministic():
@@ -41,6 +47,63 @@ def test_table2_cell_deterministic():
     b = _measure("ramcloud", "async-rw", "rand", lru_pages=64,
                  accesses=800, seed=3)
     assert a == b
+
+
+def _chaos_run(seed, plan_name="chaos"):
+    """One fault-injected run; returns everything observable."""
+    plan = named_plan(plan_name, seed=seed)
+    stack = build_stack(
+        config=FluidMemConfig(lru_capacity_pages=4,
+                              writeback_batch_pages=4),
+        seed=seed,
+    )
+    replicas = [
+        FaultyStore(stack.env, DramStore(stack.env), plan,
+                    node=f"replica{i}")
+        for i in range(2)
+    ]
+    store = ReplicatedStore(stack.env, replicas)
+    vm, _qemu, port, _reg = stack.make_vm(store=store)
+    base = vm.first_free_guest_addr()
+
+    def workload(env):
+        for step in range(60):
+            index = (step * 7) % 16
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=step < 16)
+        yield from stack.monitor.writeback.drain()
+
+    stack.run(workload(stack.env))
+    # Keys are host vaddrs whose base comes from a process-global
+    # allocator: normalize to offsets so two runs are comparable.
+    origin = min(
+        (key for replica in replicas for key in replica.inner._table),
+        default=0,
+    )
+    contents = {
+        replica.node: sorted(key - origin for key in replica.inner._table)
+        for replica in replicas
+    }
+    return {
+        "now": stack.env.now,
+        "monitor": dict(stack.monitor.counters.as_dict()),
+        "store": dict(store.counters.as_dict()),
+        "plan": dict(plan.counters.as_dict()),
+        "writeback": dict(stack.monitor.writeback.counters.as_dict()),
+        "contents": contents,
+    }
+
+
+def test_chaos_run_is_deterministic():
+    """Same seed + same fault plan => identical counters, identical
+    final store contents, identical simulated clock."""
+    assert _chaos_run(seed=19) == _chaos_run(seed=19)
+
+
+def test_chaos_seed_changes_fault_sequence():
+    a = _chaos_run(seed=19, plan_name="flaky-fabric")
+    b = _chaos_run(seed=20, plan_name="flaky-fabric")
+    assert a["plan"] != b["plan"] or a["monitor"] != b["monitor"]
 
 
 def test_zipfian_matches_theory():

@@ -180,6 +180,74 @@ def test_replicated_remove(env):
         env.run()
 
 
+def test_replicated_liveness_consults_replica_is_alive(env):
+    """The fixed latent bug: "read from the first live one" must see a
+    replica's own is_alive (fault windows), not just fail_replica."""
+
+    class DeadStore(DramStore):
+        is_alive = False
+
+    dead = DeadStore(env)
+    healthy = DramStore(env)
+    store = ReplicatedStore(env, [dead, healthy])
+    # Data lives on both replicas; only replica 1 is reachable.
+    dead._insert(1, "v", PAGE_SIZE)
+    run_op(env, healthy.put(1, "v"))
+
+    assert store.live_count == 1
+    assert store.is_alive
+    assert run_op(env, store.get(1)) == "v"
+    assert store.counters["replicas_skipped"] == 1
+    # The dead replica was never asked.
+    assert dead.counters["reads"] == 0
+    # Writes also skip it.
+    run_op(env, store.put(2, "w"))
+    assert healthy.contains(2)
+    assert not dead.contains(2)
+
+
+def test_replicated_all_unreachable_is_transient(env):
+    """All replicas unreachable raises a retryable error (a crashed
+    node can come back), not a plain KVError."""
+    from repro.errors import TransientStoreError
+
+    class DeadStore(DramStore):
+        is_alive = False
+
+    store = ReplicatedStore(env, [DeadStore(env), DeadStore(env)])
+    assert not store.is_alive
+
+    def attempt(env):
+        yield from store.get(1)
+
+    env.process(attempt(env))
+    with pytest.raises(TransientStoreError):
+        env.run()
+
+
+def test_replicated_write_survives_mid_write_failure(env):
+    """A replica that errors mid-write is tolerated: the write commits
+    on the survivors and the failure is counted."""
+    from repro.errors import TransientStoreError
+
+    class ExplodingStore(DramStore):
+        def put(self, key, value, nbytes=PAGE_SIZE):
+            yield self.env.timeout(self.COPY_US)
+            raise TransientStoreError("boom")
+
+        def multi_write(self, items):
+            yield self.env.timeout(self.COPY_US)
+            raise TransientStoreError("boom")
+
+    exploding = ExplodingStore(env)
+    healthy = DramStore(env)
+    store = ReplicatedStore(env, [exploding, healthy])
+    run_op(env, store.put(1, "v"))
+    assert healthy.contains(1)
+    assert store.counters["replica_write_failures"] == 1
+    assert run_op(env, store.get(1)) == "v"
+
+
 def test_composition_compressed_over_replicated(env):
     """Wrappers compose: compression in front of replication."""
     replicated, replicas = make_replicated(env)
