@@ -14,7 +14,8 @@ Quick start::
     # platform.vm / platform.port / platform.monitor are live objects.
 """
 
-from . import blockdev, coord, core, faults, kernel, kv, mem, net, sim, vm
+from . import blockdev, coord, core, faults, kernel, kv, mem, net, obs, \
+    sim, vm
 from ._version import __version__
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "kernel",
     "vm",
     "core",
+    "obs",
 ]

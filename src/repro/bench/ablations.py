@@ -14,7 +14,7 @@ Four studies, each isolating one mechanism the paper describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..core import FluidMemConfig

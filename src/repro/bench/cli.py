@@ -10,33 +10,44 @@ Usage::
     python -m repro.bench table3          # Table III footprint
     python -m repro.bench ablations       # design-choice ablations
     python -m repro.bench all             # everything
+    python -m repro.bench fig3 table1     # any subset, in order
 
 ``--quick`` shrinks the runs for smoke testing; ``--csv DIR`` exports
-each experiment's rows.
+each experiment's rows; ``--metrics PATH`` writes a machine-readable
+metrics summary (per-code-path latency percentiles, op counts, retry
+and failover tallies — the BENCH_*.json baseline format); ``--trace
+PATH`` writes a ``chrome://tracing`` event trace keyed to simulated
+time.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..faults import NAMED_PLANS
+from ..obs import EventTracer, Observability, export_chrome_trace
 from .ablations import run_all_ablations
 from .fig3_latency_cdf import run_fig3
 from .fig4_graph500 import run_fig4
 from .fig5_mongodb import run_fig5
-from .platform import set_default_fault_plan
+from .platform import set_default_fault_plan, set_default_observability
 from .reporting import write_csv
 from .table1_codepaths import run_table1
 from .table2_optimizations import run_table2
 from .table3_footprint import run_table3
 
-__all__ = ["main"]
+__all__ = ["main", "METRICS_SCHEMA"]
 
 EXPERIMENTS = ("fig3", "table1", "table2", "fig4", "fig5", "table3",
                "ablations")
+
+#: Version tag of the ``--metrics`` JSON document; bump on layout
+#: changes so the CI regression gate can refuse mismatched baselines.
+METRICS_SCHEMA = "repro-bench-metrics/1"
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -46,8 +57,9 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="+",
         choices=EXPERIMENTS + ("all",),
-        help="which table/figure to regenerate",
+        help="which tables/figures to regenerate (any subset, or 'all')",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -75,6 +87,21 @@ def _parser() -> argparse.ArgumentParser:
              "stores become 2 fault-injected replicas behind "
              "retry/failover (plans: %(choices)s); swap platforms are "
              "unaffected",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable metrics summary (counters, "
+             "gauges, per-code-path latency percentiles) as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a chrome://tracing event trace (load in "
+             "chrome://tracing or Perfetto; timestamps are simulated "
+             "microseconds)",
     )
     return parser
 
@@ -179,18 +206,62 @@ def _run_one(name: str, args) -> None:
         raise ValueError(name)
 
 
+def _expand_targets(requested: Sequence[str]) -> Tuple[str, ...]:
+    """Resolve 'all' and dedupe while keeping canonical order."""
+    if "all" in requested:
+        return EXPERIMENTS
+    return tuple(name for name in EXPERIMENTS if name in requested)
+
+
+def _write_json(path: str, document: object) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
-    targets = EXPERIMENTS if args.experiment == "all" \
-        else (args.experiment,)
+    targets = _expand_targets(args.experiment)
+    observing = args.metrics is not None or args.trace is not None
+    snapshots = {}
+    tracers: List[Tuple[str, EventTracer]] = []
     set_default_fault_plan(args.faults)
     try:
         for index, name in enumerate(targets):
             if index:
                 print("\n" + "#" * 70 + "\n")
-            _run_one(name, args)
+            obs = None
+            if observing:
+                # A fresh sink per experiment keeps the summaries and
+                # trace tracks separable in one multi-experiment run.
+                obs = Observability(enabled=True)
+                set_default_observability(obs)
+            try:
+                _run_one(name, args)
+            finally:
+                if obs is not None:
+                    set_default_observability(None)
+            if obs is not None:
+                snapshots[name] = obs.registry.snapshot()
+                tracers.append((name, obs.tracer))
     finally:
         set_default_fault_plan(None)
+
+    if args.metrics is not None:
+        _write_json(args.metrics, {
+            "schema": METRICS_SCHEMA,
+            "quick": args.quick,
+            "seed": args.seed,
+            "faults": args.faults,
+            "experiments": snapshots,
+        })
+        print(f"\nmetrics written to {args.metrics}", file=sys.stderr)
+    if args.trace is not None:
+        _write_json(args.trace, export_chrome_trace(tracers))
+        print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
 
 

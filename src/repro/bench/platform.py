@@ -47,6 +47,7 @@ from ..kv import (
 )
 from ..mem import GIB, MIB, PAGE_SIZE, FrameAllocator
 from ..net import Fabric, IPOIB, RDMA_FDR
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment, RandomStreams
 from ..vm import BootProfile, GuestVM, MemoryHotplug, QemuProcess, \
     SwapMemoryPort
@@ -60,6 +61,8 @@ __all__ = [
     "build_platform",
     "set_default_fault_plan",
     "default_fault_plan",
+    "set_default_observability",
+    "default_observability",
     "FAULT_REPLICAS",
 ]
 
@@ -85,6 +88,22 @@ def set_default_fault_plan(name: Optional[str]) -> None:
 
 def default_fault_plan() -> Optional[str]:
     return _DEFAULT_FAULT_PLAN
+
+
+#: Process-wide default observability sink, set by the CLI's
+#: ``--metrics`` / ``--trace`` so every build inside an experiment
+#: feeds the same registry and tracer.
+_DEFAULT_OBS: Observability = NULL_OBS
+
+
+def set_default_observability(obs: Optional[Observability]) -> None:
+    """Set (or clear, with None) the default observability for builds."""
+    global _DEFAULT_OBS
+    _DEFAULT_OBS = obs if obs is not None else NULL_OBS
+
+
+def default_observability() -> Observability:
+    return _DEFAULT_OBS
 
 FLUIDMEM_PLATFORMS = (
     "fluidmem-dram",
@@ -286,6 +305,7 @@ def build_platform(
     boot_profile: Optional[BootProfile] = None,
     remote_factor: int = 4,
     faults: Optional[str] = None,
+    obs: Optional[Observability] = None,
 ) -> Platform:
     """Build one of the six named configurations.
 
@@ -298,6 +318,12 @@ def build_platform(
     (seed-derived, so runs stay reproducible).  When None, the
     process-wide default from :func:`set_default_fault_plan` applies.
     Swap platforms have no store and ignore fault plans.
+
+    ``obs`` threads an observability sink through the monitor, LRU
+    buffer, write-back queue, and (chaos builds) the fault-injecting
+    store wrappers.  When None, the process-wide default from
+    :func:`set_default_observability` applies (disabled by default,
+    so unobserved builds pay only cheap ``enabled`` checks).
     """
     if name not in PLATFORM_NAMES:
         raise BenchError(
@@ -318,10 +344,12 @@ def build_platform(
 
     if faults is None:
         faults = _DEFAULT_FAULT_PLAN
+    if obs is None:
+        obs = _DEFAULT_OBS
     if name in FLUIDMEM_PLATFORMS:
         return _build_fluidmem(
             name, env, streams, fabric, shape, profile, data_disk,
-            fluidmem_config, boot, faults=faults, seed=seed,
+            fluidmem_config, boot, faults=faults, seed=seed, obs=obs,
         )
     return _build_swap(
         name, env, streams, fabric, shape, profile, data_disk, boot,
@@ -335,6 +363,7 @@ def _make_faulty_store(
     shape: PlatformShape,
     plan_name: str,
     seed: int,
+    obs: Observability = NULL_OBS,
 ) -> KeyValueBackend:
     """The chaos configuration: N replicas, each behind a FaultyStore."""
     from ..sim import derive_seed
@@ -346,10 +375,11 @@ def _make_faulty_store(
             _make_store(name, env, fabric, shape),
             plan,
             node=f"replica{index}",
+            obs=obs,
         )
         for index in range(FAULT_REPLICAS)
     ]
-    return ReplicatedStore(env, replicas)
+    return ReplicatedStore(env, replicas, obs=obs)
 
 
 def _build_fluidmem(
@@ -364,6 +394,7 @@ def _build_fluidmem(
     boot: bool,
     faults: Optional[str] = None,
     seed: int = 42,
+    obs: Observability = NULL_OBS,
 ) -> Platform:
     uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd"))
     # Host DRAM: local budget + generous headroom for monitor buffers.
@@ -377,7 +408,7 @@ def _build_fluidmem(
             config, lru_capacity_pages=shape.local_pages
         )
     monitor = Monitor(env, uffd, ops, config=config,
-                      rng=streams.stream("monitor"))
+                      rng=streams.stream("monitor"), name=name, obs=obs)
     monitor.start()
 
     # "The VM was created with [local] memory, but ... an additional
@@ -386,7 +417,9 @@ def _build_fluidmem(
                  boot_profile=profile)
     qemu = QemuProcess(vm)
     if faults is not None:
-        store = _make_faulty_store(name, env, fabric, shape, faults, seed)
+        store = _make_faulty_store(
+            name, env, fabric, shape, faults, seed, obs=obs
+        )
     else:
         store = _make_store(name, env, fabric, shape)
     registration = monitor.register_vm(qemu, store)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import csv
-import io
+import os
 from typing import Iterable, List, Sequence
 
 from ..sim import Cdf
@@ -100,6 +100,9 @@ def write_csv(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
 ) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(headers)

@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import FluidMemError
+from ..obs import NULL_OBS, Observability
 
 __all__ = ["LruBuffer", "LruEntry"]
 
@@ -34,6 +35,8 @@ class LruBuffer:
         self,
         capacity_pages: int,
         reorder_on_access: bool = False,
+        obs: Optional[Observability] = None,
+        name: str = "lru",
     ) -> None:
         if capacity_pages < 1:
             raise FluidMemError(
@@ -44,6 +47,12 @@ class LruBuffer:
         self._entries: "OrderedDict[int, object]" = OrderedDict()
         #: Resident pages per registration (provider-policy accounting).
         self._per_registration: Dict[int, int] = {}
+        self._obs = obs if obs is not None else NULL_OBS
+        self._name = name
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "lru_capacity_pages", vm=name
+            ).set(capacity_pages)
 
     # -- capacity ----------------------------------------------------------
 
@@ -58,6 +67,10 @@ class LruBuffer:
                 f"capacity must be >= 1 page, got {capacity_pages}"
             )
         self._capacity = capacity_pages
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "lru_capacity_pages", vm=self._name
+            ).set(capacity_pages)
 
     @property
     def overflow(self) -> int:
@@ -81,6 +94,13 @@ class LruBuffer:
         self._entries[vaddr] = registration
         key = id(registration)
         self._per_registration[key] = self._per_registration.get(key, 0) + 1
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "lru_inserts", vm=self._name
+            ).inc()
+            self._obs.registry.gauge(
+                "lru_resident_pages", vm=self._name
+            ).set(len(self._entries))
 
     def note_access(self, vaddr: int) -> None:
         """Ablation hook: with reordering on, move the page to MRU.
@@ -112,6 +132,10 @@ class LruBuffer:
         for vaddr in doomed:
             del self._entries[vaddr]
         self._per_registration.pop(id(registration), None)
+        if self._obs.enabled:
+            self._obs.registry.gauge(
+                "lru_resident_pages", vm=self._name
+            ).set(len(self._entries))
         return doomed
 
     def count_for(self, registration: object) -> int:
@@ -125,6 +149,13 @@ class LruBuffer:
             self._per_registration.pop(key, None)
         else:
             self._per_registration[key] = remaining
+        if self._obs.enabled:
+            self._obs.registry.counter(
+                "lru_removals", vm=self._name
+            ).inc()
+            self._obs.registry.gauge(
+                "lru_resident_pages", vm=self._name
+            ).set(len(self._entries))
 
     # -- eviction ------------------------------------------------------------
 

@@ -36,7 +36,8 @@ from ..faults.retry import retry_call
 from ..kernel import UffdFault, UffdOps, UffdRegion, Userfaultfd
 from ..kv import KeyValueBackend, PartitionedKeyCodec
 from ..mem import PAGE_SIZE, MemoryRegion, Page, PageTable
-from ..sim import CounterSet, Environment, LatencyRecorder
+from ..obs import NULL_OBS, Observability
+from ..sim import Environment, LatencyRecorder
 from ..vm import QemuProcess
 from .config import FluidMemConfig
 from .lru_buffer import LruBuffer
@@ -100,6 +101,7 @@ class Monitor:
         config: Optional[FluidMemConfig] = None,
         rng: Optional[random.Random] = None,
         name: str = "monitor",
+        obs: Optional[Observability] = None,
     ) -> None:
         self.env = env
         self.uffd = uffd
@@ -107,17 +109,27 @@ class Monitor:
         self.config = config or FluidMemConfig()
         self._rng = rng or random.Random(0)
         self.name = name
+        #: Observability sink; the shared disabled instance by default,
+        #: so the hot paths pay one ``enabled`` check when unobserved.
+        self.obs = obs if obs is not None else NULL_OBS
 
         self.lru = LruBuffer(
             self.config.lru_capacity_pages,
             reorder_on_access=self.config.lru_reorder_on_access,
+            obs=self.obs,
+            name=name,
         )
         self.tracker = PageTracker()
-        self.profiler = Profiler()
-        self.counters = CounterSet()
+        if self.obs.enabled:
+            self.profiler = Profiler(registry=self.obs.registry, vm=name)
+        else:
+            self.profiler = Profiler()
+        self.counters = self.obs.counters_for(vm=name)
         self.fault_latency = LatencyRecorder(
             f"{name}.fault", max_samples=500_000
         )
+        #: Which handler resolved the in-flight fault (obs label).
+        self._fault_path: Optional[str] = None
 
         self.buffer_table = PageTable(f"{name}-buffer")
         self._buffer_next = BUFFER_BASE
@@ -130,6 +142,8 @@ class Monitor:
             retry_policy=self.config.retry_policy,
             rng=self._rng,
             profiler=self.profiler,
+            obs=self.obs,
+            owner=name,
         )
 
         self._by_handle: Dict[UffdRegion, VmRegistration] = {}
@@ -159,6 +173,7 @@ class Monitor:
         while self._running:
             fault = yield self.uffd.events.get()
             start = self.env.now
+            self._fault_path = None
             try:
                 yield from self._handle_fault(fault)
             except StoreUnavailableError as exc:
@@ -166,11 +181,31 @@ class Monitor:
                 # error (fail fast, no hang) while the monitor keeps
                 # serving the other VMs' faults.
                 self.counters.incr("faults_failed_unavailable")
+                if self.obs.enabled:
+                    self.obs.tracer.instant(
+                        "fault_failed", self.env.now, cat="fault",
+                        track=self.name, addr=f"{fault.addr:#x}",
+                        error=type(exc).__name__,
+                    )
                 if fault.resolved.callbacks is not None:
                     fault.resolved._defused = True  # may have no waiter
                     fault.resolved.fail(exc)
                 continue
-            self.fault_latency.record(self.env.now - start)
+            latency = self.env.now - start
+            self.fault_latency.record(latency)
+            if self.obs.enabled:
+                path = self._fault_path or "unclassified"
+                registry = self.obs.registry
+                registry.histogram(
+                    "fault_latency_us", vm=self.name
+                ).observe(latency)
+                registry.histogram(
+                    "path_latency_us", path=path, vm=self.name
+                ).observe(latency)
+                self.obs.tracer.complete(
+                    "fault", start, latency, cat="fault",
+                    track=self.name, path=path, addr=f"{fault.addr:#x}",
+                )
             self.writeback.check_stale()
 
     # -- registration (the QEMU wrapper library's entry points, §IV) -------------
@@ -330,8 +365,14 @@ class Monitor:
     def set_lru_capacity(self, pages: int) -> None:
         """Change the DRAM budget.  Shrinks take effect via
         :meth:`shrink_to_capacity` or lazily on the next faults."""
+        old = self.lru.capacity
         self.lru.resize(pages)
         self.counters.incr("resizes")
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "buffer_resize", self.env.now, cat="capacity",
+                track=self.name, old_pages=old, new_pages=pages,
+            )
 
     def shrink_to_capacity(self) -> Generator:
         """Actively evict until the buffer fits its capacity."""
@@ -363,6 +404,7 @@ class Monitor:
         if fault.addr in registration.table:
             # A prefetch landed between the fault being raised and us
             # reading the event: spurious — just wake the vCPU.
+            self._fault_path = "spurious"
             yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
             self.counters.incr("spurious_faults")
             return
@@ -384,6 +426,7 @@ class Monitor:
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """Figure 2's red path: zero page, wake, evict asynchronously."""
+        self._fault_path = "zero_fill"
         latency = self.config.latency
         yield from self._charge(
             CodePath.INSERT_PAGE_HASH_NODE,
@@ -449,11 +492,26 @@ class Monitor:
         if not registration.quarantined:
             registration.quarantined = True
             self.counters.incr("vms_quarantined")
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "quarantine", self.env.now, cat="resilience",
+                    track=self.name, pid=registration.qemu.pid,
+                    store=registration.store.name,
+                )
 
     def _retry_counters(self, counter: str, path: CodePath):
         def on_retry(attempt: int, delay_us: float, exc: Exception) -> None:
             self.counters.incr(counter)
             self.profiler.record(path, delay_us)
+            if self.obs.enabled:
+                self.obs.registry.histogram(
+                    "path_latency_us", path="retry_backoff", vm=self.name
+                ).observe(delay_us)
+                self.obs.tracer.instant(
+                    "retry", self.env.now, cat="resilience",
+                    track=self.name, op=path.value, attempt=attempt,
+                    error=type(exc).__name__,
+                )
         return on_retry
 
     def _fetch_with_retry(
@@ -484,6 +542,8 @@ class Monitor:
                 initial_error=initial_error,
                 what=f"read of key {key:#x} from "
                      f"{registration.store.name!r}",
+                obs=self.obs,
+                op=CodePath.READ_RETRY.value,
             )
         except StoreUnavailableError:
             self._quarantine(registration)
@@ -505,6 +565,8 @@ class Monitor:
                 ),
                 what=f"write of key {key:#x} to "
                      f"{registration.store.name!r}",
+                obs=self.obs,
+                op=CodePath.WRITE_RETRY.value,
             )
         except StoreUnavailableError:
             self._quarantine(registration)
@@ -514,6 +576,7 @@ class Monitor:
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """§V-B: issue the read, evict under it, then copy + wake."""
+        self._fault_path = "async_fetch"
         latency = self.config.latency
         issued_at = self.env.now
         handle = registration.store.read_async(key)
@@ -580,6 +643,7 @@ class Monitor:
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """Unoptimized (Table II "Default"): everything in sequence."""
+        self._fault_path = "sync_fetch"
         latency = self.config.latency
         issued_at = self.env.now
         try:
@@ -680,6 +744,10 @@ class Monitor:
             self.lru.insert(addr, registration)
         self._prefetch_inflight.discard(token)
         self.counters.incr("prefetches_completed")
+        if self.obs.enabled:
+            self.obs.registry.histogram(
+                "path_latency_us", path="async_prefetch", vm=self.name
+            ).observe(self.env.now - handle.issued_at)
         yield from self._evict_until(self.lru.capacity, interleaved=False)
 
     def _first_touch_via_store(
@@ -688,6 +756,7 @@ class Monitor:
         """No-tracker ablation: pay a miss round trip, then zero-fill."""
         from ..errors import KeyNotFoundError
 
+        self._fault_path = "store_first_touch"
         issued_at = self.env.now
         try:
             page = yield from self._fetch_with_retry(registration, key)
@@ -718,6 +787,16 @@ class Monitor:
         steal: StealResult,
     ) -> Generator:
         """§V-B: the faulted page is on the write list."""
+        self._fault_path = (
+            "steal_local" if steal.state == StealResult.PENDING
+            else "steal_wait"
+        )
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "batch_steal", self.env.now, cat="writeback",
+                track=self.name, state=steal.state,
+                key=f"{steal.entry.key:#x}",
+            )
         if steal.state == StealResult.PENDING:
             # Still buffered: move it straight back, zero copy.
             yield from self._timed(
@@ -784,6 +863,7 @@ class Monitor:
         registration: VmRegistration,
         interleaved: bool,
     ) -> Generator:
+        evict_started = self.env.now
         buffer_vaddr = self._buffer_next
         self._buffer_next += PAGE_SIZE
         page = yield from self._timed(
@@ -812,6 +892,10 @@ class Monitor:
             )
             pte = self.buffer_table.unmap(buffer_vaddr)
             self.ops.frames.free(pte.frame)
+        if self.obs.enabled:
+            self.obs.registry.histogram(
+                "path_latency_us", path="eviction", vm=self.name
+            ).observe(self.env.now - evict_started)
 
     # -- helpers ---------------------------------------------------------------------
 

@@ -74,6 +74,9 @@ class FluidMemoryPort(MemoryPort):
         """
         host = self._host_addr(vaddr)
         if host in self.qemu.page_table:
+            # Resident: the monitor never sees this access — the whole
+            # point of keeping hot pages local (the "LRU hit" path).
+            self.monitor.counters.incr("lru_hits")
             self.touch(vaddr, is_write)
             return None
 

@@ -5,16 +5,26 @@ the page fault handling path" (§VI-C).  Every time the monitor charges
 simulated time to one of its code paths, it reports the charge here;
 :meth:`Profiler.table` then reproduces Table I's avg / stdev / 99th
 columns.
+
+The profiler is a thin facade over a
+:class:`repro.obs.MetricsRegistry`: each code path becomes one
+``codepath_latency_us`` histogram (labelled with the path and, when the
+monitor is observed, its VM/monitor name), so the same samples that
+print Table I also land in the ``--metrics`` snapshot and the CI
+perf-regression gate.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Tuple
+from typing import List, Optional, Tuple
 
-from ..sim import LatencyRecorder
+from ..obs import Histogram, MetricsRegistry
 
-__all__ = ["CodePath", "Profiler"]
+__all__ = ["CodePath", "Profiler", "CODEPATH_METRIC"]
+
+#: The registry histogram family every code-path charge lands in.
+CODEPATH_METRIC = "codepath_latency_us"
 
 
 class CodePath(enum.Enum):
@@ -53,48 +63,75 @@ class CodePath(enum.Enum):
 
 
 class Profiler:
-    """Latency recorder per code path."""
+    """Latency recorder per code path, backed by a metrics registry."""
 
-    def __init__(self, max_samples_per_path: int = 100_000) -> None:
-        self._recorders: Dict[CodePath, LatencyRecorder] = {}
+    def __init__(
+        self,
+        max_samples_per_path: int = 100_000,
+        registry: Optional[MetricsRegistry] = None,
+        **labels: object,
+    ) -> None:
+        """``registry``/``labels`` attach the profiler to a shared
+        observability registry (labels typically carry ``vm=<name>``);
+        with neither, it keeps a private always-on registry so Table I
+        profiling works without any observability wiring."""
+        self._private = registry is None
         self._max_samples = max_samples_per_path
+        if registry is None:
+            registry = MetricsRegistry(
+                max_samples_per_histogram=max_samples_per_path
+            )
+        self._registry = registry
+        self._labels = dict(labels)
+        self._recorded: dict = {}
 
     def record(self, path: CodePath, latency_us: float) -> None:
-        recorder = self._recorders.get(path)
-        if recorder is None:
-            recorder = LatencyRecorder(
-                path.value, max_samples=self._max_samples
+        histogram = self._recorded.get(path)
+        if histogram is None:
+            histogram = self._registry.histogram(
+                CODEPATH_METRIC, path=path.value, **self._labels
             )
-            self._recorders[path] = recorder
-        recorder.record(latency_us)
+            self._recorded[path] = histogram
+        histogram.observe(latency_us)
 
-    def recorder(self, path: CodePath) -> LatencyRecorder:
+    def recorder(self, path: CodePath) -> Histogram:
+        """The histogram for ``path`` (mean/stdev/percentile API)."""
         try:
-            return self._recorders[path]
+            return self._recorded[path]
         except KeyError:
             raise KeyError(
                 f"no samples recorded for code path {path.value}"
             ) from None
 
     def has_samples(self, path: CodePath) -> bool:
-        return path in self._recorders
+        return path in self._recorded
 
     def table(self) -> List[Tuple[str, float, float, float]]:
         """(path, avg, stdev, p99) rows in Table I's layout and order."""
         rows = []
         for path in CodePath.table1_paths():
-            if path not in self._recorders:
+            if path not in self._recorded:
                 continue
-            recorder = self._recorders[path]
+            histogram = self._recorded[path]
             rows.append(
                 (
                     path.value,
-                    recorder.mean,
-                    recorder.stdev,
-                    recorder.percentile(99.0),
+                    histogram.mean,
+                    histogram.stdev,
+                    histogram.percentile(99.0),
                 )
             )
         return rows
 
     def reset(self) -> None:
-        self._recorders.clear()
+        """Forget this profiler's view of its paths.
+
+        With a private registry the samples are dropped entirely; on a
+        shared registry the histograms stay exported (a registry is a
+        run-scoped record) but this profiler starts fresh mappings.
+        """
+        self._recorded.clear()
+        if self._private:
+            self._registry = MetricsRegistry(
+                max_samples_per_histogram=self._max_samples
+            )

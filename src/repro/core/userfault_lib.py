@@ -17,7 +17,7 @@ from ..errors import FluidMemError
 from ..kv import KeyValueBackend, PartitionedKeyCodec
 from ..mem import MemoryRegion, PAGE_SIZE, PageTable
 from ..sim import Environment
-from .monitor import Monitor, VmRegistration
+from .monitor import Monitor
 
 __all__ = ["UserfaultApp"]
 

@@ -28,7 +28,8 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..errors import FluidMemError, StoreUnavailableError
 from ..faults.retry import RetryPolicy, retry_call
 from ..mem import FrameAllocator, Page, PageTable
-from ..sim import CounterSet, Environment, Event, Store
+from ..obs import NULL_OBS, Observability
+from ..sim import Environment, Event, Store
 from .profiling import CodePath, Profiler
 
 __all__ = ["WritebackEntry", "StealResult", "WritebackQueue"]
@@ -88,6 +89,8 @@ class WritebackQueue:
         retry_policy: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
         profiler: Optional[Profiler] = None,
+        obs: Optional[Observability] = None,
+        owner: str = "monitor",
     ) -> None:
         if batch_pages < 1:
             raise FluidMemError(f"batch must be >= 1, got {batch_pages}")
@@ -102,13 +105,17 @@ class WritebackQueue:
         self.retry_policy = retry_policy
         self._rng = rng
         self._profiler = profiler
+        self.obs = obs if obs is not None else NULL_OBS
+        self.owner = owner
         self._pending: "OrderedDict[int, WritebackEntry]" = OrderedDict()
         self._in_flight: Dict[int, Tuple[WritebackEntry, Event]] = {}
         # A token channel so kicks raised before the flusher arms its
         # wait are never lost.
         self._kicks = Store(env)
         self._flusher = env.process(self._run())
-        self.counters = CounterSet()
+        self.counters = self.obs.counters_for(
+            vm=owner, component="writeback"
+        )
 
     # -- producer side (the monitor's eviction path) ---------------------------
 
@@ -199,6 +206,7 @@ class WritebackQueue:
         for entry in batch:
             self._in_flight[entry.key] = (entry, completion)
 
+        flush_started = self.env.now
         store = registration.store  # type: ignore[attr-defined]
         items = [(entry.key, entry.page, 4096) for entry in batch]
         try:
@@ -227,6 +235,16 @@ class WritebackQueue:
             self.frames.free(pte.frame)
         self.counters.incr("flushed", by=len(batch))
         self.counters.incr("batches")
+        if self.obs.enabled:
+            duration = self.env.now - flush_started
+            self.obs.registry.histogram(
+                "path_latency_us", path="writeback_flush", vm=self.owner
+            ).observe(duration)
+            self.obs.tracer.complete(
+                "writeback_flush", flush_started, duration,
+                cat="writeback", track=f"{self.owner}/writeback",
+                pages=len(batch), store=store.name,
+            )
         completion.succeed(len(batch))
 
     def _write_items(self, store, items: List[Tuple]) -> Generator:
@@ -239,6 +257,17 @@ class WritebackQueue:
             self.counters.incr("flush_retries")
             if self._profiler is not None:
                 self._profiler.record(CodePath.WRITE_RETRY, delay_us)
+            if self.obs.enabled:
+                self.obs.registry.histogram(
+                    "path_latency_us", path="retry_backoff",
+                    vm=self.owner,
+                ).observe(delay_us)
+                self.obs.tracer.instant(
+                    "retry", self.env.now, cat="resilience",
+                    track=f"{self.owner}/writeback",
+                    op=CodePath.WRITE_RETRY.value, attempt=attempt,
+                    error=type(exc).__name__,
+                )
 
         yield from retry_call(
             self.env,
@@ -248,6 +277,8 @@ class WritebackQueue:
             on_retry=on_retry,
             what=f"write-back flush of {len(items)} page(s) to "
                  f"{store.name!r}",
+            obs=self.obs,
+            op=CodePath.WRITE_RETRY.value,
         )
 
     def _requeue(self, batch: List[WritebackEntry]) -> None:
@@ -256,6 +287,11 @@ class WritebackQueue:
             self._pending[entry.key] = entry
             self._pending.move_to_end(entry.key, last=False)
         self.counters.incr("reenqueued", by=len(batch))
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "writeback_reenqueue", self.env.now, cat="writeback",
+                track=f"{self.owner}/writeback", pages=len(batch),
+            )
 
     def wait_durable(self, key: int) -> Generator:
         """Block until ``key`` is safely in the store.

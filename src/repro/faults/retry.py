@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..errors import KVError, StoreUnavailableError, TransientStoreError
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment
 
 __all__ = ["RetryPolicy", "retry_call"]
@@ -88,6 +89,8 @@ def retry_call(
     prior_attempts: int = 0,
     initial_error: Optional[Exception] = None,
     what: str = "store operation",
+    obs: Optional[Observability] = None,
+    op: str = "store_op",
 ) -> Generator:
     """Run ``make_op()`` (a generator factory) with retries.
 
@@ -96,6 +99,11 @@ def retry_call(
     off before its first attempt and the attempt budget shrinks
     accordingly.
 
+    ``obs``/``op`` hook the loop into the observability layer: policy
+    exhaustion emits a ``retry_exhausted`` trace event labelled with
+    the low-cardinality ``op`` tag (per-retry backoff is reported by
+    the caller's ``on_retry``, which sees every delay).
+
     Use as ``value = yield from retry_call(...)`` inside a process.
     Raises :class:`StoreUnavailableError` once the policy is exhausted;
     non-transient exceptions propagate untouched on the first throw.
@@ -103,8 +111,15 @@ def retry_call(
     started = env.now
     attempt = prior_attempts
     last_error: Optional[Exception] = initial_error
+    obs = obs if obs is not None else NULL_OBS
 
     def give_up(reason: str) -> StoreUnavailableError:
+        if obs.enabled:
+            obs.tracer.instant(
+                "retry_exhausted", env.now, cat="resilience",
+                track=op, attempts=attempt, reason=reason[:120],
+            )
+            obs.registry.counter("retries_exhausted", op=op).inc()
         return StoreUnavailableError(
             f"{what} failed after {attempt} attempt(s) "
             f"({env.now - started:.0f} us): {reason}"

@@ -24,9 +24,12 @@ from __future__ import annotations
 import zlib
 from typing import Any, Generator, List
 
+from typing import Optional
+
 from ..errors import DataCorruptionError, TransientStoreError
 from ..kv.api import KeyValueBackend, WriteItem
 from ..mem import PAGE_SIZE, Page
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment
 from .plan import FaultPlan
 
@@ -61,6 +64,7 @@ class FaultyStore(KeyValueBackend):
         plan: FaultPlan,
         node: str = "replica0",
         crash_stall_us: float = CRASH_STALL_US,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(env)
         self.inner = inner
@@ -69,8 +73,18 @@ class FaultyStore(KeyValueBackend):
         self.crash_stall_us = crash_stall_us
         self.name = f"faulty-{inner.name}@{node}"
         self.supports_partitions = inner.supports_partitions
+        self.obs = obs if obs is not None else NULL_OBS
+        self.counters = self.obs.counters_for(node=node, store=inner.name)
         #: key -> fingerprint of the last durable value.
         self._checksums = {}
+
+    def _observe_injected(self, kind: str) -> None:
+        """Record one injected fault-plan window hit."""
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "fault_window", self.env.now, cat="faults",
+                track=self.node, kind=kind, store=self.inner.name,
+            )
 
     # -- liveness -----------------------------------------------------------
 
@@ -86,11 +100,13 @@ class FaultyStore(KeyValueBackend):
         if self.plan.is_crashed(self.node, now):
             self.counters.incr("crash_errors")
             self.plan.counters.incr(f"{self.node}.crash_errors")
+            self._observe_injected("crash")
             yield self.env.timeout(self.crash_stall_us)
             raise TransientStoreError(f"node {self.node!r} is crashed")
         if self.plan.is_partitioned(self.node, now):
             self.counters.incr("partition_errors")
             self.plan.counters.incr(f"{self.node}.partition_errors")
+            self._observe_injected("partition")
             yield self.env.timeout(self.crash_stall_us)
             raise TransientStoreError(
                 f"node {self.node!r} is unreachable (network partition)"
@@ -98,11 +114,17 @@ class FaultyStore(KeyValueBackend):
         extra = self.plan.extra_latency_us(self.node, now)
         if extra > 0:
             self.counters.incr("slowed_ops")
+            if self.obs.enabled:
+                self.obs.registry.histogram(
+                    "path_latency_us", path="fault_plan_slowdown",
+                    node=self.node,
+                ).observe(extra)
             yield self.env.timeout(extra)
         flaky = self.plan.flaky_probability(self.node, now)
         if flaky > 0 and self.plan.draw() < flaky:
             self.counters.incr("transient_errors")
             self.plan.counters.incr(f"{self.node}.transient_errors")
+            self._observe_injected("flaky")
             raise TransientStoreError(
                 f"transient failure talking to node {self.node!r}"
             )
@@ -117,6 +139,7 @@ class FaultyStore(KeyValueBackend):
             # The plan flipped bits on the wire; our checksum catches it.
             self.counters.incr("corrupt_reads_detected")
             self.plan.counters.incr(f"{self.node}.corrupt_reads")
+            self._observe_injected("corrupt")
             raise DataCorruptionError(
                 f"checksum mismatch reading key {key:#x} from node "
                 f"{self.node!r} (injected corruption)"

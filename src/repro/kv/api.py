@@ -20,7 +20,7 @@ Blocking operations are simulation generators: call them as
 from __future__ import annotations
 
 import abc
-from typing import Any, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Generator, List, Sequence, Tuple
 
 from ..mem import PAGE_SIZE
 from ..sim import CounterSet, Environment, Event

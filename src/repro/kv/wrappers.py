@@ -20,6 +20,7 @@ from typing import Any, Generator, List, Optional, Sequence
 
 from ..errors import KVError, KeyNotFoundError, TransientStoreError
 from ..mem import PAGE_SIZE, Page
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment
 from .api import KeyValueBackend, WriteItem
 
@@ -134,6 +135,7 @@ class ReplicatedStore(KeyValueBackend):
         self,
         env: Environment,
         replicas: Sequence[KeyValueBackend],
+        obs: Optional[Observability] = None,
     ) -> None:
         if not replicas:
             raise KVError("need at least one replica")
@@ -144,6 +146,17 @@ class ReplicatedStore(KeyValueBackend):
         self.supports_partitions = all(
             replica.supports_partitions for replica in self.replicas
         )
+        self.obs = obs if obs is not None else NULL_OBS
+        self.counters = self.obs.counters_for(store=self.name)
+
+    def _observe_failover(self, index: int, key: int, reason: str) -> None:
+        """Record one read that had to skip past a replica."""
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "replica_failover", self.env.now, cat="resilience",
+                track=self.name, replica=index, reason=reason,
+                key=f"{key:#x}",
+            )
 
     # -- failure injection / liveness ----------------------------------------
 
@@ -229,10 +242,12 @@ class ReplicatedStore(KeyValueBackend):
             except KeyNotFoundError as exc:
                 missing = exc
                 self.counters.incr("failovers")
+                self._observe_failover(index, key, "missing")
                 continue
             except TransientStoreError as exc:
                 transient = exc
                 self.counters.incr("failovers")
+                self._observe_failover(index, key, "transient")
                 continue
             self.counters.incr("reads")
             return value

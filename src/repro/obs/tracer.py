@@ -1,0 +1,219 @@
+"""Structured event tracing keyed to simulated time.
+
+The tracer records typed events — fault spans, buffer resizes, batch
+steals, replica failovers, quarantines — into a bounded in-memory ring
+buffer.  Two exporters turn the ring into files:
+
+* **JSONL** — one event object per line, for ad-hoc ``jq``/grep work;
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto JSON format,
+  with the simulation's µs clock used directly as the trace clock and
+  one named thread row per track (usually one per VM or component).
+
+Durations use phase ``"X"`` (complete) events; point-in-time events use
+phase ``"i"`` (instant).  When the ring overflows, the oldest events are
+dropped and :attr:`EventTracer.dropped` counts how many.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+__all__ = ["TraceEvent", "EventTracer", "export_chrome_trace"]
+
+#: Default ring capacity: enough for every event of a quick bench run.
+DEFAULT_CAPACITY = 65_536
+
+
+class TraceEvent:
+    """One typed event on the simulated timeline."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "track", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: Optional[float],
+        track: str,
+        args: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.track = track
+        self.args = args
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": round(self.ts, 4),
+            "track": self.track,
+        }
+        if self.dur is not None:
+            out["dur"] = round(self.dur, 4)
+        if self.args:
+            out["args"] = {k: self.args[k] for k in sorted(self.args)}
+        return out
+
+    def __repr__(self) -> str:
+        dur = f" dur={self.dur:.2f}us" if self.dur is not None else ""
+        return (
+            f"<TraceEvent {self.name!r} [{self.cat}] "
+            f"ts={self.ts:.2f}us{dur} track={self.track!r}>"
+        )
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent` objects."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: int = DEFAULT_CAPACITY,
+        default_track: str = "sim",
+    ) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.default_track = default_track
+        self._events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._emitted = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        cat: str = "event",
+        track: Optional[str] = None,
+        **args: object,
+    ) -> None:
+        """A point-in-time event (resize, quarantine, failover, ...)."""
+        if not self.enabled:
+            return
+        self._emitted += 1
+        self._events.append(
+            TraceEvent(name, cat, "i", ts, None,
+                       track or self.default_track, args)
+        )
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        cat: str = "span",
+        track: Optional[str] = None,
+        **args: object,
+    ) -> None:
+        """A span with a known duration (fault handling, flushes, ...)."""
+        if not self.enabled:
+            return
+        self._emitted += 1
+        self._events.append(
+            TraceEvent(name, cat, "X", ts, dur,
+                       track or self.default_track, args)
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever recorded (including since-dropped ones)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring overflow."""
+        return self._emitted - len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._emitted = 0
+
+    # -- export --------------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> None:
+        """One JSON object per line, in ring order."""
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                self.export_jsonl(handle)
+            return
+        for event in self._events:
+            target.write(json.dumps(event.as_dict(), sort_keys=True))
+            target.write("\n")
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The ``chrome://tracing`` JSON object for this ring."""
+        return export_chrome_trace([(self.default_track, self)])
+
+    def export_chrome(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                self.export_chrome(handle)
+            return
+        json.dump(self.chrome_trace(), target, sort_keys=True)
+
+
+def export_chrome_trace(
+    tracers: List[Tuple[str, EventTracer]],
+) -> Dict[str, object]:
+    """Merge named tracers into one Chrome-trace JSON object.
+
+    Each ``(process_name, tracer)`` pair becomes one trace pid; each
+    distinct event track within a tracer becomes a named thread.  The
+    simulation clock is already in µs, which is exactly Chrome's ``ts``
+    unit, so timestamps pass through untouched.
+    """
+    trace_events: List[Dict[str, object]] = []
+    for pid, (process_name, tracer) in enumerate(tracers):
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        })
+        tids: Dict[str, int] = {}
+        for event in tracer.events:
+            tid = tids.get(event.track)
+            if tid is None:
+                tid = tids[event.track] = len(tids)
+                trace_events.append({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": event.track},
+                })
+            row: Dict[str, object] = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": event.ph,
+                "ts": round(event.ts, 4),
+                "pid": pid,
+                "tid": tid,
+            }
+            if event.ph == "X":
+                row["dur"] = round(event.dur or 0.0, 4)
+            if event.ph == "i":
+                row["s"] = "t"  # instant scoped to its thread
+            if event.args:
+                row["args"] = {k: event.args[k] for k in sorted(event.args)}
+            trace_events.append(row)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

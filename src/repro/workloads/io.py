@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Dict, Generator, Tuple
+from typing import Generator, Tuple
 
 from ..blockdev import BlockDevice, SECTOR_BYTES
 from ..errors import WorkloadError

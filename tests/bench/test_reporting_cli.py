@@ -69,7 +69,12 @@ def test_parser_accepts_all_experiments():
     for name in ("fig3", "table1", "table2", "fig4", "fig5", "table3",
                  "ablations", "all"):
         args = parser.parse_args([name])
-        assert args.experiment == name
+        assert args.experiment == [name]
+
+
+def test_parser_accepts_experiment_subsets():
+    args = _parser().parse_args(["fig3", "table1"])
+    assert args.experiment == ["fig3", "table1"]
 
 
 def test_parser_rejects_unknown():

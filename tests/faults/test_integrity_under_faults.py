@@ -25,7 +25,6 @@ from repro.faults import (
 )
 from repro.kv import DramStore, ReplicatedStore
 from repro.mem import PAGE_SIZE
-from repro.sim import Environment
 
 from tests.helpers import build_stack
 

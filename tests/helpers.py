@@ -3,7 +3,7 @@
 from repro.core import FluidMemConfig, FluidMemoryPort, Monitor
 from repro.kernel import UffdLatency, UffdOps, Userfaultfd
 from repro.kv import DramStore, RamCloudServer, RamCloudStore
-from repro.mem import MIB, PAGE_SIZE, FrameAllocator
+from repro.mem import MIB, FrameAllocator
 from repro.net import Fabric, RDMA_FDR
 from repro.sim import Environment, RandomStreams
 from repro.vm import BootProfile, GuestVM, QemuProcess
@@ -56,7 +56,7 @@ class Stack:
         return vm, qemu, port, registration
 
 
-def build_stack(config=None, host_dram_mib=256, seed=7):
+def build_stack(config=None, host_dram_mib=256, seed=7, obs=None):
     env = Environment()
     streams = RandomStreams(seed=seed)
     fabric = Fabric(env, streams)
@@ -72,6 +72,7 @@ def build_stack(config=None, host_dram_mib=256, seed=7):
         env, uffd, ops,
         config=config or FluidMemConfig(lru_capacity_pages=64),
         rng=streams.stream("monitor"),
+        obs=obs,
     )
     monitor.start()
     return Stack(env, uffd, ops, monitor, fabric)

@@ -1,0 +1,150 @@
+"""Observability threaded through the live stack.
+
+These tests run real fault traffic through a monitored FluidMem stack
+and check the three load-bearing properties of the layer: registry
+aggregates match the monitor's own recorders, identical seeds produce
+byte-identical metrics JSON, and disabled mode changes nothing about
+simulation behavior.
+"""
+
+from repro.mem import PAGE_SIZE
+from repro.obs import Observability
+from repro.sim import Environment
+
+from tests.helpers import build_stack
+
+
+def _touch_pages(stack, port, base, count, stride=PAGE_SIZE):
+    def workload():
+        for index in range(count):
+            yield from port.access(base + index * stride, is_write=True)
+    stack.run(workload())
+
+
+def _observed_run(seed=7, pages=96, lru_pages=16):
+    obs = Observability(enabled=True)
+    stack = build_stack(seed=seed, obs=obs)
+    _vm, _qemu, port, _reg = stack.make_vm(lru_pages=lru_pages)
+    base = 0x100000
+    _touch_pages(stack, port, base, pages)      # first touches + evictions
+    _touch_pages(stack, port, base, pages)      # re-fetch from the store
+    stack.run(stack.monitor.writeback.drain())
+    return obs, stack
+
+
+def test_registry_matches_monitor_aggregates():
+    obs, stack = _observed_run()
+    monitor = stack.monitor
+    snap = obs.registry.snapshot()
+
+    # Counters: the mirrored set and the registry agree exactly.
+    assert snap["counters"]["faults{vm=monitor}"] == \
+        monitor.counters["faults"]
+    assert snap["counters"]["evictions{vm=monitor}"] == \
+        monitor.counters["evictions"]
+
+    # The end-to-end fault histogram is the same sample stream the
+    # monitor's own recorder sees.
+    hist = obs.registry.histogram("fault_latency_us", vm="monitor")
+    assert hist.count == monitor.fault_latency.count
+    assert hist.mean == monitor.fault_latency.mean
+    assert hist.percentile(99.0) == monitor.fault_latency.percentile(99.0)
+
+    # Per-path spans in the summary sum to the total fault count.
+    path_counts = sum(
+        value["count"] for key, value in snap["histograms"].items()
+        if key.startswith("path_latency_us") and "vm=monitor" in key
+        and "retry_backoff" not in key and "eviction" not in key
+        and "writeback_flush" not in key and "async_prefetch" not in key
+    )
+    assert path_counts == monitor.counters["faults"]
+
+    # Table I code paths flow into the shared registry too.
+    assert any(key.startswith("codepath_latency_us")
+               for key in snap["histograms"])
+
+    # Gauges track the LRU buffer live.
+    assert snap["gauges"]["lru_capacity_pages{vm=monitor}"] == 16
+    assert snap["gauges"]["lru_resident_pages{vm=monitor}"] == \
+        len(monitor.lru)
+
+
+def test_identical_seeds_produce_identical_metrics_json():
+    obs_a, _stack_a = _observed_run(seed=11)
+    obs_b, _stack_b = _observed_run(seed=11)
+    assert obs_a.registry.to_json() == obs_b.registry.to_json()
+
+    def normalized(tracer):
+        # Host base addresses come from a process-global allocator, so
+        # two stacks built in one process differ only in that base;
+        # everything else must match event for event.
+        out = []
+        for event in tracer.events:
+            entry = event.as_dict()
+            entry.get("args", {}).pop("addr", None)
+            out.append(entry)
+        return out
+
+    assert normalized(obs_a.tracer) == normalized(obs_b.tracer)
+
+
+def test_different_seeds_still_count_the_same_operations():
+    obs_a, _ = _observed_run(seed=1)
+    obs_b, _ = _observed_run(seed=2)
+    # Timing jitter differs, but the op counts are workload-determined.
+    assert obs_a.registry.snapshot()["counters"] == \
+        obs_b.registry.snapshot()["counters"]
+
+
+def test_disabled_observability_does_not_change_simulation():
+    obs, observed = _observed_run(seed=13)
+    plain = build_stack(seed=13)
+    _vm, _qemu, port, _reg = plain.make_vm(lru_pages=16)
+    base = 0x100000
+    _touch_pages(plain, port, base, 96)
+    _touch_pages(plain, port, base, 96)
+    plain.run(plain.monitor.writeback.drain())
+
+    # Same simulated clock, same fault stats, same legacy counters.
+    assert plain.env.now == observed.env.now
+    assert plain.monitor.fault_latency.count == \
+        observed.monitor.fault_latency.count
+    assert plain.monitor.fault_latency.mean == \
+        observed.monitor.fault_latency.mean
+    assert plain.monitor.counters.as_dict() == \
+        observed.monitor.counters.as_dict()
+    # And the unobserved stack recorded nothing.
+    assert plain.monitor.obs.registry.snapshot()["counters"] == {}
+    assert len(plain.monitor.obs.tracer) == 0
+
+
+def test_trace_events_cover_fault_spans_and_instants():
+    obs, stack = _observed_run(lru_pages=8, pages=48)
+    names = {event.name for event in obs.tracer.events}
+    assert "fault" in names
+    spans = [e for e in obs.tracer.events if e.name == "fault"]
+    assert all(e.ph == "X" and e.dur > 0 for e in spans)
+    paths = {e.args["path"] for e in spans}
+    assert "zero_fill" in paths
+    assert paths & {"sync_fetch", "async_fetch", "steal_local",
+                    "steal_wait"}
+
+
+def test_buffer_resize_emits_instant_event():
+    obs = Observability(enabled=True)
+    stack = build_stack(seed=3, obs=obs)
+    stack.make_vm(lru_pages=32)
+    stack.monitor.set_lru_capacity(8)
+    stack.env.run()
+    resizes = [e for e in obs.tracer.events if e.name == "buffer_resize"]
+    assert resizes
+    assert resizes[-1].args["new_pages"] == 8
+
+
+def test_null_observability_shares_no_state_between_stacks():
+    env = Environment()
+    assert env.now == 0.0
+    stack_a = build_stack(seed=5)
+    stack_b = build_stack(seed=5)
+    assert stack_a.monitor.obs is stack_b.monitor.obs  # the shared NULL_OBS
+    assert not stack_a.monitor.obs.enabled

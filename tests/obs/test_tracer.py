@@ -1,0 +1,117 @@
+"""Event tracer: ring behavior, JSONL, and the Chrome-trace golden."""
+
+import io
+import json
+import os
+
+from repro.obs import EventTracer, export_chrome_trace
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_chrome_trace.json")
+
+
+def _scripted_tracers():
+    """A fixed two-tracer scenario (also used to regenerate the golden).
+
+    Regenerate with::
+
+        PYTHONPATH=src:. python -c "import tests.obs.test_tracer as t; t.regenerate_golden()"
+    """
+    fig3 = EventTracer(default_track="sim")
+    fig3.complete("fault", 10.0, 24.5, cat="fault", track="vm0",
+                  path="sync_fetch", addr="0x1000")
+    fig3.instant("buffer_resize", 40.0, cat="monitor", track="vm0",
+                 old_pages=64, new_pages=32)
+    fig3.complete("writeback_flush", 55.25, 101.125, cat="writeback",
+                  track="vm0/writeback", pages=32)
+    fig3.instant("batch_steal", 60.0, cat="fault", track="vm0",
+                 state="pending", key="0x2000")
+    chaos = EventTracer(default_track="sim")
+    chaos.instant("replica_failover", 12.5, cat="resilience",
+                  track="replicated-x2", replica=0, reason="transient",
+                  key="0x3000")
+    chaos.instant("quarantine", 99.0, cat="resilience", track="monitor",
+                  pid=7, store="faulty-dram@replica1")
+    return [("fig3", fig3), ("chaos", chaos)]
+
+
+def regenerate_golden():
+    with open(GOLDEN, "w") as handle:
+        json.dump(export_chrome_trace(_scripted_tracers()), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_instant_and_complete_record_typed_events():
+    tracer = EventTracer()
+    tracer.complete("fault", 5.0, 2.5, track="vm0", path="zero_fill")
+    tracer.instant("quarantine", 9.0, track="monitor")
+    assert len(tracer) == 2
+    span, mark = tracer.events
+    assert span.ph == "X" and span.dur == 2.5
+    assert mark.ph == "i" and mark.dur is None
+    assert span.args == {"path": "zero_fill"}
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tracer = EventTracer(capacity=3)
+    for index in range(5):
+        tracer.instant(f"e{index}", float(index))
+    assert len(tracer) == 3
+    assert tracer.emitted == 5
+    assert tracer.dropped == 2
+    assert [event.name for event in tracer.events] == ["e2", "e3", "e4"]
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.emitted == 0
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = EventTracer(enabled=False)
+    tracer.instant("x", 1.0)
+    tracer.complete("y", 1.0, 2.0)
+    assert len(tracer) == 0
+    assert tracer.emitted == 0
+    assert tracer.chrome_trace()["traceEvents"] == [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "sim"}},
+    ]
+
+
+def test_jsonl_export_is_one_sorted_object_per_line():
+    tracer = EventTracer()
+    tracer.complete("fault", 1.23456, 7.0, track="vm0", b=2, a=1)
+    buffer = io.StringIO()
+    tracer.export_jsonl(buffer)
+    lines = buffer.getvalue().splitlines()
+    assert len(lines) == 1
+    event = json.loads(lines[0])
+    assert event == {
+        "name": "fault", "cat": "span", "ph": "X", "ts": 1.2346,
+        "dur": 7.0, "track": "vm0", "args": {"a": 1, "b": 2},
+    }
+
+
+def test_chrome_trace_matches_golden_file():
+    produced = export_chrome_trace(_scripted_tracers())
+    with open(GOLDEN) as handle:
+        golden = json.load(handle)
+    assert produced == golden
+
+
+def test_chrome_trace_structure():
+    trace = export_chrome_trace(_scripted_tracers())
+    events = trace["traceEvents"]
+    assert trace["displayTimeUnit"] == "ms"
+    # Two processes, named.
+    process_names = [e["args"]["name"] for e in events
+                     if e["name"] == "process_name"]
+    assert process_names == ["fig3", "chaos"]
+    # Tracks become named threads scoped to their process.
+    fig3_threads = [e["args"]["name"] for e in events
+                    if e["name"] == "thread_name" and e["pid"] == 0]
+    assert fig3_threads == ["vm0", "vm0/writeback"]
+    # Instants carry thread scope, completes carry durations.
+    for event in events:
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+        if event["ph"] == "X":
+            assert event["dur"] > 0
