@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..faults import NAMED_PLANS
 from ..obs import EventTracer, Observability, export_chrome_trace
 from .ablations import run_all_ablations
+from .cluster_scaleout import run_cluster
 from .fig3_latency_cdf import run_fig3
 from .fig4_graph500 import run_fig4
 from .fig5_mongodb import run_fig5
@@ -42,8 +43,21 @@ from .table3_footprint import run_table3
 
 __all__ = ["main", "METRICS_SCHEMA"]
 
+#: Experiment name -> one-line description (``--list-experiments``).
+EXPERIMENT_DESCRIPTIONS = {
+    "fig3": "Figure 3 page-fault latency CDFs across backends",
+    "table1": "Table I per-code-path latency breakdown",
+    "table2": "Table II optimization ablations (bare processes)",
+    "fig4": "Figure 4 Graph500 BFS under shrinking local memory",
+    "fig5": "Figure 5 MongoDB/YCSB latency vs WiredTiger cache",
+    "table3": "Table III VM footprint squeeze toward zero pages",
+    "ablations": "Design-choice ablations (LRU, batching, policies)",
+    "cluster": "Shard-cluster scale-out 1->8 nodes: key balance, "
+               "crash recovery time",
+}
+
 EXPERIMENTS = ("fig3", "table1", "table2", "fig4", "fig5", "table3",
-               "ablations")
+               "ablations", "cluster")
 
 #: Version tag of the ``--metrics`` JSON document; bump on layout
 #: changes so the CI regression gate can refuse mismatched baselines.
@@ -57,9 +71,17 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        nargs="+",
-        choices=EXPERIMENTS + ("all",),
-        help="which tables/figures to regenerate (any subset, or 'all')",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="which tables/figures to regenerate: "
+             + ", ".join(EXPERIMENTS)
+             + ", or 'all' (any subset, run in canonical order)",
+    )
+    parser.add_argument(
+        "--list-experiments",
+        action="store_true",
+        help="print every experiment name with a one-line description "
+             "and exit",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -81,12 +103,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--faults",
         metavar="PLAN",
-        choices=sorted(NAMED_PLANS),
         default=None,
         help="run the experiment under a named fault plan: FluidMem "
              "stores become 2 fault-injected replicas behind "
-             "retry/failover (plans: %(choices)s); swap platforms are "
-             "unaffected",
+             "retry/failover (plans: "
+             + ", ".join(sorted(NAMED_PLANS))
+             + "); swap platforms are unaffected",
     )
     parser.add_argument(
         "--metrics",
@@ -116,10 +138,15 @@ def _maybe_csv(csv_dir: Optional[str], name: str, headers, rows) -> None:
 def _run_one(name: str, args) -> None:
     quick = args.quick
     seed = args.seed
-    if args.faults and name in ("table2", "ablations"):
+    if args.faults and name in ("table2", "ablations", "cluster"):
+        reason = (
+            "schedules its own node crashes"
+            if name == "cluster"
+            else "drives bare test processes, not full platforms"
+        )
         print(
-            f"note: {name} drives bare test processes, not full "
-            f"platforms; --faults {args.faults} has no effect on it",
+            f"note: {name} {reason}; --faults {args.faults} has no "
+            f"effect on it",
             file=sys.stderr,
         )
     if name == "fig3":
@@ -192,6 +219,17 @@ def _run_one(name: str, args) -> None:
                    ("configuration", "pages", "mib", "ssh", "icmp",
                     "revived"),
                    result.rows())
+    elif name == "cluster":
+        result = run_cluster(
+            pages=400 if quick else 2_000,
+            max_nodes=6 if quick else 8,
+            seed=seed,
+        )
+        print(result.table_text())
+        _maybe_csv(args.csv, "cluster",
+                   ("nodes", "min_keys", "max_keys", "ratio",
+                    "keys_moved", "settle_us"),
+                   result.rows())
     elif name == "ablations":
         for ablation in run_all_ablations(seed=seed).values():
             print(ablation.table_text())
@@ -222,8 +260,42 @@ def _write_json(path: str, document: object) -> None:
         handle.write("\n")
 
 
+def _validate_faults(parser: argparse.ArgumentParser, plan: str) -> None:
+    if plan in NAMED_PLANS:
+        return
+    close = sorted(
+        name for name in NAMED_PLANS
+        if plan.lower() in name or name in plan.lower()
+    )
+    hint = f"  Did you mean {close[0]!r}?" if close else ""
+    parser.error(
+        f"unknown fault plan {plan!r}.{hint}\n"
+        "Available plans:\n  "
+        + "\n  ".join(sorted(NAMED_PLANS))
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if args.list_experiments:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in EXPERIMENTS:
+            print(f"{name:<{width}}  {EXPERIMENT_DESCRIPTIONS[name]}")
+        return 0
+    if not args.experiment:
+        parser.error(
+            "no experiment given (use --list-experiments to see them)"
+        )
+    known = set(EXPERIMENTS) | {"all"}
+    for name in args.experiment:
+        if name not in known:
+            parser.error(
+                f"unknown experiment {name!r} (use --list-experiments "
+                "to see them)"
+            )
+    if args.faults is not None:
+        _validate_faults(parser, args.faults)
     targets = _expand_targets(args.experiment)
     observing = args.metrics is not None or args.trace is not None
     snapshots = {}

@@ -1,0 +1,171 @@
+"""Cluster scale-out experiment: 1 → 8 shard nodes, then a crash.
+
+The remote memory pool grows one node at a time while a fixed
+population of pages lives in it.  After every join the rebalancer is
+allowed to quiesce and we record how evenly the keys spread (max/min
+keys per node), how many keys moved, and how long the migration took
+in simulated time.  Then one node fail-stops and we measure recovery:
+the time until every key is back at the target replication factor,
+plus a full read-back proving no page was lost.
+
+Everything runs on the simulated clock with sorted iteration orders,
+so a same-seed run is bit-for-bit reproducible — the CI determinism
+pin diffs two ``--metrics`` exports of this experiment byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..cluster import ClusterManager, ClusterStore, Rebalancer
+from ..coord import ZooKeeperEnsemble
+from ..kv import DramStore
+from ..mem import PAGE_SIZE
+from ..sim import Environment
+from .platform import default_observability
+from .reporting import render_table
+
+__all__ = ["ClusterScaleRow", "ClusterScaleResult", "run_cluster"]
+
+
+@dataclass
+class ClusterScaleRow:
+    nodes: int
+    min_keys: int
+    max_keys: int
+    ratio: float
+    keys_moved: int
+    settle_us: float
+
+
+@dataclass
+class ClusterScaleResult:
+    rows_data: List[ClusterScaleRow]
+    total_keys: int
+    replication: int
+    crashed_node: str
+    recovery_us: float
+    keys_re_replicated: int
+    keys_lost: int
+    read_back_ok: bool
+
+    def rows(self) -> List[Sequence[object]]:
+        return [
+            (row.nodes, row.min_keys, row.max_keys,
+             f"{row.ratio:.2f}", row.keys_moved, f"{row.settle_us:.0f}")
+            for row in self.rows_data
+        ]
+
+    def table_text(self) -> str:
+        table = render_table(
+            ("nodes", "min keys", "max keys", "max/min", "keys moved",
+             "settle µs"),
+            self.rows(),
+            title=(
+                f"Cluster scale-out: {self.total_keys} pages, "
+                f"replication x{self.replication}"
+            ),
+        )
+        recovery = (
+            f"\nCrash of {self.crashed_node}: re-replicated "
+            f"{self.keys_re_replicated} keys in {self.recovery_us:.0f} "
+            f"µs, {self.keys_lost} lost, read-back "
+            f"{'OK' if self.read_back_ok else 'FAILED'}."
+        )
+        return table + recovery
+
+
+def run_cluster(
+    pages: int = 2_000,
+    max_nodes: int = 8,
+    replication: int = 2,
+    seed: int = 42,
+) -> ClusterScaleResult:
+    env = Environment()
+    obs = default_observability()
+    store = ClusterStore(env, replication=replication, obs=obs)
+    rebalancer = Rebalancer(env, store, batch_keys=16, pause_us=100.0,
+                            obs=obs)
+    manager = ClusterManager(
+        env, ZooKeeperEnsemble(), store, rebalancer, obs=obs
+    )
+    rebalancer.start()
+    manager.start()
+
+    rows: List[ClusterScaleRow] = []
+    outcome = {}
+
+    def snapshot(settle_us: float, moved_before: int) -> None:
+        counts = sorted(store.shard_counts().values())
+        moved_now = store.counters["keys_migrated"]
+        rows.append(ClusterScaleRow(
+            nodes=len(store.registered_nodes),
+            min_keys=counts[0],
+            max_keys=counts[-1],
+            ratio=store.balance_ratio(),
+            keys_moved=moved_now - moved_before,
+            settle_us=settle_us,
+        ))
+
+    def experiment(env: Environment):
+        manager.join("shard0", DramStore(env))
+        for key in range(pages):
+            # Value is (key, seed): enough to verify reads, no payload
+            # bytes to drag the simulation down.
+            yield from store.put(key, (key, seed), PAGE_SIZE)
+        yield from rebalancer.wait_quiesce()
+        snapshot(0.0, 0)
+        # Scale out one node at a time.
+        for index in range(1, max_nodes):
+            moved_before = store.counters["keys_migrated"]
+            started = env.now
+            manager.join(f"shard{index}", DramStore(env))
+            yield from rebalancer.wait_quiesce()
+            snapshot(env.now - started, moved_before)
+        # Fail-stop the fullest node and time the recovery.
+        counts = store.shard_counts()
+        victim = max(sorted(counts), key=lambda n: counts[n])
+        moved_before = store.counters["keys_migrated"]
+        started = env.now
+        manager.crash(victim)
+        yield from rebalancer.wait_quiesce()
+        while store.under_replicated_keys():
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+        outcome["crashed"] = victim
+        outcome["recovery_us"] = env.now - started
+        outcome["re_replicated"] = (
+            store.counters["keys_migrated"] - moved_before
+        )
+        # Read every page back: nothing lost, nothing stale.
+        ok = True
+        for key in range(pages):
+            value = yield from store.get(key)
+            if value != (key, seed):
+                ok = False
+        outcome["read_back_ok"] = ok
+        manager.stop()
+
+    proc = env.process(experiment(env))
+    env.run()
+    if not proc.ok:  # pragma: no cover - surfaced to the caller
+        raise proc.value
+
+    if obs.enabled:
+        obs.registry.gauge("cluster_balance_ratio_x100").set(
+            int(round(rows[-1].ratio * 100))
+        )
+        obs.registry.gauge("cluster_recovery_us").set(
+            int(outcome["recovery_us"])
+        )
+    return ClusterScaleResult(
+        rows_data=rows,
+        total_keys=pages,
+        replication=replication,
+        crashed_node=outcome["crashed"],
+        recovery_us=outcome["recovery_us"],
+        keys_re_replicated=outcome["re_replicated"],
+        keys_lost=store.counters["keys_lost"],
+        read_back_ok=outcome["read_back_ok"],
+    )

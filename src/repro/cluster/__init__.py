@@ -1,0 +1,34 @@
+"""The shard cluster: elastic remote memory across many store nodes.
+
+FluidMem's monitor speaks to one :class:`~repro.kv.KeyValueBackend`.
+This package makes that one backend an elastic cluster of shard nodes:
+
+* :class:`HashRing` — consistent hashing with virtual nodes; node
+  churn only moves the keys in the changed arcs.
+* :class:`ClusterStore` — a ``KeyValueBackend`` that routes page keys
+  to shard nodes, batches writes per node, and fails reads over to
+  surviving replicas.  Composes with ``CompressedStore``,
+  ``ReplicatedStore``, and ``FaultyStore`` on either side.
+* :class:`ClusterManager` — membership via ephemeral ZooKeeper
+  znodes, a topology epoch bumped on every join/leave/crash, and
+  crash detection for fault-injected nodes.
+* :class:`Rebalancer` — a throttled background process that restores
+  the replication factor after crashes, drains leaving nodes, and
+  equalizes keys per shard, all under a forwarding window so reads
+  never miss mid-migration.
+"""
+
+from .manager import EPOCH_PATH, NODES_PATH, ClusterManager
+from .rebalance import Rebalancer
+from .ring import DEFAULT_VNODES, HashRing
+from .store import ClusterStore
+
+__all__ = [
+    "HashRing",
+    "DEFAULT_VNODES",
+    "ClusterStore",
+    "ClusterManager",
+    "Rebalancer",
+    "NODES_PATH",
+    "EPOCH_PATH",
+]

@@ -1,0 +1,228 @@
+"""Node lifecycle through ZooKeeper: joins, leaves, crashes, epochs.
+
+The :class:`ClusterManager` is the control plane of the shard cluster.
+Every shard node gets its own ZooKeeper session and announces itself
+as an **ephemeral** znode under ``/fluidmem/cluster/nodes`` — exactly
+how real clustered stores advertise membership.  A topology **epoch**
+(a counter znode at ``/fluidmem/cluster/epoch``) is bumped on every
+membership change, so routers and diagnostics can tell "the cluster
+you read this placement from" apart from "the cluster now".
+
+Three ways out of the cluster:
+
+* :meth:`leave` — graceful: the node is taken off the ring, the
+  rebalancer drains its keys onto ring members, then the session
+  closes and the znode disappears.  No data is ever at risk.
+* :meth:`crash` — fail-stop: the session is expired (ephemeral znode
+  vanishes on every ZK replica), the node's copies are gone, and the
+  rebalancer re-replicates every affected key from its surviving
+  replicas back to the target replication factor.
+* **detected** failure — :meth:`sync` (run by the poll process on the
+  simulated clock) notices either an ephemeral znode that vanished
+  (session expired externally, e.g. by a fault plan or a test) or a
+  backend whose ``is_alive`` has been False for longer than
+  ``crash_detect_us`` (a :class:`repro.faults.FaultyStore` in a crash
+  window), and declares the node dead the same way.
+
+ZooKeeper losing quorum degrades gracefully: ``sync`` counts the
+failure and retries next poll; no topology decisions are made while
+the coordination service is down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..coord import ZooKeeperClient, ZooKeeperEnsemble
+from ..errors import CoordinationError, KVError
+from ..kv.api import KeyValueBackend
+from ..obs import NULL_OBS, Observability
+from ..sim import Environment
+from .rebalance import Rebalancer
+from .store import ClusterStore
+
+__all__ = ["ClusterManager"]
+
+NODES_PATH = "/fluidmem/cluster/nodes"
+EPOCH_PATH = "/fluidmem/cluster/epoch"
+
+
+class ClusterManager:
+    """Registers shard nodes as ephemeral znodes; owns the epoch."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ensemble: ZooKeeperEnsemble,
+        store: ClusterStore,
+        rebalancer: Rebalancer,
+        poll_us: float = 500.0,
+        crash_detect_us: float = 1_500.0,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.env = env
+        self.ensemble = ensemble
+        self.store = store
+        self.rebalancer = rebalancer
+        self.poll_us = poll_us
+        self.crash_detect_us = crash_detect_us
+        self.obs = obs if obs is not None else NULL_OBS
+        self.counters = self.obs.counters_for(component="cluster-manager")
+        self._zk = ensemble.connect()
+        self._zk.ensure_path(NODES_PATH)
+        if not self._zk.exists(EPOCH_PATH):
+            self._zk.create(EPOCH_PATH, b"0")
+        #: One ZooKeeper session per member node (the ephemeral owner).
+        self._sessions: Dict[str, ZooKeeperClient] = {}
+        #: When each node's backend was first seen unreachable.
+        self._down_since: Dict[str, float] = {}
+        self._process = None
+        self._running = False
+
+    # -- epoch ----------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        data, _version = self._zk.get(EPOCH_PATH)
+        return int(data)
+
+    def _bump_epoch(self, reason: str, node: str) -> int:
+        data, version = self._zk.get(EPOCH_PATH)
+        new = int(data) + 1
+        self._zk.set(EPOCH_PATH, str(new).encode(), version=version)
+        self.store.topology_epoch = new
+        self.counters.incr("topology_changes")
+        if self.obs.enabled:
+            self.obs.registry.gauge(
+                "cluster_epoch", cluster=self.store.name
+            ).set(new)
+            self.obs.tracer.instant(
+                "topology_epoch", self.env.now, cat="cluster",
+                track="cluster-manager", epoch=new, reason=reason,
+                node=node,
+            )
+        return new
+
+    # -- membership -----------------------------------------------------------
+
+    def join(self, name: str, backend: KeyValueBackend) -> None:
+        """Add a shard node: ephemeral znode, ring membership, epoch."""
+        if name in self._sessions:
+            raise KVError(f"node {name!r} is already a cluster member")
+        session = self.ensemble.connect()
+        session.create(
+            f"{NODES_PATH}/{name}", data=name.encode(), ephemeral=True
+        )
+        self._sessions[name] = session
+        self.store.add_node(name, backend)
+        self._bump_epoch("join", name)
+        self.counters.incr("nodes_joined")
+        self.rebalancer.schedule()
+
+    def leave(self, name: str) -> Generator:
+        """Graceful departure: drain every key, then deregister.
+
+        A simulation generator — it parks on the rebalancer until the
+        node is empty, so callers see the leave complete only when no
+        data remains on the node.
+        """
+        if name not in self._sessions:
+            raise KVError(f"node {name!r} is not a cluster member")
+        self.store.begin_drain(name)
+        self.rebalancer.schedule()
+        yield from self.rebalancer.wait_quiesce()
+        self.store.retire_node(name)
+        session = self._sessions.pop(name)
+        session.close()
+        self._down_since.pop(name, None)
+        self._bump_epoch("leave", name)
+        self.counters.incr("nodes_left")
+
+    def crash(self, name: str) -> None:
+        """Fail-stop a node: session expires, copies are lost."""
+        session = self._sessions.pop(name, None)
+        if session is None:
+            raise KVError(f"node {name!r} is not a cluster member")
+        self.ensemble.expire_session(session.session_id)
+        self._vanished(name, "crash")
+
+    def _vanished(self, name: str, reason: str) -> None:
+        self._down_since.pop(name, None)
+        if name in self.store.registered_nodes:
+            self.store.drop_node(name)
+        self._bump_epoch(reason, name)
+        self.counters.incr("node_crashes")
+        self.rebalancer.schedule()
+
+    @property
+    def members(self) -> tuple:
+        return tuple(sorted(self._sessions))
+
+    # -- reconciliation -------------------------------------------------------
+
+    def sync(self) -> None:
+        """Reconcile ZK membership and backend liveness with the ring.
+
+        Called by the poll process; safe to call directly from tests.
+        """
+        try:
+            znodes = set(self._zk.children(NODES_PATH))
+        except CoordinationError:
+            # Quorum lost (or our session expired): no topology
+            # decisions without the coordination service.
+            self.counters.incr("sync_failures")
+            self._reconnect_if_expired()
+            return
+        # 1. Ephemeral znodes that vanished: their session expired
+        # somewhere else (fault plan, test, operator).  The node is no
+        # longer a member, whatever its backend says.
+        for name in sorted(set(self._sessions) - znodes):
+            self._sessions.pop(name)
+            self._vanished(name, "session-expired")
+        # 2. Liveness-detected crashes: a backend continuously
+        # unreachable for crash_detect_us is declared dead and its
+        # ephemeral znode is removed by expiring the session.
+        now = self.env.now
+        for name in self.store.registered_nodes:
+            if name not in self._sessions:
+                continue
+            if self.store.node_is_live(name):
+                self._down_since.pop(name, None)
+                continue
+            first = self._down_since.setdefault(name, now)
+            if now - first >= self.crash_detect_us:
+                session = self._sessions.pop(name)
+                self.ensemble.expire_session(session.session_id)
+                self._vanished(name, "crash-detected")
+        # 3. Nudge the rebalancer if replication is degraded.
+        if self.rebalancer.idle and self.store.under_replicated_keys():
+            self.rebalancer.schedule()
+
+    def _reconnect_if_expired(self) -> None:
+        if not self._zk._expired:
+            return
+        try:
+            self._zk = self.ensemble.connect()
+        except CoordinationError:
+            pass  # still no quorum; retry next poll
+
+    # -- poll loop ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._process is None:
+            self._running = True
+            self._process = self.env.process(self._poll())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _poll(self) -> Generator:
+        while self._running:
+            yield self.env.timeout(self.poll_us)
+            self.sync()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterManager members={len(self._sessions)} "
+            f"epoch={self.store.topology_epoch}>"
+        )

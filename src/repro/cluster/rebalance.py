@@ -1,0 +1,234 @@
+"""Throttled key migration after topology changes.
+
+The :class:`Rebalancer` is a process on the simulated clock.  It parks
+until someone calls :meth:`~Rebalancer.schedule` (the ClusterManager on
+join/leave/crash, the store on a degraded write), then runs migration
+passes until the cluster is healthy again:
+
+1. **Re-replicate** — keys with fewer live copies than the replication
+   factor get copied from a surviving holder onto the ring-preferred
+   (then least-loaded) live node, restoring durability after a crash.
+2. **Drain** — keys held on a node that left the ring (a graceful
+   leave in progress) are moved onto ring members, emptying the node
+   so the manager can retire it.
+3. **Balance** — while the max/min keys-per-node ratio exceeds
+   ``balance_goal``, move one key at a time from the fullest node to
+   the emptiest.  Consistent hashing alone leaves multinomial noise at
+   small key counts; this greedy phase converges deterministically to
+   the goal (moves stop once max and min differ by at most one key).
+
+Every migration goes through :meth:`ClusterStore.migrate_key`, which
+enforces the forwarding window — copies land before the placement
+directory flips, old copies are deleted only after.  Migration traffic
+is throttled: after every ``batch_keys`` moves the process sleeps
+``pause_us`` so foreground faults are not starved.
+
+All iteration orders are sorted, so a same-seed run migrates the same
+keys in the same order — the determinism pin covers rebalancing too.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..obs import NULL_OBS, Observability
+from ..sim import Environment, Event
+from .store import ClusterStore
+
+__all__ = ["Rebalancer"]
+
+
+class Rebalancer:
+    """Background process restoring replication and key balance."""
+
+    def __init__(
+        self,
+        env: Environment,
+        store: ClusterStore,
+        batch_keys: int = 8,
+        pause_us: float = 200.0,
+        balance_goal: float = 1.3,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.env = env
+        self.store = store
+        self.batch_keys = max(1, batch_keys)
+        self.pause_us = pause_us
+        self.balance_goal = balance_goal
+        self.obs = obs if obs is not None else NULL_OBS
+        self.counters = self.obs.counters_for(component="rebalancer")
+        store.rebalancer = self
+        self._pending = False
+        self._idle = True
+        self._wake: Optional[Event] = None
+        self._quiesce_waiters: List[Event] = []
+        self._process = None
+        self._moved_in_batch = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.env.process(self._run())
+
+    def schedule(self) -> None:
+        """Request a rebalance pass (idempotent, callable anywhere)."""
+        self._pending = True
+        if self._wake is not None and self._wake.callbacks is not None:
+            wake, self._wake = self._wake, None
+            wake.succeed(None)
+
+    @property
+    def idle(self) -> bool:
+        """True when no pass is running and none is requested."""
+        return self._idle and not self._pending
+
+    def wait_quiesce(self) -> Generator:
+        """Park until the rebalancer has drained all pending work."""
+        if self.idle:
+            return
+        waiter = self.env.event()
+        self._quiesce_waiters.append(waiter)
+        yield waiter
+
+    # -- main loop ------------------------------------------------------------
+
+    def _run(self) -> Generator:
+        while True:
+            if not self._pending:
+                self._idle = True
+                for waiter in self._quiesce_waiters:
+                    waiter.succeed(None)
+                self._quiesce_waiters.clear()
+                self._wake = self.env.event()
+                yield self._wake
+            self._pending = False
+            self._idle = False
+            self.counters.incr("passes")
+            yield from self._pass()
+            # More work may have been scheduled mid-pass (or a busy key
+            # requeued); loop again before declaring quiescence.
+
+    def _throttle(self) -> Generator:
+        self._moved_in_batch += 1
+        if self._moved_in_batch >= self.batch_keys:
+            self._moved_in_batch = 0
+            yield self.env.timeout(self.pause_us)
+
+    def _pass(self) -> Generator:
+        self._moved_in_batch = 0
+        yield from self._re_replicate()
+        yield from self._drain()
+        yield from self._balance()
+
+    # -- phase 1: restore the replication factor ------------------------------
+
+    def _re_replicate(self) -> Generator:
+        store = self.store
+        for key in store.under_replicated_keys():
+            holders = store.placement_of(key)
+            live = [n for n in holders if store.node_is_live(n)]
+            want = min(store.replication, len(store.live_nodes()))
+            if not live or len(live) >= want:
+                continue
+            adds = self._pick_targets(key, exclude=set(holders),
+                                      count=want - len(live))
+            if not adds:
+                continue
+            outcome = yield from store.migrate_key(key, add_nodes=adds)
+            if outcome == "done":
+                self.counters.incr("re_replications")
+                yield from self._throttle()
+            elif outcome == "busy":
+                self._pending = True
+
+    def _pick_targets(self, key, exclude, count) -> List[str]:
+        """Live nodes to copy onto: ring preference, then least-loaded."""
+        store = self.store
+        picks: List[str] = []
+        for node in store.desired_nodes(key):
+            if len(picks) == count:
+                return picks
+            if node not in exclude and store.node_is_live(node):
+                picks.append(node)
+                exclude = exclude | {node}
+        counts = store.shard_counts()
+        spares = sorted(
+            (
+                node for node in store.live_nodes()
+                if node not in exclude and node not in picks
+                and node in store.ring
+            ),
+            key=lambda node: (counts.get(node, 0), node),
+        )
+        picks.extend(spares[: count - len(picks)])
+        return picks
+
+    # -- phase 2: empty nodes that are leaving ---------------------------------
+
+    def _drain(self) -> Generator:
+        store = self.store
+        leaving = [
+            node for node in store.registered_nodes
+            if node not in store.ring
+        ]
+        for node in leaving:
+            for key in store.keys_on(node):
+                adds = self._pick_targets(
+                    key, exclude=set(store.placement_of(key)), count=1
+                )
+                outcome = yield from store.migrate_key(
+                    key, add_nodes=adds, drop_nodes=[node]
+                )
+                if outcome == "done":
+                    self.counters.incr("drain_moves")
+                    yield from self._throttle()
+                elif outcome == "busy":
+                    self._pending = True
+
+    # -- phase 3: equalize keys per node ---------------------------------------
+
+    def _balance(self) -> Generator:
+        store = self.store
+        # Greedy one-key moves; cap iterations so a pathological state
+        # (every candidate key busy) cannot spin forever in one pass.
+        for _ in range(16_384):
+            counts = {
+                node: count
+                for node, count in store.shard_counts().items()
+                if node in store.ring and store.node_is_live(node)
+            }
+            if len(counts) < 2:
+                return
+            donor = max(counts, key=lambda n: (counts[n], n))
+            taker = min(counts, key=lambda n: (counts[n], n))
+            if counts[donor] - counts[taker] <= 1:
+                return
+            if counts[taker] > 0 and (
+                counts[donor] / counts[taker] <= self.balance_goal
+            ):
+                return
+            moved = False
+            for key in store.keys_on(donor):
+                if taker in store.placement_of(key):
+                    continue
+                outcome = yield from store.migrate_key(
+                    key, add_nodes=[taker], drop_nodes=[donor]
+                )
+                if outcome == "done":
+                    self.counters.incr("balance_moves")
+                    moved = True
+                    yield from self._throttle()
+                    break
+                if outcome == "busy":
+                    self._pending = True
+                # busy or gone: try the next candidate key
+            if not moved:
+                # Nothing movable between this pair right now; a busy
+                # key re-queued the pass, a lost key will be handled by
+                # re-replication.  Stop rather than spin.
+                return
+
+    def __repr__(self) -> str:
+        state = "idle" if self.idle else "active"
+        return f"<Rebalancer {state} goal={self.balance_goal}>"

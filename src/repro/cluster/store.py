@@ -1,0 +1,643 @@
+"""The sharded cluster store: one backend over many shard nodes.
+
+:class:`ClusterStore` is a :class:`~repro.kv.KeyValueBackend`, so the
+monitor (and every wrapper — compression, replication, fault
+injection) composes with it unchanged.  Internally it routes each page
+key to ``replication`` shard nodes chosen by consistent hashing
+(:class:`~repro.cluster.HashRing`), batches multi-writes per node, and
+fails reads over to surviving replicas when a node is crashed,
+partitioned, or returns corrupt data.
+
+Placement protocol
+------------------
+The store keeps an authoritative **placement directory**: for every
+key, the ordered tuple of nodes currently holding a durable copy.
+Reads follow the directory, never the raw ring, which gives the
+forwarding-window invariant during migrations:
+
+* a migration first copies the key to its new nodes, *then* flips the
+  directory entry, *then* deletes the old copies — so a concurrent
+  read always finds a node that still has the bytes;
+* writers and the rebalancer never race on one key: a write to a key
+  under migration parks on the migration gate, and a migration skips
+  any key with a write in flight (``_inflight`` is bumped before the
+  writer's first yield, so the check is atomic under the cooperative
+  scheduler).
+
+New keys route by the ring; existing keys stay where the directory
+says (sticky placement), which is what lets the rebalancer equalize
+shard loads without the hash function fighting it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import KeyNotFoundError, KVError, TransientStoreError
+from ..kv.api import KeyValueBackend, WriteItem
+from ..mem import PAGE_SIZE
+from ..obs import NULL_OBS, Observability
+from ..sim import Environment, Event
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ClusterStore"]
+
+#: Reads per hot-shard detection window.
+HOT_SHARD_WINDOW_OPS = 512
+#: A shard is "hot" when it served more than this multiple of the
+#: per-node fair share of the window's reads.
+HOT_SHARD_FACTOR = 2.0
+
+
+class ClusterStore(KeyValueBackend):
+    """Route page keys across an elastic set of shard-node backends."""
+
+    def __init__(
+        self,
+        env: Environment,
+        replication: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        obs: Optional[Observability] = None,
+        name: str = "cluster",
+    ) -> None:
+        if replication < 1:
+            raise KVError(f"replication must be >= 1, got {replication}")
+        super().__init__(env)
+        self.name = name
+        self.replication = replication
+        self.ring = HashRing(vnodes=vnodes)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.counters = self.obs.counters_for(store=name)
+        #: Topology epoch, bumped by the ClusterManager on join/leave/crash.
+        self.topology_epoch = 0
+        #: Optional rebalancer hook, wired by the ClusterManager; poked
+        #: when a write completes under-replicated.
+        self.rebalancer = None
+
+        self._backends: Dict[str, KeyValueBackend] = {}
+        #: key -> ordered nodes currently holding a durable copy.
+        self._placement: Dict[int, Tuple[str, ...]] = {}
+        self._nbytes: Dict[int, int] = {}
+        self._node_keys: Dict[str, Set[int]] = {}
+        self._node_bytes: Dict[str, int] = {}
+        #: Nodes leaving gracefully: off the ring, still serving reads.
+        self._draining: Set[str] = set()
+        #: key -> gate event while the rebalancer migrates it.
+        self._migrating: Dict[int, Event] = {}
+        #: key -> count of writes currently in flight.
+        self._inflight: Dict[int, int] = {}
+        self._read_window: Dict[str, int] = {}
+        self._window_total = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def add_node(self, name: str, backend: KeyValueBackend) -> None:
+        """Register a shard node and give it ring ownership."""
+        if name in self._backends:
+            raise KVError(f"shard node {name!r} already registered")
+        self._backends[name] = backend
+        self._node_keys[name] = set()
+        self._node_bytes[name] = 0
+        self.ring.add_node(name)
+        self._refresh_gauges(name)
+
+    def begin_drain(self, name: str) -> None:
+        """Take ``name`` off the ring; it keeps serving its keys until
+        the rebalancer has moved them all elsewhere."""
+        self._require_node(name)
+        if name in self.ring:
+            self.ring.remove_node(name)
+        self._draining.add(name)
+
+    def retire_node(self, name: str) -> None:
+        """Final step of a graceful leave: node must be empty."""
+        self._require_node(name)
+        if self._node_keys.get(name):
+            raise KVError(
+                f"cannot retire {name!r}: still holds "
+                f"{len(self._node_keys[name])} keys"
+            )
+        if name in self.ring:
+            self.ring.remove_node(name)
+        self._draining.discard(name)
+        del self._backends[name]
+        del self._node_keys[name]
+        del self._node_bytes[name]
+        self._zero_gauges(name)
+
+    def drop_node(self, name: str) -> None:
+        """Fail-stop removal: the node and its copies are gone.
+
+        Placement entries are pruned; keys whose last copy lived here
+        are lost (counted — the chaos harness asserts this stays 0
+        while the replication factor holds).
+        """
+        self._require_node(name)
+        if name in self.ring:
+            self.ring.remove_node(name)
+        self._draining.discard(name)
+        del self._backends[name]
+        for key in sorted(self._node_keys.pop(name)):
+            holders = tuple(
+                node for node in self._placement[key] if node != name
+            )
+            if holders:
+                self._placement[key] = holders
+            else:
+                del self._placement[key]
+                self._nbytes.pop(key, None)
+                self.counters.incr("keys_lost")
+        del self._node_bytes[name]
+        self._zero_gauges(name)
+
+    def _require_node(self, name: str) -> None:
+        if name not in self._backends:
+            raise KVError(f"unknown shard node {name!r}")
+
+    @property
+    def registered_nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._backends))
+
+    def backend_of(self, name: str) -> KeyValueBackend:
+        self._require_node(name)
+        return self._backends[name]
+
+    def node_is_live(self, name: str) -> bool:
+        backend = self._backends.get(name)
+        return backend is not None and backend.is_alive
+
+    def live_nodes(self) -> Tuple[str, ...]:
+        return tuple(
+            name for name in sorted(self._backends)
+            if self._backends[name].is_alive
+        )
+
+    @property
+    def is_alive(self) -> bool:
+        return any(b.is_alive for b in self._backends.values())
+
+    # -- placement bookkeeping ----------------------------------------------
+
+    def placement_of(self, key: int) -> Tuple[str, ...]:
+        return self._placement.get(key, ())
+
+    def desired_nodes(self, key: int) -> Tuple[str, ...]:
+        """The ring's preferred holders (live or not)."""
+        return self.ring.nodes_for(key, self.replication)
+
+    def keys_on(self, name: str) -> Tuple[int, ...]:
+        return tuple(sorted(self._node_keys.get(name, ())))
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Keys per registered node (the balance metric's input)."""
+        return {
+            name: len(keys) for name, keys in self._node_keys.items()
+        }
+
+    def balance_ratio(self) -> float:
+        """max/min keys per ring node (1.0 = perfectly even)."""
+        counts = [
+            len(self._node_keys[name])
+            for name in self._backends
+            if name in self.ring
+        ]
+        if len(counts) < 2 or not self._placement:
+            return 1.0
+        low = min(counts)
+        if low == 0:
+            return float("inf")
+        return max(counts) / low
+
+    def under_replicated_keys(self) -> Tuple[int, ...]:
+        """Keys with fewer live copies than the replication factor."""
+        want = min(self.replication, len(self.live_nodes()) or 1)
+        out = []
+        for key in sorted(self._placement):
+            live = sum(
+                1 for node in self._placement[key]
+                if self.node_is_live(node)
+            )
+            if live < want:
+                out.append(key)
+        return tuple(out)
+
+    def _commit_placement(
+        self, key: int, nbytes: int, holders: Sequence[str]
+    ) -> None:
+        old = self._placement.get(key, ())
+        new = tuple(holders)
+        old_bytes = self._nbytes.get(key, 0)
+        for node in old:
+            if node not in new and node in self._node_keys:
+                self._node_keys[node].discard(key)
+                self._node_bytes[node] -= old_bytes
+        for node in new:
+            if key not in self._node_keys[node]:
+                self._node_keys[node].add(key)
+                self._node_bytes[node] += nbytes
+            elif nbytes != old_bytes:
+                self._node_bytes[node] += nbytes - old_bytes
+        self._placement[key] = new
+        self._nbytes[key] = nbytes
+        for node in set(old) | set(new):
+            self._refresh_gauges(node)
+
+    def _forget_key(self, key: int) -> None:
+        nbytes = self._nbytes.pop(key, 0)
+        for node in self._placement.pop(key, ()):
+            if node in self._node_keys:
+                self._node_keys[node].discard(key)
+                self._node_bytes[node] -= nbytes
+                self._refresh_gauges(node)
+
+    def _refresh_gauges(self, node: str) -> None:
+        if not self.obs.enabled or node not in self._node_keys:
+            return
+        registry = self.obs.registry
+        registry.gauge("shard_keys", store=self.name, node=node).set(
+            len(self._node_keys[node])
+        )
+        registry.gauge("shard_bytes", store=self.name, node=node).set(
+            self._node_bytes[node]
+        )
+
+    def _zero_gauges(self, node: str) -> None:
+        if self.obs.enabled:
+            registry = self.obs.registry
+            registry.gauge("shard_keys", store=self.name, node=node).set(0)
+            registry.gauge("shard_bytes", store=self.name, node=node).set(0)
+
+    # -- hot-shard detection -------------------------------------------------
+
+    def _track_reads(self, node: str, count: int = 1) -> None:
+        self._read_window[node] = self._read_window.get(node, 0) + count
+        self._window_total += count
+        if self._window_total < HOT_SHARD_WINDOW_OPS:
+            return
+        nodes = [name for name in self._backends if name in self.ring]
+        if len(nodes) >= 2:
+            fair = self._window_total / len(nodes)
+            for name in sorted(self._read_window):
+                share = self._read_window[name]
+                if share > HOT_SHARD_FACTOR * fair:
+                    self.counters.incr("hot_shards_detected")
+                    if self.obs.enabled:
+                        self.obs.tracer.instant(
+                            "hot_shard", self.env.now, cat="cluster",
+                            track=self.name, node=name,
+                            reads=share, window=self._window_total,
+                        )
+        self._read_window.clear()
+        self._window_total = 0
+
+    # -- write routing -------------------------------------------------------
+
+    def _write_targets(self, key: int) -> List[str]:
+        """Where a write for ``key`` should land.
+
+        Existing keys keep their (live) current holders — placement is
+        sticky so rebalancing decisions persist — topped up from the
+        ring's live preference order when under the replication factor.
+        """
+        targets = [
+            node for node in self._placement.get(key, ())
+            if self.node_is_live(node) and node not in self._draining
+        ]
+        if len(targets) < self.replication:
+            for node in self.ring.nodes_for(key, len(self._backends)):
+                if len(targets) >= self.replication:
+                    break
+                if node not in targets and self.node_is_live(node):
+                    targets.append(node)
+        if not targets:
+            # Last resort: a draining node is still writable.
+            targets = [
+                node for node in self._placement.get(key, ())
+                if self.node_is_live(node)
+            ]
+        if not targets:
+            raise TransientStoreError(
+                f"no live shard node can accept key {key:#x}"
+            )
+        return targets[: self.replication]
+
+    def _wait_for_migrations(self, keys: Sequence[int]) -> Generator:
+        """Park until no key in ``keys`` is under migration."""
+        while True:
+            gate = next(
+                (
+                    self._migrating[key] for key in keys
+                    if key in self._migrating
+                ),
+                None,
+            )
+            if gate is None:
+                return
+            yield gate
+
+    def _mark_inflight(self, keys: Sequence[int]) -> None:
+        for key in keys:
+            self._inflight[key] = self._inflight.get(key, 0) + 1
+
+    def _clear_inflight(self, keys: Sequence[int]) -> None:
+        for key in keys:
+            left = self._inflight[key] - 1
+            if left:
+                self._inflight[key] = left
+            else:
+                del self._inflight[key]
+
+    def _issue_batches(
+        self, per_node: Dict[str, List[WriteItem]]
+    ) -> Generator:
+        """One ``write_async`` batch per node, awaited in parallel.
+
+        Returns the set of nodes whose batch failed (transiently).
+        """
+        events = [
+            (node, self._backends[node].write_async(items).event)
+            for node, items in sorted(per_node.items())
+        ]
+        failed: Set[str] = set()
+        for node, event in events:
+            try:
+                yield event
+            except (TransientStoreError, KVError):
+                failed.add(node)
+                self.counters.incr("shard_write_failures")
+        return failed
+
+    def _write_items(self, items: List[WriteItem]) -> Generator:
+        keys = [item[0] for item in items]
+        yield from self._wait_for_migrations(keys)
+        self._mark_inflight(keys)
+        try:
+            targets = {key: self._write_targets(key) for key in keys}
+            per_node: Dict[str, List[WriteItem]] = {}
+            for item in items:
+                for node in targets[item[0]]:
+                    per_node.setdefault(node, []).append(item)
+            failed = yield from self._issue_batches(per_node)
+            degraded = False
+            for key, value, nbytes in items:
+                survivors = [
+                    node for node in targets[key] if node not in failed
+                ]
+                if not survivors:
+                    raise TransientStoreError(
+                        f"write of key {key:#x} failed on every "
+                        f"target shard"
+                    )
+                self._commit_placement(key, nbytes, survivors)
+                if len(survivors) < min(
+                    self.replication, len(self.live_nodes())
+                ):
+                    degraded = True
+            if degraded:
+                self.counters.incr("degraded_writes")
+                if self.rebalancer is not None:
+                    self.rebalancer.schedule()
+        finally:
+            self._clear_inflight(keys)
+
+    # -- KeyValueBackend operations ------------------------------------------
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        yield from self._write_items([(key, value, nbytes)])
+        self.counters.incr("writes")
+
+    def multi_write(self, items: List[WriteItem]) -> Generator:
+        if not items:
+            return
+        yield from self._write_items(list(items))
+        self.counters.incr("writes", by=len(items))
+
+    def get(self, key: int) -> Generator:
+        tried: Set[str] = set()
+        transient = False
+        while True:
+            # Re-read the directory every attempt: a migration may
+            # have moved the key between failovers.
+            holders = self._placement.get(key)
+            if holders is None:
+                raise KeyNotFoundError(key)
+            node = next((n for n in holders if n not in tried), None)
+            if node is None:
+                break
+            tried.add(node)
+            backend = self._backends.get(node)
+            if backend is None:
+                continue
+            if not backend.is_alive:
+                self.counters.incr("failover_reads")
+                self._observe_failover(node, key, "down")
+                continue
+            try:
+                value = yield from backend.get(key)
+            except KeyNotFoundError:
+                self.counters.incr("failover_reads")
+                self._observe_failover(node, key, "missing")
+                continue
+            except TransientStoreError:
+                self.counters.incr("failover_reads")
+                self._observe_failover(node, key, "transient")
+                transient = True
+                continue
+            self._track_reads(node)
+            self.counters.incr("reads")
+            return value
+        # The directory says the key exists; every holder failed.  A
+        # crashed holder can recover (or the rebalancer re-replicates),
+        # so this stays retryable.
+        raise TransientStoreError(
+            f"no shard replica could serve key {key:#x}"
+            + (" (transient shard errors)" if transient else "")
+        )
+
+    def multi_read(self, keys: List[int]) -> Generator:
+        if not keys:
+            return []
+        per_node: Dict[Optional[str], List[int]] = {}
+        for key in keys:
+            node = next(
+                (
+                    n for n in self._placement.get(key, ())
+                    if self.node_is_live(n)
+                ),
+                None,
+            )
+            per_node.setdefault(node, []).append(key)
+        out: Dict[int, Any] = {}
+        errors: List[Exception] = []
+        procs = [
+            self.env.process(
+                self._read_group(node, group, out, errors)
+            )
+            for node, group in sorted(
+                per_node.items(), key=lambda kv: (kv[0] is None, kv[0])
+            )
+        ]
+        yield self.env.all_of(procs)
+        if errors:
+            for exc in errors:
+                if isinstance(exc, TransientStoreError):
+                    raise exc
+            raise errors[0]
+        return [out[key] for key in keys]
+
+    def _read_group(
+        self,
+        node: Optional[str],
+        group: List[int],
+        out: Dict[int, Any],
+        errors: List[Exception],
+    ) -> Generator:
+        """One node's share of a multi-read; falls back per key."""
+        if node is not None and len(group) > 1:
+            try:
+                values = yield from self._backends[node].multi_read(
+                    list(group)
+                )
+            except (KeyNotFoundError, TransientStoreError):
+                values = None
+            if values is not None:
+                self._track_reads(node, len(group))
+                self.counters.incr("reads", by=len(group))
+                self.counters.incr("multi_reads")
+                out.update(zip(group, values))
+                return
+            self.counters.incr("failover_reads")
+        for key in group:
+            try:
+                out[key] = yield from self.get(key)
+            except (KeyNotFoundError, TransientStoreError) as exc:
+                errors.append(exc)
+
+    def remove(self, key: int) -> Generator:
+        yield from self._wait_for_migrations([key])
+        holders = self._placement.get(key)
+        if holders is None:
+            raise KeyNotFoundError(key)
+        self._mark_inflight([key])
+        try:
+            self._forget_key(key)
+            for node in holders:
+                backend = self._backends.get(node)
+                if backend is None or not backend.is_alive:
+                    continue
+                try:
+                    yield from backend.remove(key)
+                except (KeyNotFoundError, TransientStoreError):
+                    self.counters.incr("shard_remove_failures")
+            self.counters.incr("removes")
+        finally:
+            self._clear_inflight([key])
+
+    # -- migration primitive (driven by the Rebalancer) ----------------------
+
+    def migrate_key(
+        self,
+        key: int,
+        add_nodes: Sequence[str] = (),
+        drop_nodes: Sequence[str] = (),
+    ) -> Generator:
+        """Move/copy one key: add copies, flip placement, drop copies.
+
+        Returns ``"done"`` on success, ``"busy"`` when a write is in
+        flight (the caller requeues), ``"gone"`` when the key vanished
+        or has no live source to copy from.
+        """
+        if self._inflight.get(key):
+            return "busy"
+        holders = self._placement.get(key)
+        if holders is None:
+            return "gone"
+        gate = self.env.event()
+        self._migrating[key] = gate
+        try:
+            adds = [
+                node for node in add_nodes
+                if node not in holders and self.node_is_live(node)
+            ]
+            value = None
+            source = None
+            for node in holders:
+                if not self.node_is_live(node):
+                    continue
+                try:
+                    value = yield from self._backends[node].get(key)
+                    source = node
+                    break
+                except (KeyNotFoundError, TransientStoreError):
+                    continue
+            if source is None:
+                self.counters.incr("migrations_stalled")
+                return "gone"
+            nbytes = self._nbytes.get(key, PAGE_SIZE)
+            survivors: List[str] = []
+            if adds:
+                failed = yield from self._issue_batches(
+                    {node: [(key, value, nbytes)] for node in adds}
+                )
+                survivors = [n for n in adds if n not in failed]
+            new_holders = [
+                node for node in holders if node not in drop_nodes
+            ] + survivors
+            if not new_holders:
+                # Every drop-target was also the only live copy and the
+                # adds failed: keep the old placement, try again later.
+                self.counters.incr("migrations_stalled")
+                return "busy"
+            self._commit_placement(key, nbytes, new_holders)
+            # Forwarding window closes: old copies go away only after
+            # the directory points at the new ones.
+            for node in drop_nodes:
+                if node not in holders:
+                    continue
+                backend = self._backends.get(node)
+                if backend is None or not backend.is_alive:
+                    continue
+                try:
+                    yield from backend.remove(key)
+                except (KeyNotFoundError, TransientStoreError):
+                    pass
+            self.counters.incr("keys_migrated")
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "shard_migration", self.env.now, cat="cluster",
+                    track=self.name, key=f"{key:#x}",
+                    frm=",".join(holders), to=",".join(new_holders),
+                )
+            return "done"
+        finally:
+            del self._migrating[key]
+            gate.succeed(None)
+
+    # -- failover observation -------------------------------------------------
+
+    def _observe_failover(self, node: str, key: int, reason: str) -> None:
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "shard_failover", self.env.now, cat="resilience",
+                track=self.name, node=node, reason=reason,
+                key=f"{key:#x}",
+            )
+
+    # -- introspection --------------------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        return key in self._placement
+
+    def stored_keys(self) -> int:
+        return len(self._placement)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.used_bytes for b in self._backends.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterStore nodes={len(self._backends)} "
+            f"keys={len(self._placement)} rf={self.replication} "
+            f"epoch={self.topology_epoch}>"
+        )

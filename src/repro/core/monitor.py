@@ -70,6 +70,13 @@ class VmRegistration:
         self.codec = codec
         self.handles: List[UffdRegion] = []
         self.active = True
+        #: Virtual-partition lease backing ``codec.partition``, if the
+        #: index came from a :class:`VirtualPartitionRegistry`.  The
+        #: monitor releases it on deregister (true teardown) so
+        #: allocate/free cycles never exhaust the 4096-index space; a
+        #: detach keeps it — migration moves the partition, and its
+        #: keys, to the destination hypervisor.
+        self.partition_lease = None
         #: Set when the VM's backend was declared dead (retries
         #: exhausted): the monitor refuses further faults for this VM
         #: with StoreUnavailableError instead of hanging on a store
@@ -82,6 +89,12 @@ class VmRegistration:
 
     def key_for(self, host_vaddr: int) -> int:
         return self.codec.key_for(host_vaddr)
+
+    def release_partition(self) -> None:
+        """Give the virtual-partition index back (idempotent)."""
+        if self.partition_lease is not None:
+            self.partition_lease.release()
+            self.partition_lease = None
 
     def __repr__(self) -> str:
         return (
@@ -215,16 +228,23 @@ class Monitor:
         qemu: QemuProcess,
         store: KeyValueBackend,
         partition: int = 0,
+        partition_lease=None,
     ) -> VmRegistration:
         """Register every guest-RAM region of ``qemu`` with FluidMem.
 
         This is the "VM started with all its memory registered" mode
-        (right-hand VM in Figure 1).
+        (right-hand VM in Figure 1).  Pass ``partition_lease`` (a
+        :class:`~repro.kv.PartitionLease`) instead of a raw
+        ``partition`` index to have the monitor free the index when the
+        VM deregisters.
         """
+        if partition_lease is not None:
+            partition = partition_lease.index
         codec = PartitionedKeyCodec(
             partition=0 if store.supports_partitions else partition
         )
         registration = VmRegistration(qemu, store, codec)
+        registration.partition_lease = partition_lease
         for region in qemu.ram_regions:
             handle = self.uffd.register(region, qemu.pid, qemu.page_table)
             registration.handles.append(handle)
@@ -295,6 +315,7 @@ class Monitor:
         for key in doomed_keys:
             yield from registration.store.remove(key)
         self.counters.incr("remote_pages_released", by=len(doomed_keys))
+        registration.release_partition()
         self._registrations.remove(registration)
         self.counters.incr("vms_deregistered")
 

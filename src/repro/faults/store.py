@@ -155,6 +155,33 @@ class FaultyStore(KeyValueBackend):
         self.counters.incr("reads")
         return value
 
+    def multi_read(self, keys: List[int]) -> Generator:
+        """Batched read through one fault gate; corruption and
+        checksum checks still run per key."""
+        yield from self._gate()
+        values = yield from self.inner.multi_read(list(keys))
+        now = self.env.now
+        corrupt = self.plan.corrupt_probability(self.node, now)
+        for key, value in zip(keys, values):
+            if corrupt > 0 and self.plan.draw() < corrupt:
+                self.counters.incr("corrupt_reads_detected")
+                self.plan.counters.incr(f"{self.node}.corrupt_reads")
+                self._observe_injected("corrupt")
+                raise DataCorruptionError(
+                    f"checksum mismatch reading key {key:#x} from node "
+                    f"{self.node!r} (injected corruption)"
+                )
+            expected = self._checksums.get(key)
+            if expected is not None and _fingerprint(value) != expected:
+                self.counters.incr("integrity_violations")
+                raise DataCorruptionError(
+                    f"checksum mismatch reading key {key:#x} from node "
+                    f"{self.node!r} (stored data changed)"
+                )
+        self.counters.incr("reads", by=len(keys))
+        self.counters.incr("multi_reads")
+        return values
+
     def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
         yield from self._gate()
         yield from self.inner.put(key, value, nbytes)

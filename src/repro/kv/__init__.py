@@ -4,6 +4,7 @@ from .api import KeyValueBackend, ReadHandle, WriteHandle, WriteItem
 from .dram import DramStore
 from .memcached import MemcachedServer, MemcachedStore, SLAB_BYTES
 from .partitions import (
+    PartitionLease,
     PartitionedKeyCodec,
     PartitionOwner,
     VirtualPartitionRegistry,
@@ -26,6 +27,7 @@ __all__ = [
     "MemcachedServer",
     "MemcachedStore",
     "SLAB_BYTES",
+    "PartitionLease",
     "PartitionOwner",
     "VirtualPartitionRegistry",
     "PartitionedKeyCodec",

@@ -97,6 +97,23 @@ class KeyValueBackend(abc.ABC):
         for key, value, nbytes in items:
             yield from self.put(key, value, nbytes)
 
+    def multi_read(self, keys: List[int]) -> Generator:
+        """Read a batch; values in key order, all-or-nothing.
+
+        Default is sequential gets.  RAMCloud overrides with a single
+        round trip; wrappers delegate so batching survives end to end
+        (a wrapper that silently fell back to per-key gets would undo
+        the batch's latency win).  Raises KeyNotFoundError if any key
+        is absent.
+        """
+        results = []
+        for key in keys:
+            value = yield from self.get(key)
+            results.append(value)
+        if keys:
+            self.counters.incr("multi_reads")
+        return results
+
     # -- asynchronous halves ---------------------------------------------------
 
     def read_async(self, key: int) -> ReadHandle:

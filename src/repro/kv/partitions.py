@@ -15,14 +15,20 @@ they race (ZooKeeper's create-is-exclusive gives the mutual exclusion).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
 from ..coord import ZooKeeperClient
-from ..errors import NodeExistsError, PartitionError
+from ..errors import NodeExistsError, PartitionError, SessionExpiredError
 from ..mem import MAX_PARTITION, encode_page_key
 
-__all__ = ["PartitionOwner", "VirtualPartitionRegistry", "PartitionedKeyCodec"]
+__all__ = [
+    "PartitionOwner",
+    "PartitionLease",
+    "VirtualPartitionRegistry",
+    "PartitionedKeyCodec",
+]
 
 
 @dataclass(frozen=True)
@@ -61,8 +67,11 @@ class VirtualPartitionRegistry:
         linear probing.  The ZooKeeper ``create`` is the atomic claim, so
         concurrent registrants from different hypervisors are safe.
         """
-        start = hash((owner.hypervisor_id, owner.pid, owner.nonce))
-        start &= MAX_PARTITION
+        # BLAKE2b, not builtin hash(): the probe start must agree
+        # across hypervisor processes (PYTHONHASHSEED randomizes str
+        # hashing per process, which would break determinism).
+        digest = hashlib.blake2b(owner.encode(), digest_size=8).digest()
+        start = int.from_bytes(digest, "little") & MAX_PARTITION
         for offset in range(MAX_PARTITION + 1):
             index = (start + offset) % (MAX_PARTITION + 1)
             try:
@@ -90,6 +99,15 @@ class VirtualPartitionRegistry:
             )
         self._zk.delete(self._slot_path(index))
 
+    def lease(self, owner: PartitionOwner) -> "PartitionLease":
+        """Claim an index wrapped in a releasable lease.
+
+        The lease is what a VM registration holds; releasing it on
+        deregister/teardown is what keeps allocate/free cycles from
+        exhausting the 4096-index space.
+        """
+        return PartitionLease(self, self.register(owner), owner)
+
     def owner_of(self, index: int) -> Optional[PartitionOwner]:
         if not 0 <= index <= MAX_PARTITION:
             raise PartitionError(f"partition index {index} out of range")
@@ -100,6 +118,49 @@ class VirtualPartitionRegistry:
 
     def allocated_count(self) -> int:
         return len(self._zk.children(self.BASE))
+
+
+class PartitionLease:
+    """A claimed partition index plus the handle that frees it.
+
+    ``release`` is idempotent, and tolerates the slot having already
+    vanished (the registry's znodes are ephemeral, so an expired
+    ZooKeeper session frees them without our help) — but still refuses
+    to free a slot some other owner has since claimed.
+    """
+
+    __slots__ = ("registry", "index", "owner", "_released")
+
+    def __init__(
+        self,
+        registry: VirtualPartitionRegistry,
+        index: int,
+        owner: PartitionOwner,
+    ) -> None:
+        self.registry = registry
+        self.index = index
+        self.owner = owner
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        try:
+            if self.registry.owner_of(self.index) is None:
+                return  # expiry already cleaned the ephemeral slot
+        except SessionExpiredError:
+            # Our own session died: the ephemeral slot went with it.
+            return
+        self.registry.release(self.index, self.owner)
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "held"
+        return f"<PartitionLease index={self.index} {state}>"
 
 
 class PartitionedKeyCodec:

@@ -85,6 +85,17 @@ class CompressedStore(KeyValueBackend):
         self.counters.incr("reads")
         return self._unpack(packed)
 
+    def multi_read(self, keys: List[int]) -> Generator:
+        """Delegate the whole batch so the inner store's single
+        round trip survives; decompression is charged per page."""
+        if not keys:
+            return []
+        packed = yield from self.inner.multi_read(list(keys))
+        yield self.env.timeout(self.model.decompress_us * len(keys))
+        self.counters.incr("reads", by=len(keys))
+        self.counters.incr("multi_reads")
+        return [self._unpack(item) for item in packed]
+
     def remove(self, key: int) -> Generator:
         yield from self.inner.remove(key)
         self.counters.incr("removes")
@@ -255,6 +266,42 @@ class ReplicatedStore(KeyValueBackend):
             # The key may exist on a replica that errored: retryable.
             raise TransientStoreError(
                 f"no replica could serve key {key:#x}: {transient}"
+            ) from transient
+        if missing is not None:
+            raise missing
+        raise TransientStoreError("all replicas are down")
+
+    def multi_read(self, keys: List[int]) -> Generator:
+        """One batched read against the first replica that can serve
+        the *whole* batch; failover is all-or-nothing per replica (a
+        replica missing one key is skipped the same as a dead one)."""
+        if not keys:
+            return []
+        transient: Optional[Exception] = None
+        missing: Optional[KeyNotFoundError] = None
+        for index, replica in enumerate(self.replicas):
+            if not self._replica_alive(index):
+                self.counters.incr("replicas_skipped")
+                continue
+            try:
+                values = yield from replica.multi_read(list(keys))
+            except KeyNotFoundError as exc:
+                missing = exc
+                self.counters.incr("failovers")
+                self._observe_failover(index, keys[0], "missing")
+                continue
+            except TransientStoreError as exc:
+                transient = exc
+                self.counters.incr("failovers")
+                self._observe_failover(index, keys[0], "transient")
+                continue
+            self.counters.incr("reads", by=len(keys))
+            self.counters.incr("multi_reads")
+            return values
+        if transient is not None:
+            raise TransientStoreError(
+                f"no replica could serve the {len(keys)}-key batch: "
+                f"{transient}"
             ) from transient
         if missing is not None:
             raise missing

@@ -13,7 +13,7 @@ noisy to gate on), as are absolute differences below ``--min-us``.
 
 To refresh the checked-in baseline after an intentional perf change::
 
-    PYTHONPATH=src python -m repro.bench fig3 table1 --quick \
+    PYTHONPATH=src python -m repro.bench fig3 table1 cluster --quick \
         --metrics benchmarks/baselines/quick-seed42.json
 """
 
@@ -146,8 +146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {regression}")
         print(
             "\nIf this slowdown is intentional, refresh the baseline:\n"
-            "  PYTHONPATH=src python -m repro.bench fig3 table1 --quick "
-            f"--metrics {args.baseline}"
+            "  PYTHONPATH=src python -m repro.bench fig3 table1 "
+            f"cluster --quick --metrics {args.baseline}"
         )
         return 1
     print("bench-baseline gate: no tracked latency regressions")

@@ -11,6 +11,7 @@ from repro.bench.ablations import (
     run_steal_ablation,
     run_tracker_ablation,
 )
+from repro.bench.cluster_scaleout import run_cluster
 from repro.bench.fig3_latency_cdf import run_fig3
 from repro.bench.fig4_graph500 import memory_scale_for, run_fig4
 from repro.bench.fig5_mongodb import run_fig5
@@ -199,3 +200,37 @@ def test_steal_ablation_reduces_reads():
     assert steal_row[2] > 0              # steals happened
     assert steal_row[3] < no_steal_row[3]  # fewer remote reads
     assert steal_row[1] <= no_steal_row[1]  # no slower
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return run_cluster(pages=400, max_nodes=5, seed=7)
+
+
+def test_cluster_scaleout_balances_every_step(cluster):
+    assert len(cluster.rows_data) == 5
+    for row in cluster.rows_data:
+        assert row.ratio <= 1.5, (row.nodes, row.ratio)
+    assert cluster.rows_data[0].nodes == 1
+    assert cluster.rows_data[-1].nodes == 5
+
+
+def test_cluster_scaleout_moves_fewer_keys_as_it_grows(cluster):
+    """Consistent hashing: each join steals roughly 1/n of the keys,
+    so the per-join migration volume shrinks as the cluster grows."""
+    moved = [row.keys_moved for row in cluster.rows_data[1:]]
+    assert all(count > 0 for count in moved)
+    assert moved[-1] < moved[0]
+
+
+def test_cluster_crash_recovery_is_lossless(cluster):
+    assert cluster.keys_lost == 0
+    assert cluster.read_back_ok
+    assert cluster.keys_re_replicated > 0
+    assert 0 < cluster.recovery_us < 1_000_000.0
+
+
+def test_cluster_table_text_mentions_recovery(cluster):
+    text = cluster.table_text()
+    assert "Cluster scale-out" in text
+    assert "read-back OK" in text

@@ -67,7 +67,7 @@ def test_format_ratio():
 def test_parser_accepts_all_experiments():
     parser = _parser()
     for name in ("fig3", "table1", "table2", "fig4", "fig5", "table3",
-                 "ablations", "all"):
+                 "ablations", "cluster", "all"):
         args = parser.parse_args([name])
         assert args.experiment == [name]
 
@@ -77,9 +77,36 @@ def test_parser_accepts_experiment_subsets():
     assert args.experiment == ["fig3", "table1"]
 
 
-def test_parser_rejects_unknown():
+def test_cli_rejects_unknown_experiment(capsys):
     with pytest.raises(SystemExit):
-        _parser().parse_args(["fig9"])
+        main(["fig9"])
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig9'" in err
+    assert "--list-experiments" in err
+
+
+def test_cli_rejects_empty_experiment_list(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+    assert "--list-experiments" in capsys.readouterr().err
+
+
+def test_cli_lists_experiments(capsys):
+    rc = main(["--list-experiments"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("fig3", "table3", "ablations", "cluster"):
+        assert name in out
+    assert "Shard-cluster scale-out" in out
+
+
+def test_cli_unknown_fault_plan_suggests(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "--faults", "chaoss"])
+    err = capsys.readouterr().err
+    assert "unknown fault plan 'chaoss'" in err
+    assert "Did you mean 'chaos'?" in err
+    assert "Available plans:" in err
 
 
 def test_cli_quick_table3_runs_and_exports(tmp_path, capsys):

@@ -1,0 +1,193 @@
+"""Cluster chaos: VMs page through a shard cluster under churn.
+
+The acceptance property for the cluster subsystem: under a seeded
+schedule of node joins, leaves, and crashes while VMs fault and evict
+pages through :class:`ClusterStore`,
+
+* every page remains readable with the correct contents (CRC-equal to
+  what the guest wrote),
+* the rebalancer converges — max/min keys-per-node ratio <= 1.5 once
+  quiesced,
+* the replication factor is restored after each crash, and no key is
+  ever lost.
+
+``FAULT_SEED`` (environment variable) offsets the seed so CI sweeps
+several independent chaos universes with the same test code.
+"""
+
+import os
+import random
+import zlib
+
+from repro.cluster import ClusterManager, ClusterStore, Rebalancer
+from repro.coord import ZooKeeperEnsemble
+from repro.core import FluidMemConfig
+from repro.kv import DramStore
+from repro.mem import PAGE_SIZE
+from repro.obs import Observability
+from repro.sim import Environment
+
+from tests.helpers import build_stack
+
+SEED_BASE = int(os.environ.get("FAULT_SEED", "0"))
+PAGES = 24
+LRU = 4
+REPLICATION = 2
+
+
+def fill_pattern(index: int) -> bytes:
+    return bytes([(index * 37 + offset) % 256 for offset in range(64)]) \
+        * (PAGE_SIZE // 64)
+
+
+def build_cluster_stack(seed):
+    config = FluidMemConfig(
+        lru_capacity_pages=LRU,
+        writeback_batch_pages=4,
+    )
+    obs = Observability(enabled=True)
+    stack = build_stack(config=config, seed=seed, obs=obs)
+    store = ClusterStore(stack.env, replication=REPLICATION, obs=obs)
+    rebalancer = Rebalancer(stack.env, store, batch_keys=8,
+                            pause_us=50.0, obs=obs)
+    manager = ClusterManager(
+        stack.env, ZooKeeperEnsemble(), store, rebalancer, obs=obs
+    )
+    rebalancer.start()
+    manager.start()
+    for index in range(3):
+        manager.join(f"node{index}", DramStore(stack.env))
+    vm, qemu, port, reg = stack.make_vm(store=store)
+    return stack, store, rebalancer, manager, vm, qemu, port
+
+
+def test_integrity_under_cluster_churn():
+    seed = SEED_BASE * 1_000_003 + 17
+    rng = random.Random(seed)
+    stack, store, rebalancer, manager, vm, qemu, port = \
+        build_cluster_stack(seed=SEED_BASE + 5)
+    env = stack.env
+    base = vm.first_free_guest_addr()
+    next_node_id = [3]
+    problems = []
+
+    def restore_rf():
+        """Drive the rebalancer until every key is back at RF."""
+        yield from rebalancer.wait_quiesce()
+        while store.under_replicated_keys():
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+
+    def topology_churn(env):
+        """Seeded joins, leaves, and crashes while the VM works."""
+        events = 0
+        while events < 8:
+            yield env.timeout(1_500.0)
+            live = [
+                n for n in store.registered_nodes
+                if store.node_is_live(n)
+            ]
+            # Never drop below 3 nodes: RF=2 plus failover headroom.
+            choices = ["join"]
+            if len(live) > 3:
+                choices += ["crash", "leave"]
+            action = rng.choice(choices)
+            if action == "join" and len(live) < 8:
+                name = f"node{next_node_id[0]}"
+                next_node_id[0] += 1
+                manager.join(name, DramStore(env))
+            elif action == "crash":
+                victim = rng.choice(sorted(manager.members))
+                manager.crash(victim)
+                # Replication factor must come back after each crash.
+                yield from restore_rf()
+                for key in store.under_replicated_keys():
+                    problems.append(("under-replicated", key))
+            elif action == "leave":
+                victim = rng.choice(sorted(manager.members))
+                yield from manager.leave(victim)
+            events += 1
+        yield from restore_rf()
+
+    def workload(env):
+        for index in range(PAGES):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+            host = qemu.guest_to_host(base + index * PAGE_SIZE)
+            qemu.page_table.entry(host).page.write(fill_pattern(index))
+        # Churn access order so pages bounce between DRAM and the
+        # cluster while the topology changes underneath.
+        for index in [(i * 11) % PAGES for i in range(4 * PAGES)]:
+            yield from port.access(base + index * PAGE_SIZE)
+            yield env.timeout(40.0)
+        yield from stack.monitor.writeback.drain()
+        yield churn_proc  # wait for the topology schedule to end
+        yield from restore_rf()
+        # Recovery read: every byte of every page must match.
+        for index in range(PAGES):
+            yield from port.access(base + index * PAGE_SIZE)
+            host = qemu.guest_to_host(base + index * PAGE_SIZE)
+            data = qemu.page_table.entry(host).page.read()
+            if zlib.crc32(data) != zlib.crc32(fill_pattern(index)):
+                problems.append(("crc-mismatch", index))
+        manager.stop()
+
+    churn_proc = env.process(topology_churn(env))
+    proc = env.process(workload(env))
+    env.run(until=50_000_000.0)
+    assert not proc.is_alive, "chaos workload did not finish"
+    assert proc.ok, proc.value
+    assert problems == []
+    assert store.counters["keys_lost"] == 0
+    assert stack.monitor.stats()["quarantined_vms"] == 0
+    # Convergence: once quiesced, keys spread within 1.5x across nodes.
+    assert rebalancer.idle
+    assert store.balance_ratio() <= 1.5
+    # And replication is back at target for every key.
+    assert store.under_replicated_keys() == ()
+
+
+def test_churn_is_deterministic_for_a_seed():
+    """Two runs of the same seeded topology schedule end in the same
+    simulated state — the property the CI fault matrix relies on.
+
+    Keys go straight to the store: page keys derived through a VM
+    embed the QEMU pid (a process-global counter), which is exactly
+    why the bench determinism pin also runs each experiment in a
+    fresh interpreter.
+    """
+
+    def run_once():
+        env = Environment()
+        store = ClusterStore(env, replication=REPLICATION)
+        rebalancer = Rebalancer(env, store, batch_keys=8, pause_us=50.0)
+        manager = ClusterManager(env, ZooKeeperEnsemble(), store,
+                                 rebalancer)
+        rebalancer.start()
+        manager.start()
+        for index in range(3):
+            manager.join(f"node{index}", DramStore(env))
+
+        def workload(env):
+            for index in range(PAGES):
+                yield from store.put(index, (index, "v"))
+            manager.join("node3", DramStore(env))
+            yield from rebalancer.wait_quiesce()
+            manager.crash("node1")
+            yield from rebalancer.wait_quiesce()
+            while store.under_replicated_keys():
+                rebalancer.schedule()
+                yield from rebalancer.wait_quiesce()
+            manager.stop()
+
+        proc = env.process(workload(env))
+        env.run(until=50_000_000.0)
+        assert proc.ok
+        return (
+            env.now,
+            sorted(store.shard_counts().items()),
+            store.counters["keys_migrated"],
+            store.topology_epoch,
+        )
+
+    assert run_once() == run_once()

@@ -1,0 +1,210 @@
+"""ClusterStore: routing, replication, failover, composition."""
+
+import pytest
+
+from repro.cluster import ClusterStore
+from repro.errors import (
+    KeyNotFoundError,
+    KVError,
+    TransientStoreError,
+)
+from repro.faults import FaultKind, FaultPlan, FaultWindow, FaultyStore
+from repro.kv import CompressedStore, DramStore
+from repro.obs import Observability
+from repro.sim import Environment
+
+
+def run_op(env, generator):
+    proc = env.process(generator)
+    env.run()
+    return proc.value
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_cluster(env, nodes=3, replication=2, obs=None):
+    store = ClusterStore(env, replication=replication, obs=obs)
+    backends = {}
+    for index in range(nodes):
+        backend = DramStore(env)
+        backends[f"n{index}"] = backend
+        store.add_node(f"n{index}", backend)
+    return store, backends
+
+
+def test_put_replicates_to_rf_nodes(env):
+    store, backends = make_cluster(env)
+    run_op(env, store.put(1, "v", 4096))
+    holders = store.placement_of(1)
+    assert len(holders) == 2
+    for name in holders:
+        assert backends[name].contains(1)
+    assert store.contains(1)
+    assert store.stored_keys() == 1
+
+
+def test_get_routes_by_placement(env):
+    store, _backends = make_cluster(env)
+    for key in range(50):
+        run_op(env, store.put(key, f"v{key}"))
+    for key in range(50):
+        assert run_op(env, store.get(key)) == f"v{key}"
+    assert run_op(env, store.get(3)) == "v3"
+
+
+def test_unknown_key_raises_immediately(env):
+    store, _backends = make_cluster(env)
+
+    def attempt(env):
+        yield from store.get(404)
+
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_read_fails_over_to_surviving_replica(env):
+    plan = FaultPlan([
+        FaultWindow(FaultKind.CRASH, "n0", 100.0, 1_000_000.0),
+    ])
+    env_store = ClusterStore(env, replication=2)
+    faulty = FaultyStore(env, DramStore(env), plan, node="n0")
+    env_store.add_node("n0", faulty)
+    env_store.add_node("n1", DramStore(env))
+    env_store.add_node("n2", DramStore(env))
+    for key in range(20):
+        run_op(env, env_store.put(key, f"v{key}"))
+
+    def later(env):
+        yield env.timeout(200.0)  # into n0's crash window
+        values = []
+        for key in range(20):
+            value = yield from env_store.get(key)
+            values.append(value)
+        return values
+
+    assert run_op(env, later(env)) == [f"v{key}" for key in range(20)]
+    assert env_store.counters["keys_lost"] == 0
+
+
+def test_writes_skip_dead_nodes_and_flag_degraded(env):
+    obs = Observability(enabled=True)
+    plan = FaultPlan([FaultWindow(FaultKind.CRASH, "n0", 0.0, 1e9)])
+    store = ClusterStore(env, replication=2, obs=obs)
+    store.add_node("n0", FaultyStore(env, DramStore(env), plan,
+                                     node="n0"))
+    store.add_node("n1", DramStore(env))
+    for key in range(10):
+        run_op(env, store.put(key, "v"))
+    for key in range(10):
+        assert "n0" not in store.placement_of(key)
+        assert run_op(env, store.get(key)) == "v"
+
+
+def test_multi_write_batches_per_node(env):
+    store, backends = make_cluster(env, replication=1)
+    items = [(key, f"v{key}", 4096) for key in range(40)]
+    run_op(env, store.multi_write(items))
+    for key in range(40):
+        assert run_op(env, store.get(key)) == f"v{key}"
+    # Batching: far fewer backend write calls than items (DramStore's
+    # multi_write counts one "writes" incr per item but the cluster
+    # issues one write_async per node, not per key).
+    spread = [backend.stored_keys() for backend in backends.values()]
+    assert sum(spread) == 40 and all(spread)
+
+
+def test_all_targets_down_is_transient(env):
+    plan = FaultPlan([
+        FaultWindow(FaultKind.CRASH, "n0", 0.0, 1e9),
+        FaultWindow(FaultKind.CRASH, "n1", 0.0, 1e9),
+    ])
+    store = ClusterStore(env, replication=2)
+    for name in ("n0", "n1"):
+        store.add_node(
+            name, FaultyStore(env, DramStore(env), plan, node=name)
+        )
+
+    def attempt(env):
+        yield from store.put(1, "v")
+
+    env.process(attempt(env))
+    with pytest.raises(TransientStoreError):
+        env.run()
+
+
+def test_remove_deletes_from_all_holders(env):
+    store, backends = make_cluster(env)
+    run_op(env, store.put(1, "v"))
+    holders = store.placement_of(1)
+    run_op(env, store.remove(1))
+    assert not store.contains(1)
+    for name in holders:
+        assert not backends[name].contains(1)
+
+    def attempt(env):
+        yield from store.remove(1)
+
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_composes_under_compressed_store(env):
+    """CompressedStore over ClusterStore: the generic-backend contract
+    holds through the whole sandwich."""
+    cluster, _backends = make_cluster(env)
+    store = CompressedStore(env, cluster)
+    for key in range(12):
+        run_op(env, store.put(key, f"value-{key}"))
+    assert run_op(env, store.get(7)) == "value-7"
+    assert run_op(env, store.multi_read([2, 9, 4])) == \
+        ["value-2", "value-9", "value-4"]
+    run_op(env, store.remove(2))
+    assert not store.contains(2)
+
+
+def test_used_bytes_and_shard_accounting(env):
+    obs = Observability(enabled=True)
+    store, _backends = make_cluster(env, obs=obs)
+    for key in range(10):
+        run_op(env, store.put(key, "v", 4096))
+    # RF=2: every byte is stored twice.
+    assert store.used_bytes == 10 * 4096 * 2
+    counts = store.shard_counts()
+    assert sum(counts.values()) == 20
+    snapshot = obs.registry.snapshot()
+    shard_gauges = {
+        name: value for name, value in snapshot["gauges"].items()
+        if name.startswith("shard_keys{")
+    }
+    assert len(shard_gauges) == 3
+    assert sum(shard_gauges.values()) == 20
+
+
+def test_topology_misuse_raises(env):
+    store, _backends = make_cluster(env)
+    with pytest.raises(KVError):
+        store.add_node("n0", DramStore(env))
+    with pytest.raises(KVError):
+        store.retire_node("ghost")
+    run_op(env, store.put(1, "v"))
+    holder = store.placement_of(1)[0]
+    with pytest.raises(KVError):
+        store.retire_node(holder)  # still holds keys
+    with pytest.raises(KVError):
+        ClusterStore(env, replication=0)
+
+
+def test_no_nodes_at_all_is_transient(env):
+    store = ClusterStore(env, replication=1)
+
+    def attempt(env):
+        yield from store.put(1, "v")
+
+    env.process(attempt(env))
+    with pytest.raises(TransientStoreError):
+        env.run()

@@ -1,0 +1,50 @@
+"""Determinism pin for the cluster experiment's metrics export.
+
+The CI baseline gate diffs ``--metrics`` JSON byte for byte, so the
+cluster experiment must be bit-reproducible under a fixed seed: ring
+positions come from keyed blake2b (not the salted builtin ``hash``),
+every rebalancer iteration order is sorted, and the simulation clock
+is the only notion of time.
+"""
+
+import json
+
+from repro.bench.cli import main
+
+
+def export(tmp_path, name, seed=42):
+    path = tmp_path / f"{name}.json"
+    rc = main([
+        "cluster", "--quick", "--seed", str(seed),
+        "--metrics", str(path),
+    ])
+    assert rc == 0
+    return path.read_bytes()
+
+
+def test_same_seed_metrics_are_byte_identical(tmp_path, capsys):
+    first = export(tmp_path, "a")
+    second = export(tmp_path, "b")
+    assert first == second
+
+
+def test_metrics_export_carries_per_shard_gauges(tmp_path, capsys):
+    document = json.loads(export(tmp_path, "c"))
+    gauges = document["experiments"]["cluster"]["gauges"]
+    shard_gauges = [
+        name for name in gauges if name.startswith("shard_keys{")
+    ]
+    assert len(shard_gauges) >= 2  # one per surviving shard node
+    assert "cluster_balance_ratio_x100" in gauges
+    assert gauges["cluster_balance_ratio_x100"] <= 150
+    assert "cluster_recovery_us" in gauges
+    counters = document["experiments"]["cluster"]["counters"]
+    migrated = [
+        name for name in counters if "keys_migrated" in name
+    ]
+    assert migrated
+
+
+def test_different_seed_changes_the_export(tmp_path, capsys):
+    assert export(tmp_path, "d", seed=42) != \
+        export(tmp_path, "e", seed=43)

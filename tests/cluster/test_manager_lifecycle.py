@@ -1,0 +1,190 @@
+"""ClusterManager: znodes, epochs, session expiry, crash detection."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterManager,
+    ClusterStore,
+    NODES_PATH,
+    Rebalancer,
+)
+from repro.coord import ZooKeeperEnsemble
+from repro.errors import KVError
+from repro.faults import FaultKind, FaultPlan, FaultWindow, FaultyStore
+from repro.kv import DramStore
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def ensemble():
+    return ZooKeeperEnsemble()
+
+
+def make_cluster(env, ensemble, **kwargs):
+    store = ClusterStore(env, replication=2)
+    rebalancer = Rebalancer(env, store)
+    manager = ClusterManager(env, ensemble, store, rebalancer,
+                             **kwargs)
+    rebalancer.start()
+    return store, rebalancer, manager
+
+
+def znode_names(ensemble):
+    client = ensemble.connect()
+    try:
+        return set(client.children(NODES_PATH))
+    finally:
+        client.close()
+
+
+def test_join_creates_ephemeral_znode_and_bumps_epoch(env, ensemble):
+    store, _rebalancer, manager = make_cluster(env, ensemble)
+    assert manager.epoch == 0
+    manager.join("n0", DramStore(env))
+    manager.join("n1", DramStore(env))
+    assert znode_names(ensemble) == {"n0", "n1"}
+    assert manager.epoch == 2
+    assert store.topology_epoch == 2
+    assert manager.members == ("n0", "n1")
+    with pytest.raises(KVError):
+        manager.join("n0", DramStore(env))
+
+
+def test_crash_expires_session_and_prunes_placement(env, ensemble):
+    store, rebalancer, manager = make_cluster(env, ensemble)
+    for name in ("n0", "n1", "n2"):
+        manager.join(name, DramStore(env))
+
+    def scenario(env):
+        for key in range(30):
+            yield from store.put(key, "v")
+        yield from rebalancer.wait_quiesce()
+        manager.crash("n1")
+        assert znode_names(ensemble) == {"n0", "n2"}
+        assert "n1" not in store.registered_nodes
+        yield from rebalancer.wait_quiesce()
+
+    proc = env.process(scenario(env))
+    env.run()
+    assert proc.ok
+    assert manager.epoch == 4  # 3 joins + 1 crash
+    with pytest.raises(KVError):
+        manager.crash("n1")  # not a member anymore
+
+
+def test_external_session_expiry_drives_topology_epoch(env, ensemble):
+    """Satellite: ZooKeeper ephemeral cleanup under session expiry.
+
+    Something outside the manager expires a node's session (lease
+    timeout, ZK quorum decision).  The ephemeral znode vanishes on
+    every replica; the next sync must notice, drop the node from the
+    ring, bump the epoch, and schedule a rebalance.
+    """
+    store, rebalancer, manager = make_cluster(env, ensemble)
+    manager.start()
+    for name in ("n0", "n1", "n2"):
+        manager.join(name, DramStore(env))
+    epoch_before = manager.epoch
+
+    def scenario(env):
+        for key in range(30):
+            yield from store.put(key, "v")
+        yield from rebalancer.wait_quiesce()
+        # Expire n2's session behind the manager's back.
+        session = manager._sessions["n2"]
+        ensemble.expire_session(session.session_id)
+        assert znode_names(ensemble) == {"n0", "n1"}
+        # The node is still on the ring until the manager notices.
+        assert "n2" in store.registered_nodes
+        yield env.timeout(2_000.0)  # > poll interval: sync runs
+        assert "n2" not in store.registered_nodes
+        assert "n2" not in store.ring
+        assert manager.members == ("n0", "n1")
+        # Ring updated -> rebalance was scheduled and re-replication
+        # restored every key to two live copies.
+        yield from rebalancer.wait_quiesce()
+        while store.under_replicated_keys():
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+        for key in range(30):
+            assert len(store.placement_of(key)) == 2
+        manager.stop()
+
+    proc = env.process(scenario(env))
+    env.run(until=5_000_000.0)
+    assert not proc.is_alive and proc.ok
+    assert manager.epoch == epoch_before + 1
+    assert store.counters["keys_lost"] == 0
+
+
+def test_liveness_crash_detection_via_fault_plan(env, ensemble):
+    """A node whose FaultyStore is in a long crash window gets
+    declared dead after crash_detect_us and leaves the topology."""
+    store, rebalancer, manager = make_cluster(
+        env, ensemble, poll_us=200.0, crash_detect_us=600.0
+    )
+    manager.start()
+    plan = FaultPlan([
+        FaultWindow(FaultKind.CRASH, "n1", 1_000.0, 1e9),
+    ])
+    manager.join("n0", DramStore(env))
+    manager.join(
+        "n1", FaultyStore(env, DramStore(env), plan, node="n1")
+    )
+    manager.join("n2", DramStore(env))
+
+    def scenario(env):
+        for key in range(20):
+            yield from store.put(key, "v")
+        yield from rebalancer.wait_quiesce()
+        yield env.timeout(3_000.0)  # into the window + detection time
+        assert "n1" not in store.registered_nodes
+        assert znode_names(ensemble) == {"n0", "n2"}
+        while store.under_replicated_keys():
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+        for key in range(20):
+            value = yield from store.get(key)
+            assert value == "v"
+        manager.stop()
+
+    proc = env.process(scenario(env))
+    env.run(until=5_000_000.0)
+    assert not proc.is_alive and proc.ok
+    assert store.counters["keys_lost"] == 0
+
+
+def test_quorum_loss_degrades_sync_gracefully(env, ensemble):
+    _store, _rebalancer, manager = make_cluster(env, ensemble)
+    manager.join("n0", DramStore(env))
+    ensemble.stop_replica(0)
+    ensemble.stop_replica(1)
+    manager.sync()  # must not raise
+    assert manager.counters["sync_failures"] == 1
+    ensemble.start_replica(0)
+    manager.sync()
+    assert manager.counters["sync_failures"] == 1
+
+
+def test_graceful_leave_closes_session(env, ensemble):
+    store, rebalancer, manager = make_cluster(env, ensemble)
+    for name in ("n0", "n1", "n2"):
+        manager.join(name, DramStore(env))
+
+    def scenario(env):
+        for key in range(12):
+            yield from store.put(key, "v")
+        yield from rebalancer.wait_quiesce()
+        yield from manager.leave("n0")
+
+    proc = env.process(scenario(env))
+    env.run()
+    assert proc.ok
+    assert znode_names(ensemble) == {"n1", "n2"}
+    assert manager.members == ("n1", "n2")
+    assert manager.epoch == 4

@@ -1,0 +1,161 @@
+"""Rebalancer: re-replication, draining, balance, forwarding window."""
+
+import pytest
+
+from repro.cluster import ClusterManager, ClusterStore, Rebalancer
+from repro.coord import ZooKeeperEnsemble
+from repro.kv import DramStore
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_managed_cluster(env, nodes=3, replication=2, **rb_kwargs):
+    store = ClusterStore(env, replication=replication)
+    rebalancer = Rebalancer(env, store, **rb_kwargs)
+    manager = ClusterManager(
+        env, ZooKeeperEnsemble(), store, rebalancer
+    )
+    rebalancer.start()
+    manager.start()
+    for index in range(nodes):
+        manager.join(f"n{index}", DramStore(env))
+    return store, rebalancer, manager
+
+
+def run_until(env, generator):
+    proc = env.process(generator)
+    env.run(until=10_000_000.0)
+    assert not proc.is_alive, "workload did not finish"
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def test_crash_triggers_re_replication(env):
+    store, rebalancer, manager = make_managed_cluster(env)
+
+    def scenario(env):
+        for key in range(60):
+            yield from store.put(key, f"v{key}")
+        yield from rebalancer.wait_quiesce()
+        manager.crash("n1")
+        yield from rebalancer.wait_quiesce()
+        while store.under_replicated_keys():
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+        for key in range(60):
+            assert len(store.placement_of(key)) == 2
+            value = yield from store.get(key)
+            assert value == f"v{key}"
+
+    run_until(env, scenario(env))
+    assert store.counters["keys_lost"] == 0
+    assert rebalancer.counters["re_replications"] > 0
+
+
+def test_join_rebalances_toward_even_spread(env):
+    store, rebalancer, manager = make_managed_cluster(env, nodes=1)
+
+    def scenario(env):
+        for key in range(200):
+            yield from store.put(key, "v")
+        for index in range(1, 4):
+            manager.join(f"extra{index}", DramStore(env))
+            yield from rebalancer.wait_quiesce()
+        assert store.balance_ratio() <= 1.5
+
+    run_until(env, scenario(env))
+    assert rebalancer.counters["balance_moves"] > 0
+
+
+def test_graceful_leave_drains_every_key(env):
+    store, rebalancer, manager = make_managed_cluster(env, nodes=4)
+
+    def scenario(env):
+        for key in range(80):
+            yield from store.put(key, f"v{key}")
+        yield from rebalancer.wait_quiesce()
+        yield from manager.leave("n0")
+        assert "n0" not in store.registered_nodes
+        for key in range(80):
+            assert "n0" not in store.placement_of(key)
+            value = yield from store.get(key)
+            assert value == f"v{key}"
+
+    run_until(env, scenario(env))
+    assert store.counters["keys_lost"] == 0
+
+
+def test_forwarding_window_reads_never_miss_mid_migration(env):
+    """A reader hammering one key while the rebalancer moves it must
+    always get the value — the placement flips only after the copy."""
+    store = ClusterStore(env, replication=1)
+    rebalancer = Rebalancer(env, store, batch_keys=1, pause_us=50.0)
+    rebalancer.start()
+    store.add_node("a", DramStore(env))
+
+    def scenario(env):
+        for key in range(30):
+            yield from store.put(key, f"v{key}")
+        store.add_node("b", DramStore(env))
+        rebalancer.schedule()
+        # Read every key repeatedly while migrations are in flight.
+        while not rebalancer.idle:
+            for key in range(30):
+                value = yield from store.get(key)
+                assert value == f"v{key}"
+            yield env.timeout(10.0)
+        assert store.balance_ratio() <= 1.5
+        # Old copies were cleaned up: each key lives exactly once.
+        assert sum(store.shard_counts().values()) == 30
+
+    run_until(env, scenario(env))
+
+
+def test_writes_during_migration_are_not_lost(env):
+    """A writer updating keys while the rebalancer churns: the write
+    always wins (migration gates on in-flight writes and vice versa)."""
+    store = ClusterStore(env, replication=1)
+    rebalancer = Rebalancer(env, store, batch_keys=2, pause_us=20.0)
+    rebalancer.start()
+    store.add_node("a", DramStore(env))
+
+    def scenario(env):
+        for key in range(40):
+            yield from store.put(key, ("old", key))
+        store.add_node("b", DramStore(env))
+        rebalancer.schedule()
+        # Overwrite everything while the rebalancer is moving keys.
+        for key in range(40):
+            yield from store.put(key, ("new", key))
+        yield from rebalancer.wait_quiesce()
+        for key in range(40):
+            value = yield from store.get(key)
+            assert value == ("new", key), f"stale read for {key}"
+
+    run_until(env, scenario(env))
+
+
+def test_throttling_spreads_migrations_over_time(env):
+    store = ClusterStore(env, replication=1)
+    rebalancer = Rebalancer(env, store, batch_keys=4, pause_us=500.0)
+    rebalancer.start()
+    store.add_node("a", DramStore(env))
+
+    def scenario(env):
+        for key in range(64):
+            yield from store.put(key, "v")
+        start = env.now
+        store.add_node("b", DramStore(env))
+        rebalancer.schedule()
+        yield from rebalancer.wait_quiesce()
+        moved = store.counters["keys_migrated"]
+        assert moved > 8
+        # At least (moved // batch) pauses were taken.
+        assert env.now - start >= (moved // 4 - 1) * 500.0
+
+    run_until(env, scenario(env))

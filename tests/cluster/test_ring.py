@@ -1,0 +1,97 @@
+"""HashRing: determinism, spread, and minimal disruption."""
+
+import pytest
+
+from repro.cluster import HashRing
+from repro.errors import KVError
+
+
+def ring_with(*names, vnodes=128):
+    ring = HashRing(vnodes=vnodes)
+    for name in names:
+        ring.add_node(name)
+    return ring
+
+
+def test_layout_is_deterministic_across_instances():
+    a = ring_with("n0", "n1", "n2")
+    b = ring_with("n0", "n1", "n2")
+    for key in range(500):
+        assert a.node_for(key) == b.node_for(key)
+
+
+def test_insertion_order_does_not_matter():
+    a = ring_with("n0", "n1", "n2")
+    b = ring_with("n2", "n0", "n1")
+    for key in range(500):
+        assert a.nodes_for(key, 2) == b.nodes_for(key, 2)
+
+
+def test_keys_spread_over_all_nodes():
+    ring = ring_with("n0", "n1", "n2", "n3")
+    counts = {name: 0 for name in ring.nodes}
+    for key in range(4_000):
+        counts[ring.node_for(key)] += 1
+    # Virtual nodes keep the spread within a reasonable band.
+    assert min(counts.values()) > 4_000 / 4 / 2
+    assert max(counts.values()) < 4_000 / 4 * 2
+
+
+def test_arc_shares_sum_to_one():
+    ring = ring_with("n0", "n1", "n2")
+    total = sum(ring.arc_share(name) for name in ring.nodes)
+    assert total == pytest.approx(1.0)
+
+
+def test_node_removal_only_moves_its_own_keys():
+    ring = ring_with("n0", "n1", "n2", "n3")
+    before = {key: ring.node_for(key) for key in range(2_000)}
+    ring.remove_node("n2")
+    for key, owner in before.items():
+        if owner != "n2":
+            assert ring.node_for(key) == owner
+
+
+def test_node_addition_only_steals_keys():
+    ring = ring_with("n0", "n1", "n2")
+    before = {key: ring.node_for(key) for key in range(2_000)}
+    ring.add_node("n3")
+    moved = 0
+    for key, owner in before.items():
+        now = ring.node_for(key)
+        if now != owner:
+            assert now == "n3"  # keys only move to the newcomer
+            moved += 1
+    assert 0 < moved < len(before) / 2
+
+
+def test_nodes_for_returns_distinct_owners_in_preference_order():
+    ring = ring_with("n0", "n1", "n2")
+    for key in range(100):
+        owners = ring.nodes_for(key, 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.node_for(key)
+
+
+def test_nodes_for_caps_at_ring_size():
+    ring = ring_with("n0", "n1")
+    assert len(ring.nodes_for(7, 5)) == 2
+
+
+def test_empty_ring_has_no_owner():
+    ring = HashRing()
+    assert ring.node_for(1) is None
+    assert ring.nodes_for(1, 2) == ()
+
+
+def test_membership_errors():
+    ring = ring_with("n0")
+    with pytest.raises(KVError):
+        ring.add_node("n0")
+    with pytest.raises(KVError):
+        ring.remove_node("ghost")
+    with pytest.raises(KVError):
+        HashRing(vnodes=0)
+    assert "n0" in ring and "ghost" not in ring
+    assert len(ring) == 1

@@ -1,5 +1,7 @@
 """Deregistration must release remote memory — no store leaks."""
 
+from repro.coord import ZooKeeperEnsemble
+from repro.kv import PartitionOwner, VirtualPartitionRegistry
 from repro.mem import PAGE_SIZE
 
 from tests.helpers import build_stack
@@ -58,3 +60,33 @@ def test_deregister_one_vm_leaves_the_other_untouched():
 
     stack.run(touch_b(stack.env))
     assert port_b.is_resident(base_b)
+
+
+def test_deregister_releases_the_partition_lease():
+    """VM teardown gives its virtual-partition index back — churn of
+    register/deregister cycles must not exhaust the 4096-index space."""
+    stack = build_stack()
+    registry = VirtualPartitionRegistry(
+        ZooKeeperEnsemble(replica_count=1).connect()
+    )
+    indexes = set()
+    for cycle in range(8):
+        lease = registry.lease(
+            PartitionOwner("hv-1", pid=100 + cycle, nonce=cycle)
+        )
+        indexes.add(lease.index)
+        vm, qemu, port, registration = stack.make_vm(
+            name=f"vm{cycle}", partition_lease=lease
+        )
+        assert registration.partition_lease is lease
+        base = vm.first_free_guest_addr()
+
+        def lifecycle(env, port=port, base=base, reg=registration):
+            yield from port.access(base, is_write=True)
+            yield from stack.monitor.deregister_vm(reg)
+
+        stack.run(lifecycle(stack.env))
+        assert lease.released
+        assert registry.owner_of(lease.index) is None
+    assert registry.allocated_count() == 0
+    assert len(indexes) == 8  # distinct owners got distinct slots

@@ -35,7 +35,7 @@ class Stack:
         )
 
     def make_vm(self, memory_mib=32, boot_pages=0, lru_pages=None,
-                store=None, name="vm"):
+                store=None, name="vm", partition_lease=None):
         """A FluidMem-backed VM, optionally booted."""
         vm = GuestVM(
             self.env,
@@ -45,7 +45,9 @@ class Stack:
         )
         qemu = QemuProcess(vm)
         store = store or self.make_dram_store()
-        registration = self.monitor.register_vm(qemu, store)
+        registration = self.monitor.register_vm(
+            qemu, store, partition_lease=partition_lease
+        )
         port = FluidMemoryPort(self.env, vm, qemu, self.monitor,
                                registration)
         vm.attach_port(port)

@@ -1,8 +1,11 @@
-"""Tests for RAMCloud's multiRead."""
+"""Tests for batched reads: RAMCloud's multiRead, and the wrappers and
+cluster store that must preserve the batching end to end."""
 
 import pytest
 
+from repro.cluster import ClusterStore
 from repro.errors import KeyNotFoundError
+from repro.kv import CompressedStore, DramStore, ReplicatedStore
 
 from .conftest import run_op
 
@@ -44,3 +47,77 @@ def test_multiread_empty_is_noop(env, ramcloud_store):
     start = env.now
     assert run_op(env, ramcloud_store.multi_read([])) == []
     assert env.now == start
+
+
+def test_default_multiread_matches_gets(env, dram_store):
+    """Backends without a native batch still honor the API contract."""
+    for key in range(6):
+        run_op(env, dram_store.put(key, f"v{key}"))
+    assert run_op(env, dram_store.multi_read([4, 0, 2])) == \
+        ["v4", "v0", "v2"]
+    assert dram_store.counters["multi_reads"] == 1
+
+
+def test_compressed_store_delegates_the_batch(env, fabric, ramcloud_store):
+    """The wrapper must hand the whole batch down — one inner
+    multi_read, one round trip — not decay to per-key gets."""
+    store = CompressedStore(env, ramcloud_store)
+    for key in range(16):
+        run_op(env, store.put(key, f"v{key}"))
+    before = ramcloud_store.counters["multi_reads"]
+    start = env.now
+    values = run_op(env, store.multi_read(list(range(16))))
+    batch_time = env.now - start
+    assert values == [f"v{key}" for key in range(16)]
+    assert ramcloud_store.counters["multi_reads"] == before + 1
+
+    start = env.now
+    for key in range(16):
+        run_op(env, store.get(key))
+    assert batch_time < (env.now - start) / 3
+
+
+def test_replicated_store_batches_and_fails_over(env):
+    replicas = [DramStore(env), DramStore(env)]
+    store = ReplicatedStore(env, replicas)
+    for key in range(8):
+        run_op(env, store.put(key, f"v{key}"))
+    assert run_op(env, store.multi_read([7, 0, 3])) == \
+        ["v7", "v0", "v3"]
+    assert replicas[0].counters["multi_reads"] == 1
+    assert replicas[1].counters["multi_reads"] == 0
+    # First replica down: the whole batch fails over to the second.
+    store.fail_replica(0)
+    assert run_op(env, store.multi_read([1, 2])) == ["v1", "v2"]
+    assert replicas[1].counters["multi_reads"] == 1
+
+
+def test_replicated_multiread_missing_key_raises(env):
+    store = ReplicatedStore(env, [DramStore(env), DramStore(env)])
+    run_op(env, store.put(1, "v"))
+
+    def attempt(env):
+        yield from store.multi_read([1, 404])
+
+    env.process(attempt(env))
+    with pytest.raises(KeyNotFoundError):
+        env.run()
+
+
+def test_cluster_store_batches_per_shard(env):
+    """A cluster multi-read groups keys by shard and issues one
+    batched read per node, in parallel."""
+    store = ClusterStore(env, replication=1)
+    nodes = {name: DramStore(env) for name in ("a", "b", "c")}
+    for name, backend in nodes.items():
+        store.add_node(name, backend)
+    for key in range(30):
+        run_op(env, store.put(key, f"v{key}"))
+    values = run_op(env, store.multi_read(list(range(30))))
+    assert values == [f"v{key}" for key in range(30)]
+    # Every shard holding >1 of the requested keys saw one batch.
+    batched = sum(
+        backend.counters["multi_reads"] for backend in nodes.values()
+    )
+    assert batched >= 2
+    assert store.counters["reads"] == 30

@@ -1,11 +1,16 @@
-"""Tests for virtual-partition registry and key codec."""
+"""Tests for virtual-partition registry, leases, and key codec."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.coord import ZooKeeperEnsemble
 from repro.errors import PartitionError
-from repro.kv import PartitionedKeyCodec, PartitionOwner, VirtualPartitionRegistry
+from repro.kv import (
+    PartitionLease,
+    PartitionedKeyCodec,
+    PartitionOwner,
+    VirtualPartitionRegistry,
+)
 from repro.mem import MAX_PARTITION, decode_page_key
 
 
@@ -89,6 +94,49 @@ def test_ephemeral_release_on_session_expiry():
 
     fresh = VirtualPartitionRegistry(zk.connect())
     assert fresh.owner_of(index) is None
+
+
+def test_lease_wraps_register_and_release(registry):
+    lease = registry.lease(owner())
+    assert isinstance(lease, PartitionLease)
+    assert 0 <= lease.index <= MAX_PARTITION
+    assert registry.owner_of(lease.index) == owner()
+    assert not lease.released
+    lease.release()
+    assert lease.released
+    assert registry.owner_of(lease.index) is None
+    lease.release()  # idempotent: second release is a no-op
+    assert registry.allocated_count() == 0
+
+
+def test_lease_release_after_session_expiry_is_silent():
+    """The ephemeral znode already vanished with the session; a late
+    release must not raise (the cleanup it wanted already happened)."""
+    zk = ZooKeeperEnsemble(replica_count=3)
+    session = zk.connect()
+    registry = VirtualPartitionRegistry(session)
+    lease = registry.lease(owner())
+    zk.expire_session(session.session_id)
+    lease.release()
+    assert lease.released
+
+
+def test_allocate_free_cycles_never_exhaust_the_index_space():
+    """Leak regression: VM churn far beyond 4096 teardowns must keep
+    working because every released index returns to the pool."""
+    zk = ZooKeeperEnsemble(replica_count=1)
+    registry = VirtualPartitionRegistry(zk.connect())
+    cycles = (MAX_PARTITION + 1) + 200  # > the whole index space
+    for nonce in range(cycles):
+        lease = registry.lease(owner(pid=nonce % 97, nonce=nonce))
+        lease.release()
+    assert registry.allocated_count() == 0
+    # And the space is genuinely reusable afterwards.
+    survivors = [
+        registry.lease(owner(pid=pid, nonce=cycles + pid))
+        for pid in range(16)
+    ]
+    assert len({lease.index for lease in survivors}) == 16
 
 
 def test_owner_codec_roundtrip():
