@@ -1,0 +1,58 @@
+"""Correctness harness: invariant monitors, schedule explorer, history checks.
+
+The package has two faces:
+
+* **Library** — :class:`CorrectnessChecker` threads cheap invariant
+  hooks through the monitor, writeback queue, LRU buffer, and cluster
+  store (all guarded by ``check.enabled``; the shared
+  :data:`NULL_CHECKER` keeps disabled runs byte-identical).
+  :class:`RecordingStore` wraps any KV backend with read-your-writes
+  history checking, and the schedule policies in :mod:`.explorer`
+  perturb the simulation clock's event order deterministically.
+
+* **Campaign** — ``python -m repro.check`` sweeps seeds × schedules ×
+  scenarios and shrinks any violation to a pytest-ready reproducer
+  (see :mod:`.campaign`).  The heavyweight scenario/campaign modules
+  are *not* imported here: core components import
+  ``repro.check.invariants`` directly, and pulling scenarios in at
+  package import would cycle back into ``repro.core``.
+"""
+
+from .explorer import (
+    SCHEDULES,
+    AdversarialSchedule,
+    FifoSchedule,
+    InvertedSchedule,
+    RandomSchedule,
+    SchedulePolicy,
+    make_schedule,
+    parse_schedules,
+)
+from .history import KvHistory, RecordingStore
+from .invariants import (
+    NULL_CHECKER,
+    ClusterInvariants,
+    CorrectnessChecker,
+    PageState,
+    PageStateMachine,
+    WritebackLedger,
+)
+
+__all__ = [
+    "AdversarialSchedule",
+    "ClusterInvariants",
+    "CorrectnessChecker",
+    "FifoSchedule",
+    "InvertedSchedule",
+    "KvHistory",
+    "NULL_CHECKER",
+    "PageState",
+    "PageStateMachine",
+    "RandomSchedule",
+    "RecordingStore",
+    "SCHEDULES",
+    "SchedulePolicy",
+    "WritebackLedger",
+    "make_schedule",
+    "parse_schedules",
+]

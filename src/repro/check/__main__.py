@@ -1,0 +1,135 @@
+"""``python -m repro.check`` — run the correctness campaign.
+
+Examples::
+
+    # CI quick gate: 3 seeds, two perturbation policies, all scenarios
+    python -m repro.check --seeds 3 --schedules random,adversarial --quick
+
+    # Hunt one scenario harder
+    python -m repro.check --scenarios kv --seeds 10 --full
+
+    # Demonstrate the harness catches a seeded bug
+    python -m repro.check --scenarios kv --bug drop-forwarding-window
+
+Exit status: 0 when every run is clean, 1 when any invariant fired
+(the report includes a pytest-ready reproducer per failure), 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .campaign import run_campaign
+from .explorer import SCHEDULES, parse_schedules
+from .scenarios import BUGS, DEFAULT_FAULTS, SCENARIOS
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Deterministic correctness campaign for the "
+                    "FluidMem reproduction.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="sweep seeds 0..N-1 (default 3)",
+    )
+    parser.add_argument(
+        "--schedules", default="random,adversarial",
+        help="comma-separated schedule policies "
+             f"(available: {','.join(sorted(SCHEDULES))})",
+    )
+    parser.add_argument(
+        "--scenarios", default=",".join(sorted(SCENARIOS)),
+        help="comma-separated scenarios "
+             f"(available: {','.join(sorted(SCENARIOS))})",
+    )
+    parser.add_argument(
+        "--faults", default="default",
+        help="fault plan name for fault-driven scenarios, 'none' to "
+             "disable, 'default' for per-scenario defaults",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None,
+        help="override the per-scenario operation count",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", default=True,
+                      help="baseline op counts (default)")
+    mode.add_argument("--full", dest="quick", action="store_false",
+                      help="4x op counts")
+    parser.add_argument(
+        "--bug", default=None, choices=sorted(BUGS),
+        help="inject a registered bug (harness self-test)",
+    )
+    parser.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="skip shrinking failures to a minimal op count",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list scenarios, schedules, fault plans, and bugs",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: List[str] = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    if args.list:
+        from ..faults import NAMED_PLANS
+
+        print("scenarios: ", ", ".join(
+            f"{name} (default faults: {DEFAULT_FAULTS[name] or 'none'})"
+            for name in sorted(SCENARIOS)
+        ))
+        print("schedules: ", ", ".join(sorted(SCHEDULES)))
+        print("fault plans:", ", ".join(sorted(NAMED_PLANS)))
+        print("bugs:      ", ", ".join(sorted(BUGS)))
+        return 0
+    try:
+        schedules = parse_schedules(args.schedules)
+        scenarios = [
+            name for name in args.scenarios.split(",") if name
+        ]
+        for name in scenarios:
+            if name not in SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {name!r}; choose from "
+                    f"{sorted(SCENARIOS)}"
+                )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    faults = {"default": "default", "none": None}.get(
+        args.faults, args.faults
+    )
+    report = run_campaign(
+        scenarios=scenarios,
+        seeds=range(args.seeds),
+        schedules=schedules,
+        faults=faults,
+        ops=args.ops,
+        quick=args.quick,
+        bug=args.bug,
+        shrink=args.shrink,
+        emit=print,
+    )
+    print(
+        f"\n{report.runs} run(s): {report.passed} ok, "
+        f"{len(report.failures)} failing"
+    )
+    for failure in report.failures:
+        print(
+            f"  [{failure.invariant}] {failure.scenario} "
+            f"seed={failure.seed} schedule={failure.schedule} "
+            f"ops={failure.ops}"
+        )
+        print(f"    {failure.command}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Deterministic schedule exploration for the discrete-event engine.
+
+The engine orders same-timestamp events FIFO (by a monotonic sequence
+number).  Real concurrency offers no such guarantee: the monitor's
+flusher, a rebalancer migration, and a fault handler that become
+runnable at the same instant may execute in any order.  A
+:class:`SchedulePolicy` attached to :attr:`Environment.scheduler`
+re-decides those ties — deterministically, from a seed — so the test
+campaign can sweep many interleavings of the *same* seeded workload
+and still shrink any failure to an exactly reproducible run.
+
+Three knobs exist, all applied inside ``Environment._schedule``:
+
+* **tiebreak** — replaces the FIFO sequence number used to order
+  same-``(time, priority)`` events.  Urgent events (process init,
+  interrupts) always keep FIFO order: reordering those would break
+  engine semantics rather than model concurrency.
+* **delay perturbation** — the adversarial policy stretches timeout
+  delays by a bounded factor and injects sub-microsecond completion
+  jitter, modeling slow callbacks and unfair wakeups.  Delays only
+  ever grow, so causality (``Environment.advance``) is preserved.
+* **determinism** — each policy draws from its own ``random.Random``
+  seeded via :func:`repro.sim.derive_seed`; the same
+  ``(seed, policy)`` pair yields the same trajectory.
+
+``SCHEDULES`` maps the names accepted by ``python -m repro.check
+--schedules`` to policy factories.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Tuple
+
+from ..errors import KVError
+from ..sim import derive_seed
+from ..sim.core import PRIORITY_NORMAL
+
+__all__ = [
+    "SchedulePolicy",
+    "FifoSchedule",
+    "RandomSchedule",
+    "InvertedSchedule",
+    "AdversarialSchedule",
+    "SCHEDULES",
+    "make_schedule",
+    "parse_schedules",
+]
+
+
+class SchedulePolicy:
+    """Base policy: identical to the engine's built-in behavior."""
+
+    name = "fifo"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(derive_seed(seed, f"sched-{self.name}"))
+
+    def perturb_delay(self, delay: float, priority: int, event) -> float:
+        """Hook: may stretch (never shrink) an event's delay."""
+        return delay
+
+    def tiebreak(self, when: float, priority: int, seq: int, event):
+        """Hook: ordering token among same-``(when, priority)`` events.
+
+        Must be unique per event (include ``seq``) and totally ordered
+        within one priority class for the whole run.
+        """
+        return seq
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} seed={self.seed}>"
+
+
+class FifoSchedule(SchedulePolicy):
+    """The engine's native order, as an explicit policy."""
+
+    name = "fifo"
+
+
+class RandomSchedule(SchedulePolicy):
+    """Uniformly shuffle same-timestamp normal-priority events."""
+
+    name = "random"
+
+    def tiebreak(self, when, priority, seq, event):
+        if priority != PRIORITY_NORMAL:
+            return (0.0, seq)
+        return (self._rng.random(), seq)
+
+
+class InvertedSchedule(SchedulePolicy):
+    """LIFO among simultaneous events: the *latest*-scheduled work runs
+    first, a classic priority inversion that starves old waiters."""
+
+    name = "inverted"
+
+    def tiebreak(self, when, priority, seq, event):
+        if priority != PRIORITY_NORMAL:
+            return seq
+        return -seq
+
+
+class AdversarialSchedule(SchedulePolicy):
+    """Delay injection plus biased reordering.
+
+    A fraction of timeouts are stretched (a slow store op, a descheduled
+    thread), zero-delay completions occasionally pick up sub-µs jitter
+    (late callback delivery), and ties are shuffled.  All perturbations
+    strictly add time, so no event moves before one already scheduled.
+    """
+
+    name = "adversarial"
+
+    #: Probability that a positive delay is stretched.
+    STRETCH_P = 0.25
+    #: Maximum stretch factor applied to a perturbed delay.
+    STRETCH_MAX = 1.75
+    #: Probability that an immediate completion picks up jitter.
+    JITTER_P = 0.2
+    #: Upper bound on injected completion jitter (µs).
+    JITTER_MAX_US = 0.5
+
+    def perturb_delay(self, delay, priority, event):
+        if priority != PRIORITY_NORMAL:
+            return delay
+        if delay > 0.0:
+            if self._rng.random() < self.STRETCH_P:
+                delay *= 1.0 + (self.STRETCH_MAX - 1.0) * self._rng.random()
+        elif self._rng.random() < self.JITTER_P:
+            delay = self.JITTER_MAX_US * self._rng.random()
+        return delay
+
+    def tiebreak(self, when, priority, seq, event):
+        if priority != PRIORITY_NORMAL:
+            return (0.0, seq)
+        return (self._rng.random(), seq)
+
+
+SCHEDULES: Dict[str, Callable[[int], SchedulePolicy]] = {
+    "fifo": FifoSchedule,
+    "random": RandomSchedule,
+    "inverted": InvertedSchedule,
+    "adversarial": AdversarialSchedule,
+}
+
+
+def make_schedule(name: str, seed: int = 0) -> SchedulePolicy:
+    """Instantiate a named schedule policy (KVError on a bad name)."""
+    try:
+        factory = SCHEDULES[name]
+    except KeyError:
+        raise KVError(
+            f"unknown schedule {name!r}; choose from "
+            f"{sorted(SCHEDULES)}"
+        ) from None
+    return factory(seed)
+
+
+def parse_schedules(spec: str) -> Tuple[str, ...]:
+    """Split a ``--schedules`` comma list, validating each name."""
+    names = tuple(
+        part.strip() for part in spec.split(",") if part.strip()
+    )
+    for name in names:
+        if name not in SCHEDULES:
+            raise KVError(
+                f"unknown schedule {name!r}; choose from "
+                f"{sorted(SCHEDULES)}"
+            )
+    return names

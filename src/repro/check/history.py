@@ -1,0 +1,200 @@
+"""Per-key read/write history checking (the KV consistency monitor).
+
+:class:`RecordingStore` wraps any :class:`~repro.kv.KeyValueBackend`
+at the *client* boundary (the monitor's — or a KV workload's — view),
+records every operation's interval on the simulated clock, and checks
+two properties the surveys call out as the hard part of remote-memory
+consistency:
+
+* **read-your-writes** — a read that *starts after* a write to the
+  same key was acknowledged must observe that write (or a newer one);
+* **no-stale-read-after-ack** — equivalently, a read may never return
+  a value older than the newest write acked before the read began.
+  Reads that overlap an in-flight write may legally return either the
+  old or the new value.
+
+Because the wrapper sits outside :class:`~repro.kv.ReplicatedStore`
+failover and :class:`~repro.cluster.ClusterStore` migration, the
+checks hold *across* replica crashes and shard rebalancing — exactly
+the windows where a dropped forwarding rule or a lagging replica
+would leak a stale page.
+
+Values are tracked by identity: the simulation's stores move the same
+Python objects end to end (pages are not serialized), so ``id()`` plus
+a keep-alive reference is an exact, allocation-free fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..kv.api import KeyValueBackend, WriteItem
+from ..mem import PAGE_SIZE
+from .invariants import NULL_CHECKER, CorrectnessChecker
+
+__all__ = ["KvHistory", "RecordingStore"]
+
+#: Sentinel value recorded when a key is removed.
+_TOMBSTONE = object()
+
+#: Acked writes retained per key (older ones can no longer be the
+#: floor of any live read, because reads are bounded in duration).
+_RETAIN_WRITES = 16
+
+
+class _Write:
+    __slots__ = ("value", "ack_us", "version")
+
+    def __init__(self, value: Any, ack_us: float, version: int) -> None:
+        self.value = value
+        self.ack_us = ack_us
+        self.version = version
+
+
+class KvHistory:
+    """Acked-write timelines for every key seen through one wrapper."""
+
+    def __init__(self, checker: CorrectnessChecker) -> None:
+        self._checker = checker
+        self._writes: Dict[int, List[_Write]] = {}
+        self._next_version = 0
+        self.reads_checked = 0
+        self.writes_recorded = 0
+
+    def record_ack(self, key: int, value: Any, now: float) -> None:
+        """A write (or remove, with the tombstone) became durable."""
+        self._next_version += 1
+        timeline = self._writes.setdefault(key, [])
+        timeline.append(_Write(value, now, self._next_version))
+        if len(timeline) > _RETAIN_WRITES:
+            del timeline[0]
+        self.writes_recorded += 1
+
+    def check_read(
+        self, key: int, value: Any, started_us: float, now: float
+    ) -> None:
+        """Validate one completed read against the key's timeline."""
+        timeline = self._writes.get(key)
+        if not timeline:
+            return  # key never written through this wrapper
+        self.reads_checked += 1
+        # The floor: newest write acked before the read began.  Writes
+        # acked during the read window are also legal outcomes.
+        floor_index = -1
+        for index, write in enumerate(timeline):
+            if write.ack_us <= started_us:
+                floor_index = index
+        if floor_index < 0:
+            # Every retained write overlaps or postdates the read;
+            # any of their values is legal, as is the (unretained)
+            # older state.
+            legal = timeline
+        else:
+            legal = timeline[floor_index:]
+        for write in legal:
+            if write.value is value:
+                return
+        floor = timeline[floor_index] if floor_index >= 0 else None
+        if floor is not None and floor.value is _TOMBSTONE:
+            self._checker.violation(
+                "kv-history",
+                f"read of key {key:#x} returned a value although the "
+                f"newest acked operation (t={floor.ack_us:.1f}) removed "
+                "the key",
+                key=f"{key:#x}", read_started=started_us,
+                read_finished=now,
+            )
+        stale = any(
+            write.value is value for write in timeline[:max(floor_index, 0)]
+        )
+        self._checker.violation(
+            "kv-history",
+            f"stale read of key {key:#x}: value predates the newest "
+            f"write acked before the read began"
+            if stale else
+            f"read of key {key:#x} returned a value no acked or "
+            f"in-flight write produced",
+            key=f"{key:#x}", read_started=started_us, read_finished=now,
+            floor_acked=None if floor is None else floor.ack_us,
+        )
+
+
+class RecordingStore(KeyValueBackend):
+    """Transparent backend wrapper feeding a :class:`KvHistory`.
+
+    Composes like every other wrapper (compression, replication, fault
+    injection); place it outermost so failover and migration happen
+    *inside* the recorded interval.
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueBackend,
+        checker: Optional[CorrectnessChecker] = None,
+    ) -> None:
+        super().__init__(inner.env)
+        self.inner = inner
+        self.check = checker if checker is not None else NULL_CHECKER
+        self.history = KvHistory(self.check)
+        self.name = f"recorded-{inner.name}"
+        self.supports_partitions = inner.supports_partitions
+
+    @property
+    def is_alive(self) -> bool:
+        return self.inner.is_alive
+
+    # -- recorded operations -------------------------------------------------
+
+    def get(self, key: int) -> Generator:
+        started = self.env.now
+        value = yield from self.inner.get(key)
+        if self.check.enabled:
+            self.history.check_read(key, value, started, self.env.now)
+        return value
+
+    def multi_read(self, keys: List[int]) -> Generator:
+        started = self.env.now
+        values = yield from self.inner.multi_read(list(keys))
+        if self.check.enabled:
+            for key, value in zip(keys, values):
+                self.history.check_read(key, value, started, self.env.now)
+        return values
+
+    def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
+        yield from self.inner.put(key, value, nbytes)
+        if self.check.enabled:
+            self.history.record_ack(key, value, self.env.now)
+
+    def multi_write(self, items: List[WriteItem]) -> Generator:
+        yield from self.inner.multi_write(list(items))
+        if self.check.enabled:
+            for key, value, _nbytes in items:
+                self.history.record_ack(key, value, self.env.now)
+
+    def remove(self, key: int) -> Generator:
+        yield from self.inner.remove(key)
+        if self.check.enabled:
+            self.history.record_ack(key, _TOMBSTONE, self.env.now)
+
+    # read_async / write_async inherit the split-halves drivers from
+    # KeyValueBackend, which call self.get / self.multi_write above —
+    # so asynchronous operations are recorded with their true spans.
+
+    # -- introspection pass-through ------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        return self.inner.contains(key)
+
+    def stored_keys(self) -> int:
+        return self.inner.stored_keys()
+
+    @property
+    def used_bytes(self) -> int:
+        return self.inner.used_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecordingStore over {self.inner!r} "
+            f"writes={self.history.writes_recorded} "
+            f"reads={self.history.reads_checked}>"
+        )

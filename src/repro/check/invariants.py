@@ -1,0 +1,508 @@
+"""Runtime invariant monitors (the ``repro.check`` tentpole).
+
+FluidMem's correctness argument rests on concurrency invariants the
+end-of-run integrity checks cannot see: a page must always be in
+exactly one place (VM, write list, or remote store), the write list
+must never lose a page, and the cluster's placement directory must
+never point a reader at a node without the bytes.  This module makes
+those invariants *executable*: cheap hooks threaded through the
+monitor, write-back queue, LRU buffer, and cluster store feed a
+:class:`CorrectnessChecker`, which raises a structured
+:class:`~repro.errors.InvariantViolation` — carrying the observability
+trace tail — the moment an illegal transition happens.
+
+Every hook is guarded by ``checker.enabled`` at the call site (the
+same pattern as :data:`repro.obs.NULL_OBS`), so production and bench
+runs pay one attribute check per instrumented site and remain
+byte-identical with the checker off.
+
+Invariant catalog (see DESIGN.md §11):
+
+``page-state``
+    Per-page state machine.  Each page key is exactly one of
+    ``zero`` (never touched), ``resident`` (in the VM), ``writelist``
+    (evicted, parked on the write list), or ``remote`` (durable in the
+    store), with an orthogonal count of in-flight reads.  Transitions
+    only along the legal edges of the paper's Figure 2.
+``lru-accounting``
+    The LRU buffer's per-registration counts always sum to its length,
+    are strictly positive, and (at steady state) length <= capacity.
+``writeback-ledger``
+    No lost writes: every key enqueued for write-back is discharged by
+    exactly one of {durable flush, steal, forget}; at steady state the
+    ledger matches the queue's pending + in-flight sets exactly.
+``cluster-placement``
+    Placement directory <-> shard accounting consistency: every
+    directory holder is a registered node that agrees it holds the
+    key, and the bytes are actually present on the holder.
+``cluster-reachability``
+    The forwarding window: while the directory lists holders for a
+    key, at least one of them must physically hold the bytes — a read
+    that finds the directory pointing only at empty nodes is a dropped
+    forwarding window, not a transient failure.
+``read-liveness``
+    At steady state no reads are left in flight (a leaked read means a
+    fault path lost track of an outstanding fetch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..errors import InvariantViolation
+from ..obs import NULL_OBS, Observability
+
+__all__ = [
+    "PageState",
+    "PageStateMachine",
+    "WritebackLedger",
+    "ClusterInvariants",
+    "CorrectnessChecker",
+    "NULL_CHECKER",
+]
+
+
+class PageState:
+    """The four authoritative page locations (string constants)."""
+
+    ZERO = "zero"
+    RESIDENT = "resident"
+    WRITELIST = "writelist"
+    REMOTE = "remote"
+
+
+class _PageRecord:
+    __slots__ = ("state", "reads_in_flight")
+
+    def __init__(self, state: str) -> None:
+        self.state = state
+        self.reads_in_flight = 0
+
+
+class PageStateMachine:
+    """Per-page-key state machine fed by the monitor's fault paths.
+
+    Tracking is lazy: the first hook observed for a key establishes
+    its record (an adopted VM's pages enter as ``remote``), so the
+    machine composes with migration and ``attach_vm`` without priming.
+    """
+
+    def __init__(self, checker: "CorrectnessChecker") -> None:
+        self._checker = checker
+        self._pages: Dict[int, _PageRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def state_of(self, key: int) -> Optional[str]:
+        record = self._pages.get(key)
+        return record.state if record is not None else None
+
+    def _record(self, key: int, default_state: str) -> _PageRecord:
+        record = self._pages.get(key)
+        if record is None:
+            record = _PageRecord(default_state)
+            self._pages[key] = record
+        return record
+
+    def _transition(
+        self, key: int, expect: Tuple[str, ...], to: str, edge: str,
+        lazy_state: Optional[str] = None,
+    ) -> None:
+        record = self._record(
+            key, lazy_state if lazy_state is not None else expect[0]
+        )
+        if record.state not in expect:
+            self._checker.violation(
+                "page-state",
+                f"illegal edge {edge!r} for key {key:#x}: page is "
+                f"{record.state!r}, expected one of {expect}",
+                key=f"{key:#x}", edge=edge, state=record.state,
+            )
+        record.state = to
+
+    # -- monitor-side hooks -------------------------------------------------
+
+    def on_zero_fill(self, key: int) -> None:
+        """First touch resolved with the zero page (Fig. 2 red path)."""
+        self._transition(
+            key, (PageState.ZERO,), PageState.RESIDENT, "zero_fill"
+        )
+
+    def on_read_issued(self, key: int) -> None:
+        """A store read (fault path or prefetch) went out."""
+        record = self._record(key, PageState.REMOTE)
+        if record.state is not PageState.REMOTE:
+            self._checker.violation(
+                "page-state",
+                f"read issued for key {key:#x} while page is "
+                f"{record.state!r} (reads may only target remote pages)",
+                key=f"{key:#x}", edge="read_issued", state=record.state,
+            )
+        record.reads_in_flight += 1
+
+    def _finish_read(self, key: int, edge: str) -> _PageRecord:
+        record = self._pages.get(key)
+        if record is None or record.reads_in_flight <= 0:
+            self._checker.violation(
+                "page-state",
+                f"{edge} for key {key:#x} with no read in flight",
+                key=f"{key:#x}", edge=edge,
+            )
+            return self._record(key, PageState.REMOTE)
+        record.reads_in_flight -= 1
+        return record
+
+    def on_read_installed(self, key: int) -> None:
+        """The fetched page was COPY-installed into the VM."""
+        record = self._finish_read(key, "read_installed")
+        if record.state is not PageState.REMOTE:
+            self._checker.violation(
+                "page-state",
+                f"read for key {key:#x} installed while page is "
+                f"{record.state!r}",
+                key=f"{key:#x}", edge="read_installed",
+                state=record.state,
+            )
+        record.state = PageState.RESIDENT
+
+    def on_read_dropped(self, key: int) -> None:
+        """A completed read was discarded (page already installed)."""
+        record = self._finish_read(key, "read_dropped")
+        if record.state is not PageState.RESIDENT:
+            self._checker.violation(
+                "page-state",
+                f"duplicate read for key {key:#x} dropped while page "
+                f"is {record.state!r} (nothing installed it)",
+                key=f"{key:#x}", edge="read_dropped", state=record.state,
+            )
+
+    def on_read_failed(self, key: int) -> None:
+        """The read errored; the page is still remote."""
+        self._finish_read(key, "read_failed")
+
+    def on_probe_installed(self, key: int) -> None:
+        """Tracker-ablation probe read found the page remote and
+        installed it (no ``read_issued`` bracketing: the probe may
+        legally miss on a true first touch)."""
+        self._transition(
+            key, (PageState.REMOTE,), PageState.RESIDENT,
+            "probe_installed",
+        )
+
+    def on_evicted(self, key: int, durable: bool) -> None:
+        """REMAP out of the VM: to the write list, or (sync path,
+        migration push) directly durable in the store."""
+        to = PageState.REMOTE if durable else PageState.WRITELIST
+        self._transition(
+            key, (PageState.RESIDENT,), to,
+            "evict_durable" if durable else "evict_to_writelist",
+        )
+
+    # -- write-back-side hooks ----------------------------------------------
+
+    def on_writeback_durable(self, key: int) -> None:
+        """A write-list entry's batch flushed successfully."""
+        self._transition(
+            key, (PageState.WRITELIST,), PageState.REMOTE,
+            "writeback_durable",
+        )
+
+    def on_steal_pending(self, key: int) -> None:
+        """A pending write-list entry was stolen back into the VM."""
+        self._transition(
+            key, (PageState.WRITELIST,), PageState.RESIDENT,
+            "steal_pending",
+        )
+
+    def on_steal_installed(self, key: int) -> None:
+        """An in-flight steal completed: the (now durable) page was
+        copied back into the VM."""
+        self._transition(
+            key, (PageState.REMOTE,), PageState.RESIDENT,
+            "steal_installed",
+        )
+
+    def on_forget(self, key: int) -> None:
+        """The VM deregistered or detached: stop tracking the key."""
+        self._pages.pop(key, None)
+
+    # -- steady-state -------------------------------------------------------
+
+    def check_steady(self) -> None:
+        """No reads may be left in flight once the system quiesces."""
+        leaked = sorted(
+            key for key, record in self._pages.items()
+            if record.reads_in_flight
+        )
+        if leaked:
+            self._checker.violation(
+                "read-liveness",
+                f"{len(leaked)} read(s) still in flight at steady "
+                f"state (first key {leaked[0]:#x})",
+                keys=[f"{key:#x}" for key in leaked[:8]],
+            )
+
+    def counts(self) -> Dict[str, int]:
+        """Pages per state (diagnostics / campaign summary)."""
+        out: Dict[str, int] = {}
+        for record in self._pages.values():
+            out[record.state] = out.get(record.state, 0) + 1
+        return out
+
+
+class WritebackLedger:
+    """No-lost-write accounting for the asynchronous write list.
+
+    Every enqueue creates a debt; only a durable flush, a steal, or a
+    teardown forget may discharge it.  A flush of a key that was never
+    enqueued, or a steady state where the ledger and the queue
+    disagree, is a violation.
+    """
+
+    def __init__(self, checker: "CorrectnessChecker") -> None:
+        self._checker = checker
+        self._owed: Set[int] = set()
+
+    @property
+    def owed(self) -> Set[int]:
+        return set(self._owed)
+
+    def on_enqueued(self, key: int) -> None:
+        if key in self._owed:
+            self._checker.violation(
+                "writeback-ledger",
+                f"key {key:#x} enqueued for write-back twice",
+                key=f"{key:#x}",
+            )
+        self._owed.add(key)
+
+    def _discharge(self, key: int, how: str) -> None:
+        if key not in self._owed:
+            self._checker.violation(
+                "writeback-ledger",
+                f"write-back {how} for key {key:#x} that was never "
+                "enqueued",
+                key=f"{key:#x}", how=how,
+            )
+        self._owed.discard(key)
+
+    def on_durable(self, key: int) -> None:
+        self._discharge(key, "flush")
+
+    def on_stolen(self, key: int) -> None:
+        self._discharge(key, "steal")
+
+    def on_forget(self, key: int) -> None:
+        self._owed.discard(key)
+
+    def on_requeued(self, keys: Iterable[int]) -> None:
+        """A failed batch went back to pending: debts must still stand."""
+        missing = [key for key in keys if key not in self._owed]
+        if missing:
+            self._checker.violation(
+                "writeback-ledger",
+                f"re-enqueued batch contains {len(missing)} key(s) "
+                f"whose debt was already discharged "
+                f"(first {missing[0]:#x})",
+                keys=[f"{key:#x}" for key in missing[:8]],
+            )
+
+    def check_steady(self, queue) -> None:
+        """The ledger must match the queue's own view exactly."""
+        held = set(queue._pending) | set(queue._in_flight)
+        lost = sorted(self._owed - held)
+        if lost:
+            self._checker.violation(
+                "writeback-ledger",
+                f"{len(lost)} enqueued page(s) vanished from the "
+                f"write list without becoming durable "
+                f"(first key {lost[0]:#x})",
+                keys=[f"{key:#x}" for key in lost[:8]],
+            )
+        phantom = sorted(held - self._owed)
+        if phantom:
+            self._checker.violation(
+                "writeback-ledger",
+                f"write list holds {len(phantom)} page(s) the ledger "
+                f"never saw enqueued (first key {phantom[0]:#x})",
+                keys=[f"{key:#x}" for key in phantom[:8]],
+            )
+
+
+class ClusterInvariants:
+    """Placement-directory and forwarding-window invariants."""
+
+    def __init__(self, checker: "CorrectnessChecker") -> None:
+        self._checker = checker
+
+    def on_placement_committed(self, store, key: int) -> None:
+        """After a directory flip every holder must really hold the
+        bytes — the write/migration that committed it is durable."""
+        holders = store._placement.get(key, ())
+        if not holders:
+            self._checker.violation(
+                "cluster-placement",
+                f"placement committed for key {key:#x} with no holders",
+                key=f"{key:#x}",
+            )
+        for node in holders:
+            backend = store._backends.get(node)
+            if backend is None:
+                self._checker.violation(
+                    "cluster-placement",
+                    f"directory lists unregistered node {node!r} for "
+                    f"key {key:#x}",
+                    key=f"{key:#x}", node=node,
+                )
+                continue
+            if key not in store._node_keys.get(node, ()):
+                self._checker.violation(
+                    "cluster-placement",
+                    f"directory lists {node!r} for key {key:#x} but "
+                    "the node's key set disagrees",
+                    key=f"{key:#x}", node=node,
+                )
+            if not backend.contains(key):
+                self._checker.violation(
+                    "cluster-placement",
+                    f"directory lists {node!r} for key {key:#x} but "
+                    "the node does not hold the bytes",
+                    key=f"{key:#x}", node=node,
+                )
+
+    def on_unreachable(self, store, key: int) -> None:
+        """Every directory holder failed a read.  Crashed holders are a
+        legitimate transient; holders that simply lack the bytes mean
+        the forwarding window was dropped."""
+        holders = store._placement.get(key, ())
+        if not holders:
+            return  # raced with a remove: KeyNotFound is correct
+        if not any(
+            store._backends[node].contains(key)
+            for node in holders if node in store._backends
+        ):
+            self._checker.violation(
+                "cluster-reachability",
+                f"key {key:#x} is unreachable: the directory lists "
+                f"{holders} but no listed node holds the bytes "
+                "(forwarding window dropped)",
+                key=f"{key:#x}", holders=list(holders),
+            )
+
+    def check_steady(self, store) -> None:
+        """Full directory <-> node accounting <-> ring consistency."""
+        for key, holders in store._placement.items():
+            for node in holders:
+                if node not in store._backends:
+                    self._checker.violation(
+                        "cluster-placement",
+                        f"directory lists unknown node {node!r} for "
+                        f"key {key:#x}",
+                        key=f"{key:#x}", node=node,
+                    )
+                elif key not in store._node_keys[node]:
+                    self._checker.violation(
+                        "cluster-placement",
+                        f"key {key:#x} listed on {node!r} but missing "
+                        "from its key set",
+                        key=f"{key:#x}", node=node,
+                    )
+            self.on_unreachable(store, key)
+        for node, keys in store._node_keys.items():
+            for key in keys:
+                if node not in store._placement.get(key, ()):
+                    self._checker.violation(
+                        "cluster-placement",
+                        f"node {node!r} accounts key {key:#x} the "
+                        "directory does not place there",
+                        key=f"{key:#x}", node=node,
+                    )
+            if store._node_bytes.get(node, 0) < 0:
+                self._checker.violation(
+                    "cluster-placement",
+                    f"negative byte accounting on node {node!r}",
+                    node=node, bytes=store._node_bytes.get(node),
+                )
+        ring = store.ring
+        if sorted(ring._owner_at) != ring._points:
+            self._checker.violation(
+                "cluster-placement",
+                "hash ring points and ownership map disagree",
+            )
+        for node in ring.nodes:
+            if node not in store._backends:
+                self._checker.violation(
+                    "cluster-placement",
+                    f"ring member {node!r} has no registered backend",
+                    node=node,
+                )
+
+
+class CorrectnessChecker:
+    """Bundle of every invariant monitor, plus the violation raiser.
+
+    One checker instance watches one simulation.  Components accept it
+    as an optional ``check`` argument (defaulting to the shared
+    disabled :data:`NULL_CHECKER`) and guard every hook with
+    ``check.enabled`` — exactly the :data:`repro.obs.NULL_OBS` pattern,
+    so disabled runs are untouched byte for byte.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        obs: Optional[Observability] = None,
+        trace_tail: int = 16,
+    ) -> None:
+        self.enabled = enabled
+        self.obs = obs if obs is not None else NULL_OBS
+        self.trace_tail = trace_tail
+        self.pages = PageStateMachine(self)
+        self.writeback = WritebackLedger(self)
+        self.cluster = ClusterInvariants(self)
+        #: Violations seen so far (each is also raised).
+        self.violations = []
+
+    def violation(self, invariant: str, message: str, **details) -> None:
+        """Record and raise an :class:`InvariantViolation`."""
+        tail = tuple(
+            str(event) for event in
+            tuple(self.obs.tracer.events)[-self.trace_tail:]
+        )
+        error = InvariantViolation(invariant, message, details, tail)
+        self.violations.append(error)
+        raise error
+
+    def check_steady_state(
+        self, monitor=None, cluster_store=None
+    ) -> None:
+        """Quiesce-time sweep: called by scenarios and tests once the
+        system has drained (no faults in flight, write list empty)."""
+        if not self.enabled:
+            return
+        self.pages.check_steady()
+        if monitor is not None:
+            self.writeback.check_steady(monitor.writeback)
+            lru = monitor.lru
+            if len(lru) > lru.capacity:
+                self.violation(
+                    "lru-accounting",
+                    f"LRU buffer over capacity at steady state: "
+                    f"{len(lru)} > {lru.capacity}",
+                    resident=len(lru), capacity=lru.capacity,
+                )
+        if cluster_store is not None:
+            self.cluster.check_steady(cluster_store)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<CorrectnessChecker {state} pages={len(self.pages)} "
+            f"violations={len(self.violations)}>"
+        )
+
+
+#: Shared disabled instance: the default ``check`` of every
+#: instrumented component.
+NULL_CHECKER = CorrectnessChecker(enabled=False)

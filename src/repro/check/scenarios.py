@@ -1,0 +1,635 @@
+"""Checked end-to-end scenarios for the correctness campaign.
+
+Each scenario builds a full stack with the :class:`CorrectnessChecker`
+enabled, attaches a schedule-perturbation policy to the simulation
+clock, runs a seeded workload, and finishes with a steady-state sweep.
+Any invariant violation surfaces as :class:`repro.errors.InvariantViolation`
+out of :func:`run_scenario`.
+
+Three scenarios cover the three invariant families:
+
+``writeback``
+    A FluidMem monitor paging through a two-replica store under a
+    named fault plan — exercises the page state machine, the LRU
+    accounting, and the no-lost-write ledger.
+
+``cluster``
+    A monitor paging through a :class:`~repro.cluster.ClusterStore`
+    while nodes join, crash, and leave — exercises the placement
+    directory / ring invariants and the rebalancer's post-pass audit.
+
+``kv``
+    Raw key-value clients over a :class:`RecordingStore`, with one
+    phase on a replicated store under faults and one phase on a
+    replication=1 cluster during live migration — exercises the
+    read-your-writes history checker and the forwarding-window
+    invariant (reads race migrations).
+
+The module also hosts the **bug registry** used by tests and by
+``python -m repro.check --bug ...``: each entry monkey-patches a known
+correct code path into a subtly broken one (restored afterwards), so
+the campaign can demonstrate that the explorer + invariants actually
+catch the class of bug they were built for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from ..cluster import ClusterManager, ClusterStore, Rebalancer
+from ..coord import ZooKeeperEnsemble
+from ..core import FluidMemConfig, FluidMemoryPort, Monitor
+from ..core.writeback import WritebackQueue
+from ..errors import (
+    KeyNotFoundError,
+    KVError,
+    StoreUnavailableError,
+    TransientStoreError,
+)
+from ..faults import FaultyStore, RetryPolicy, named_plan, retry_call
+from ..kernel import UffdLatency, UffdOps, Userfaultfd
+from ..kv import DramStore, ReplicatedStore
+from ..mem import MIB, PAGE_SIZE, FrameAllocator
+from ..obs import Observability
+from ..sim import Environment, RandomStreams, derive_seed
+from ..vm import BootProfile, GuestVM, QemuProcess
+from ..vm.qemu import GUEST_RAM_BASE
+from .explorer import make_schedule
+from .history import RecordingStore
+from .invariants import CorrectnessChecker
+
+__all__ = [
+    "BUGS",
+    "DEFAULT_FAULTS",
+    "DEFAULT_OPS",
+    "SCENARIOS",
+    "inject_bug",
+    "run_scenario",
+]
+
+#: Baseline operation counts per scenario (quick mode); ``--full``
+#: multiplies these by :data:`FULL_MULTIPLIER`.
+DEFAULT_OPS: Dict[str, int] = {
+    "writeback": 48,
+    "cluster": 64,
+    "kv": 36,
+}
+FULL_MULTIPLIER = 4
+
+#: Default fault plan per scenario (None = topology churn only).
+DEFAULT_FAULTS: Dict[str, Optional[str]] = {
+    "writeback": "chaos",
+    "cluster": None,
+    "kv": "flaky-fabric",
+}
+
+#: Sentinel: "use the scenario's default fault plan".
+_DEFAULT = object()
+
+
+# ---------------------------------------------------------------------------
+# Shared stack plumbing
+# ---------------------------------------------------------------------------
+
+
+class _MonitorStack:
+    """A minimal FluidMem stack (no fabric — DRAM-class backends only)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        seed: int,
+        checker: CorrectnessChecker,
+        obs: Observability,
+        lru_pages: int = 4,
+    ) -> None:
+        self.env = env
+        streams = RandomStreams(seed=derive_seed(seed, "check-stack"))
+        self.uffd = Userfaultfd(env, UffdLatency(), streams.stream("uffd"))
+        self.ops = UffdOps(
+            env, UffdLatency(), streams.stream("ops"),
+            FrameAllocator.for_bytes(64 * MIB),
+        )
+        self.monitor = Monitor(
+            env, self.uffd, self.ops,
+            config=FluidMemConfig(
+                lru_capacity_pages=lru_pages,
+                writeback_batch_pages=4,
+                retry_policy=RetryPolicy(),
+            ),
+            rng=streams.stream("monitor"),
+            obs=obs,
+            check=checker,
+        )
+        self.monitor.start()
+
+    def make_vm(self, store, name: str = "check-vm"):
+        vm = GuestVM(
+            self.env, name, memory_bytes=32 * MIB,
+            boot_profile=BootProfile(total_pages=4),
+        )
+        # Pin the RAM base: page keys must not depend on how many
+        # QemuProcess instances earlier scenario runs created, or a
+        # shrunk reproducer would not replay the same key stream.
+        qemu = QemuProcess(vm, ram_base=GUEST_RAM_BASE)
+        registration = self.monitor.register_vm(qemu, store)
+        port = FluidMemoryPort(self.env, vm, qemu, self.monitor,
+                               registration)
+        vm.attach_port(port)
+        return vm, qemu, port
+
+
+def _pattern(index: int, version: int) -> bytes:
+    stamp = (index * 41 + version * 17 + 3) % 199
+    return bytes((stamp + offset) % 256 for offset in range(64)) \
+        * (PAGE_SIZE // 64)
+
+
+# ---------------------------------------------------------------------------
+# Scenario: writeback (page machine + ledger + LRU under faults)
+# ---------------------------------------------------------------------------
+
+
+def _run_writeback(env, seed, ops, faults, checker, obs):
+    stack = _MonitorStack(env, seed, checker, obs)
+    if faults:
+        plan = named_plan(faults, seed=derive_seed(seed, "check-plan"))
+        replicas = [
+            FaultyStore(env, DramStore(env), plan, node=f"replica{i}")
+            for i in range(2)
+        ]
+        store = ReplicatedStore(env, replicas)
+    else:
+        store = DramStore(env)
+    vm, qemu, port = stack.make_vm(store)
+    base = vm.first_free_guest_addr()
+    pages = 18
+    expected: Dict[int, bytes] = {}
+    wrng = random.Random(derive_seed(seed, "check-writeback-ops"))
+    degraded: List[str] = []
+    mismatched: List[int] = []
+
+    def write_page(index: int, version: int) -> None:
+        host = qemu.guest_to_host(base + index * PAGE_SIZE)
+        data = _pattern(index, version)
+        qemu.page_table.entry(host).page.write(data)
+        expected[index] = data
+
+    def workload(env):
+        versions = [0] * pages
+        try:
+            for index in range(pages):
+                yield from port.access(base + index * PAGE_SIZE,
+                                       is_write=True)
+                write_page(index, 0)
+            for _step in range(ops):
+                index = wrng.randrange(pages)
+                is_write = wrng.random() < 0.4
+                yield from port.access(base + index * PAGE_SIZE,
+                                       is_write=is_write)
+                if is_write:
+                    versions[index] += 1
+                    write_page(index, versions[index])
+                if wrng.random() < 0.05:
+                    # Squeeze/relax the DRAM budget mid-run (Table III
+                    # style) so eviction pressure varies.
+                    stack.monitor.set_lru_capacity(
+                        wrng.choice([3, 4, 6, 8])
+                    )
+            stack.monitor.set_lru_capacity(4)
+            yield from stack.monitor.writeback.drain()
+            for index in range(pages):
+                yield from port.access(base + index * PAGE_SIZE)
+                host = qemu.guest_to_host(base + index * PAGE_SIZE)
+                if qemu.page_table.entry(host).page.read() \
+                        != expected[index]:
+                    mismatched.append(index)
+            yield from stack.monitor.writeback.drain()
+        except StoreUnavailableError as exc:
+            # The store stayed dark past the retry budget: the VM is
+            # quarantined, not broken — end the workload gracefully so
+            # the steady-state sweep still runs.
+            degraded.append(str(exc))
+
+    env.process(workload(env))
+    env.run()
+    if mismatched:
+        checker.violation(
+            "data-integrity",
+            f"{len(mismatched)} page(s) read back the wrong bytes "
+            f"after drain: {mismatched[:8]}",
+            pages=tuple(mismatched),
+        )
+    checker.check_steady_state(monitor=stack.monitor)
+    return {
+        "pages": pages,
+        "degraded": len(degraded),
+        "page_records": len(checker.pages),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario: cluster (placement directory + ring under topology churn)
+# ---------------------------------------------------------------------------
+
+
+def _run_cluster(env, seed, ops, faults, checker, obs):
+    if faults:
+        raise KVError(
+            "the cluster scenario drives its own topology churn; "
+            "fault plans apply to 'writeback' and 'kv'"
+        )
+    stack = _MonitorStack(env, seed, checker, obs)
+    store = ClusterStore(env, replication=2, obs=obs, check=checker)
+    rebalancer = Rebalancer(env, store, batch_keys=8, pause_us=50.0,
+                            obs=obs, check=checker)
+    manager = ClusterManager(env, ZooKeeperEnsemble(), store, rebalancer,
+                             obs=obs)
+    rebalancer.start()
+    manager.start()
+    for index in range(3):
+        manager.join(f"node{index}", DramStore(env))
+    vm, qemu, port = stack.make_vm(store)
+    base = vm.first_free_guest_addr()
+    pages = 20
+    wrng = random.Random(derive_seed(seed, "check-cluster-ops"))
+    mismatched: List[int] = []
+    next_node = [3]
+
+    def restore_rf(env):
+        # Post-crash: poke the rebalancer until every key is back at
+        # full replication (mirrors the cluster chaos test).
+        for _ in range(64):
+            if not store.under_replicated_keys():
+                return
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+
+    def churn(env):
+        live = ["node0", "node1", "node2"]
+        for _event in range(5):
+            yield env.timeout(400.0 + wrng.uniform(0.0, 400.0))
+            roll = wrng.random()
+            if roll < 0.45 or len(live) <= 3:
+                name = f"node{next_node[0]}"
+                next_node[0] += 1
+                manager.join(name, DramStore(env))
+                live.append(name)
+            elif roll < 0.75:
+                victim = wrng.choice(live[1:])
+                live.remove(victim)
+                manager.crash(victim)
+                yield from restore_rf(env)
+            else:
+                leaver = wrng.choice(live[1:])
+                live.remove(leaver)
+                yield from manager.leave(leaver)
+        yield from rebalancer.wait_quiesce()
+
+    def workload(env):
+        for index in range(pages):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+            host = qemu.guest_to_host(base + index * PAGE_SIZE)
+            qemu.page_table.entry(host).page.write(_pattern(index, 0))
+        for step in range(ops):
+            index = wrng.randrange(pages)
+            yield from port.access(base + index * PAGE_SIZE)
+            if step % 8 == 0:
+                yield env.timeout(wrng.uniform(50.0, 250.0))
+        yield from stack.monitor.writeback.drain()
+        for index in range(pages):
+            yield from port.access(base + index * PAGE_SIZE)
+            host = qemu.guest_to_host(base + index * PAGE_SIZE)
+            if qemu.page_table.entry(host).page.read() \
+                    != _pattern(index, 0):
+                mismatched.append(index)
+        yield from stack.monitor.writeback.drain()
+
+    churn_proc = env.process(churn(env))
+    work_proc = env.process(workload(env))
+
+    def supervise(env):
+        # The manager's poll loop would keep the event heap busy
+        # forever; stop it once the workload and churn have finished.
+        yield env.all_of([churn_proc, work_proc])
+        manager.stop()
+
+    env.process(supervise(env))
+    env.run()
+    if mismatched:
+        checker.violation(
+            "data-integrity",
+            f"{len(mismatched)} page(s) corrupted across migrations: "
+            f"{mismatched[:8]}",
+            pages=tuple(mismatched),
+        )
+    checker.check_steady_state(monitor=stack.monitor,
+                               cluster_store=store)
+    return {
+        "pages": pages,
+        "nodes": len(store.live_nodes()),
+        "epoch": store.topology_epoch,
+        "churn_done": churn_proc.value is None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenario: kv (history checker across failover and live migration)
+# ---------------------------------------------------------------------------
+
+
+def _run_kv(env, seed, ops, faults, checker, obs):
+    policy = RetryPolicy()
+    stats = {"reads": 0, "writes": 0, "removes": 0,
+             "not_found": 0, "abandoned": 0}
+
+    # Phase A: replicated failover under a named plan.
+    if faults:
+        plan = named_plan(faults, seed=derive_seed(seed, "kv-plan"))
+        replicas = [
+            FaultyStore(env, DramStore(env), plan, node=f"replica{i}")
+            for i in range(2)
+        ]
+    else:
+        replicas = [DramStore(env), DramStore(env)]
+    replicated = RecordingStore(ReplicatedStore(env, replicas), checker)
+
+    # Phase B: a replication=1 cluster under live migration — with a
+    # single holder per key, a dropped forwarding window has no second
+    # copy to hide behind, so racing reads expose it.
+    cluster = ClusterStore(env, replication=1, obs=obs,
+                           check=checker, name="kv-cluster")
+    rebalancer = Rebalancer(env, cluster, batch_keys=4, pause_us=25.0,
+                            obs=obs, check=checker)
+    rebalancer.start()
+    for index in range(3):
+        cluster.add_node(f"cnode{index}", DramStore(env))
+    clustered = RecordingStore(cluster, checker)
+
+    def client(store, label: str, key_base: int,
+               write_bias: float) -> Generator:
+        crng = random.Random(derive_seed(seed, f"kv-client-{label}"))
+        keys = [key_base + index for index in range(8)]
+        live: Dict[int, bool] = {}
+        version = 0
+        for _step in range(ops):
+            key = crng.choice(keys)
+            roll = crng.random()
+            yield env.timeout(crng.uniform(1.0, 30.0))
+            try:
+                if roll < write_bias or not live.get(key):
+                    version += 1
+                    token = (label, key, version)
+                    yield from retry_call(
+                        env, lambda k=key, t=token: store.put(k, t),
+                        policy, rng=crng, what=f"{label} put",
+                    )
+                    live[key] = True
+                    stats["writes"] += 1
+                elif roll < write_bias + 0.08:
+                    yield from retry_call(
+                        env, lambda k=key: store.remove(k),
+                        policy, rng=crng, what=f"{label} remove",
+                    )
+                    live[key] = False
+                    stats["removes"] += 1
+                else:
+                    try:
+                        yield from retry_call(
+                            env, lambda k=key: store.get(k),
+                            policy, rng=crng, what=f"{label} get",
+                        )
+                        stats["reads"] += 1
+                    except KeyNotFoundError:
+                        stats["not_found"] += 1
+            except (StoreUnavailableError, KeyNotFoundError):
+                # The op's outcome is indeterminate (retries exhausted
+                # mid-write, or a half-applied remove): the history can
+                # no longer predict this key — stop using it.
+                keys = [k for k in keys if k != key] or keys[:0]
+                stats["abandoned"] += 1
+                if not keys:
+                    return
+
+    def churn(env):
+        # Every drain moves each of the leaver's keys through
+        # migrate_key with a drop — one forwarding window per key.
+        yield env.timeout(150.0)
+        cluster.add_node("cnode3", DramStore(env))
+        rebalancer.schedule()
+        yield from rebalancer.wait_quiesce()
+        for leaver in ("cnode0", "cnode1"):
+            yield env.timeout(100.0)
+            cluster.begin_drain(leaver)
+            rebalancer.schedule()
+            yield from rebalancer.wait_quiesce()
+            if not cluster.keys_on(leaver):
+                cluster.retire_node(leaver)
+
+    def hammer(env):
+        # Tight read loop racing the migration windows.  The cluster
+        # phase is fault-free, so every value it sees must be explained
+        # by the shared acked-write history — and with replication=1 a
+        # dropped forwarding window turns directly into a
+        # cluster-reachability violation inside ClusterStore.get.
+        hrng = random.Random(derive_seed(seed, "kv-hammer"))
+        targets = [
+            0x9000 + 0x100 * index + offset
+            for index in range(3) for offset in range(8)
+        ]
+        yield env.timeout(140.0)
+        for _step in range(ops * 12):
+            key = hrng.choice(targets)
+            try:
+                yield from clustered.get(key)
+            except KeyNotFoundError:
+                pass
+            yield env.timeout(hrng.uniform(0.5, 2.0))
+
+    for index, label in enumerate(("alpha", "beta")):
+        env.process(client(replicated, f"rep-{label}",
+                           0x1000 + 0x100 * index, 0.45))
+    for index, label in enumerate(("gamma", "delta", "epsilon")):
+        env.process(client(clustered, f"clu-{label}",
+                           0x9000 + 0x100 * index, 0.35))
+    env.process(churn(env))
+    env.process(hammer(env))
+    env.run()
+    checker.check_steady_state(cluster_store=cluster)
+    stats["reads_checked"] = (
+        replicated.history.reads_checked
+        + clustered.history.reads_checked
+    )
+    stats["writes_recorded"] = (
+        replicated.history.writes_recorded
+        + clustered.history.writes_recorded
+    )
+    return stats
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "writeback": _run_writeback,
+    "cluster": _run_cluster,
+    "kv": _run_kv,
+}
+
+
+# ---------------------------------------------------------------------------
+# Bug registry (for --bug and the harness's self-test)
+# ---------------------------------------------------------------------------
+
+
+def _buggy_migrate_key(
+    self,
+    key: int,
+    add_nodes: Sequence[str] = (),
+    drop_nodes: Sequence[str] = (),
+) -> Generator:
+    """migrate_key with the forwarding window dropped: old copies are
+    deleted *before* the new ones are durable and before the directory
+    flips.  The commit-time audit stays green (by commit time the new
+    copies exist), so only a read racing the migration — found by the
+    schedule explorer — observes the hole."""
+    if self._inflight.get(key):
+        return "busy"
+    holders = self._placement.get(key)
+    if holders is None:
+        return "gone"
+    gate = self.env.event()
+    self._migrating[key] = gate
+    try:
+        adds = [
+            node for node in add_nodes
+            if node not in holders and self.node_is_live(node)
+        ]
+        value = None
+        source = None
+        for node in holders:
+            if not self.node_is_live(node):
+                continue
+            try:
+                value = yield from self._backends[node].get(key)
+                source = node
+                break
+            except (KeyNotFoundError, TransientStoreError):
+                continue
+        if source is None:
+            return "gone"
+        nbytes = self._nbytes.get(key, PAGE_SIZE)
+        # BUG under test: drops happen first.
+        for node in drop_nodes:
+            if node not in holders:
+                continue
+            backend = self._backends.get(node)
+            if backend is None or not backend.is_alive:
+                continue
+            try:
+                yield from backend.remove(key)
+            except (KeyNotFoundError, TransientStoreError):
+                pass
+        survivors: List[str] = []
+        if adds:
+            failed = yield from self._issue_batches(
+                {node: [(key, value, nbytes)] for node in adds}
+            )
+            survivors = [n for n in adds if n not in failed]
+        new_holders = [
+            node for node in holders if node not in drop_nodes
+        ] + survivors
+        if not new_holders:
+            return "busy"
+        self._commit_placement(key, nbytes, new_holders)
+        if self.check.enabled:
+            self.check.cluster.on_placement_committed(self, key)
+        self.counters.incr("keys_migrated")
+        return "done"
+    finally:
+        del self._migrating[key]
+        gate.succeed(None)
+
+
+def _inject_drop_forwarding_window() -> Callable[[], None]:
+    original = ClusterStore.migrate_key
+    ClusterStore.migrate_key = _buggy_migrate_key
+    return lambda: setattr(ClusterStore, "migrate_key", original)
+
+
+def _inject_drop_writeback_requeue() -> Callable[[], None]:
+    """Retry-exhausted writeback batches are silently forgotten instead
+    of re-enqueued — the no-lost-write ledger flags the vanished keys
+    at the steady-state sweep."""
+    original = WritebackQueue._requeue
+
+    def dropping(self, batch):
+        return None
+
+    WritebackQueue._requeue = dropping
+    return lambda: setattr(WritebackQueue, "_requeue", original)
+
+
+BUGS: Dict[str, Callable[[], Callable[[], None]]] = {
+    "drop-forwarding-window": _inject_drop_forwarding_window,
+    "drop-writeback-requeue": _inject_drop_writeback_requeue,
+}
+
+
+def inject_bug(name: Optional[str]) -> Callable[[], None]:
+    """Apply a registered bug; returns the restore callable."""
+    if not name:
+        return lambda: None
+    try:
+        injector = BUGS[name]
+    except KeyError:
+        raise KVError(
+            f"unknown bug {name!r}; choose from {sorted(BUGS)}"
+        ) from None
+    return injector()
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    schedule: str = "fifo",
+    ops: Optional[int] = None,
+    faults: Any = _DEFAULT,
+    quick: bool = True,
+    bug: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one checked scenario; raises InvariantViolation on failure.
+
+    Returns a summary dict (counters plus the effective parameters) on
+    a clean run.  ``faults`` defaults per scenario; pass ``None`` for
+    a fault-free run or a plan name from
+    :data:`repro.faults.NAMED_PLANS`.
+    """
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise KVError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    if faults is _DEFAULT:
+        faults = DEFAULT_FAULTS[name]
+    if ops is None:
+        ops = DEFAULT_OPS[name] * (1 if quick else FULL_MULTIPLIER)
+    obs = Observability(enabled=True)
+    checker = CorrectnessChecker(enabled=True, obs=obs)
+    env = Environment()
+    env.scheduler = make_schedule(schedule, seed)
+    restore = inject_bug(bug)
+    try:
+        summary = runner(env, seed, ops, faults, checker, obs)
+    finally:
+        restore()
+    summary.update(
+        scenario=name, seed=seed, schedule=schedule, ops=ops,
+        faults=faults, bug=bug, violations=len(checker.violations),
+    )
+    return summary

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
+from ..check.invariants import NULL_CHECKER, CorrectnessChecker
 from ..obs import NULL_OBS, Observability
 from ..sim import Environment, Event
 from .store import ClusterStore
@@ -49,6 +50,7 @@ class Rebalancer:
         pause_us: float = 200.0,
         balance_goal: float = 1.3,
         obs: Optional[Observability] = None,
+        check: Optional[CorrectnessChecker] = None,
     ) -> None:
         self.env = env
         self.store = store
@@ -56,6 +58,7 @@ class Rebalancer:
         self.pause_us = pause_us
         self.balance_goal = balance_goal
         self.obs = obs if obs is not None else NULL_OBS
+        self.check = check if check is not None else NULL_CHECKER
         self.counters = self.obs.counters_for(component="rebalancer")
         store.rebalancer = self
         self._pending = False
@@ -120,6 +123,10 @@ class Rebalancer:
         yield from self._re_replicate()
         yield from self._drain()
         yield from self._balance()
+        if self.check.enabled:
+            # Post-pass audit: directory, shard accounting, and ring
+            # must agree once this pass's migrations have settled.
+            self.check.cluster.check_steady(self.store)
 
     # -- phase 1: restore the replication factor ------------------------------
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
+from ..check.invariants import NULL_CHECKER, CorrectnessChecker
 from ..errors import KeyNotFoundError, KVError, TransientStoreError
 from ..kv.api import KeyValueBackend, WriteItem
 from ..mem import PAGE_SIZE
@@ -59,6 +60,7 @@ class ClusterStore(KeyValueBackend):
         vnodes: int = DEFAULT_VNODES,
         obs: Optional[Observability] = None,
         name: str = "cluster",
+        check: Optional[CorrectnessChecker] = None,
     ) -> None:
         if replication < 1:
             raise KVError(f"replication must be >= 1, got {replication}")
@@ -67,6 +69,7 @@ class ClusterStore(KeyValueBackend):
         self.replication = replication
         self.ring = HashRing(vnodes=vnodes)
         self.obs = obs if obs is not None else NULL_OBS
+        self.check = check if check is not None else NULL_CHECKER
         self.counters = self.obs.counters_for(store=name)
         #: Topology epoch, bumped by the ClusterManager on join/leave/crash.
         self.topology_epoch = 0
@@ -389,6 +392,8 @@ class ClusterStore(KeyValueBackend):
                         f"target shard"
                     )
                 self._commit_placement(key, nbytes, survivors)
+                if self.check.enabled:
+                    self.check.cluster.on_placement_committed(self, key)
                 if len(survivors) < min(
                     self.replication, len(self.live_nodes())
                 ):
@@ -437,6 +442,10 @@ class ClusterStore(KeyValueBackend):
             except KeyNotFoundError:
                 self.counters.incr("failover_reads")
                 self._observe_failover(node, key, "missing")
+                if self.check.enabled:
+                    # A live holder without the bytes: check whether
+                    # the forwarding window was dropped entirely.
+                    self.check.cluster.on_unreachable(self, key)
                 continue
             except TransientStoreError:
                 self.counters.incr("failover_reads")
@@ -449,6 +458,8 @@ class ClusterStore(KeyValueBackend):
         # The directory says the key exists; every holder failed.  A
         # crashed holder can recover (or the rebalancer re-replicates),
         # so this stays retryable.
+        if self.check.enabled:
+            self.check.cluster.on_unreachable(self, key)
         raise TransientStoreError(
             f"no shard replica could serve key {key:#x}"
             + (" (transient shard errors)" if transient else "")
@@ -589,6 +600,8 @@ class ClusterStore(KeyValueBackend):
                 self.counters.incr("migrations_stalled")
                 return "busy"
             self._commit_placement(key, nbytes, new_holders)
+            if self.check.enabled:
+                self.check.cluster.on_placement_committed(self, key)
             # Forwarding window closes: old copies go away only after
             # the directory points at the new ones.
             for node in drop_nodes:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..check.invariants import NULL_CHECKER, CorrectnessChecker
 from ..errors import FluidMemError
 from ..obs import NULL_OBS, Observability
 
@@ -37,6 +38,7 @@ class LruBuffer:
         reorder_on_access: bool = False,
         obs: Optional[Observability] = None,
         name: str = "lru",
+        check: Optional[CorrectnessChecker] = None,
     ) -> None:
         if capacity_pages < 1:
             raise FluidMemError(
@@ -48,6 +50,7 @@ class LruBuffer:
         #: Resident pages per registration (provider-policy accounting).
         self._per_registration: Dict[int, int] = {}
         self._obs = obs if obs is not None else NULL_OBS
+        self._check = check if check is not None else NULL_CHECKER
         self._name = name
         if self._obs.enabled:
             self._obs.registry.gauge(
@@ -94,6 +97,8 @@ class LruBuffer:
         self._entries[vaddr] = registration
         key = id(registration)
         self._per_registration[key] = self._per_registration.get(key, 0) + 1
+        if self._check.enabled:
+            self._verify_accounting()
         if self._obs.enabled:
             self._obs.registry.counter(
                 "lru_inserts", vm=self._name
@@ -132,6 +137,8 @@ class LruBuffer:
         for vaddr in doomed:
             del self._entries[vaddr]
         self._per_registration.pop(id(registration), None)
+        if self._check.enabled:
+            self._verify_accounting()
         if self._obs.enabled:
             self._obs.registry.gauge(
                 "lru_resident_pages", vm=self._name
@@ -142,6 +149,28 @@ class LruBuffer:
         """Resident pages belonging to one VM."""
         return self._per_registration.get(id(registration), 0)
 
+    def _verify_accounting(self) -> None:
+        """The per-VM counts must tile the buffer exactly."""
+        total = sum(self._per_registration.values())
+        if total != len(self._entries):
+            self._check.violation(
+                "lru-accounting",
+                f"per-VM resident counts sum to {total} but the "
+                f"buffer holds {len(self._entries)} pages",
+                per_vm_total=total, resident=len(self._entries),
+            )
+        negative = [
+            key for key, count in self._per_registration.items()
+            if count <= 0
+        ]
+        if negative:
+            self._check.violation(
+                "lru-accounting",
+                f"{len(negative)} registration(s) carry a non-positive "
+                "resident count",
+                count=len(negative),
+            )
+
     def _account_removal(self, registration: object) -> None:
         key = id(registration)
         remaining = self._per_registration.get(key, 0) - 1
@@ -149,6 +178,8 @@ class LruBuffer:
             self._per_registration.pop(key, None)
         else:
             self._per_registration[key] = remaining
+        if self._check.enabled:
+            self._verify_accounting()
         if self._obs.enabled:
             self._obs.registry.counter(
                 "lru_removals", vm=self._name

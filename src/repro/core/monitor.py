@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Generator, List, Optional
 
+from ..check.invariants import NULL_CHECKER, CorrectnessChecker
 from ..errors import (
     FluidMemError,
     KeyNotFoundError,
@@ -115,6 +116,7 @@ class Monitor:
         rng: Optional[random.Random] = None,
         name: str = "monitor",
         obs: Optional[Observability] = None,
+        check: Optional[CorrectnessChecker] = None,
     ) -> None:
         self.env = env
         self.uffd = uffd
@@ -125,12 +127,16 @@ class Monitor:
         #: Observability sink; the shared disabled instance by default,
         #: so the hot paths pay one ``enabled`` check when unobserved.
         self.obs = obs if obs is not None else NULL_OBS
+        #: Invariant monitor (``repro.check``); the shared disabled
+        #: instance by default — same cost model as ``obs``.
+        self.check = check if check is not None else NULL_CHECKER
 
         self.lru = LruBuffer(
             self.config.lru_capacity_pages,
             reorder_on_access=self.config.lru_reorder_on_access,
             obs=self.obs,
             name=name,
+            check=self.check,
         )
         self.tracker = PageTracker()
         if self.obs.enabled:
@@ -157,6 +163,7 @@ class Monitor:
             profiler=self.profiler,
             obs=self.obs,
             owner=name,
+            check=self.check,
         )
 
         self._by_handle: Dict[UffdRegion, VmRegistration] = {}
@@ -310,6 +317,9 @@ class Monitor:
                 key = registration.key_for(vaddr)
                 if key in self.tracker:
                     self.tracker.forget(key)
+                    if self.check.enabled:
+                        self.check.pages.on_forget(key)
+                        self.check.writeback.on_forget(key)
                     if registration.store.contains(key):
                         doomed_keys.append(key)
         for key in doomed_keys:
@@ -345,6 +355,8 @@ class Monitor:
             )
             key = registration.key_for(vaddr)
             yield from registration.store.put(key, page, PAGE_SIZE)
+            if self.check.enabled:
+                self.check.pages.on_evicted(key, durable=True)
             pte = self.buffer_table.unmap(buffer_vaddr)
             self.ops.frames.free(pte.frame)
             pushed += 1
@@ -359,6 +371,9 @@ class Monitor:
                 if key in self.tracker:
                     seen_keys.add(key)
                     self.tracker.forget(key)
+                    if self.check.enabled:
+                        self.check.pages.on_forget(key)
+                        self.check.writeback.on_forget(key)
         self._registrations.remove(registration)
         self.counters.incr("vms_detached")
         return seen_keys, pushed
@@ -465,6 +480,8 @@ class Monitor:
             latency.insert_lru_sigma,
         )
         self.lru.insert(fault.addr, registration)
+        if self.check.enabled:
+            self.check.pages.on_zero_fill(key)
         yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
         self.counters.incr("zero_page_faults")
         # Asynchronous (blue path): bring residency back under budget
@@ -600,6 +617,8 @@ class Monitor:
         self._fault_path = "async_fetch"
         latency = self.config.latency
         issued_at = self.env.now
+        if self.check.enabled:
+            self.check.pages.on_read_issued(key)
         handle = registration.store.read_async(key)
         # Interleave the eviction and cache bookkeeping with the
         # in-flight network read; REMAP runs while the vCPU is already
@@ -620,6 +639,8 @@ class Monitor:
         try:
             page = yield handle.event
         except KeyNotFoundError as exc:
+            if self.check.enabled:
+                self.check.pages.on_read_failed(key)
             raise FluidMemError(
                 f"remote memory lost page {fault.addr:#x} "
                 f"(key {key:#x}) on backend "
@@ -631,14 +652,25 @@ class Monitor:
             # synchronous reads (that first attempt counts against the
             # policy's budget).
             self.counters.incr("async_read_failures")
-            page = yield from self._fetch_with_retry(
-                registration, key, prior_attempts=1, initial_error=exc
-            )
+            try:
+                page = yield from self._fetch_with_retry(
+                    registration, key, prior_attempts=1,
+                    initial_error=exc,
+                )
+            except Exception:
+                if self.check.enabled:
+                    self.check.pages.on_read_failed(key)
+                raise
         self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
         page = self._as_page(page, fault.addr)
-        yield from self._install_unless_present(
+        installed = yield from self._install_unless_present(
             registration, fault.addr, page
         )
+        if self.check.enabled:
+            if installed:
+                self.check.pages.on_read_installed(key)
+            else:
+                self.check.pages.on_read_dropped(key)
         yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
         self.counters.incr("remote_reads")
         yield from self._enforce_policy_caps(registration, True)
@@ -648,17 +680,22 @@ class Monitor:
         self, registration: VmRegistration, addr: int, page: Page
     ) -> Generator:
         """COPY + LRU-insert, unless a concurrent prefetch already
-        installed the page while we waited on the store."""
+        installed the page while we waited on the store.
+
+        Returns True when ``page`` itself was installed, False when a
+        concurrent resolver won the race and this copy was dropped.
+        """
         if addr in registration.table:
             self.counters.incr("duplicate_reads_dropped")
-            return
-        yield from self._timed(
+            return False
+        mapped = yield from self._timed(
             CodePath.UFFD_COPY,
             self.ops.copy(registration.table, addr, page,
                           skip_if_present=True),
         )
         if addr not in self.lru:
             self.lru.insert(addr, registration)
+        return mapped is page
 
     def _read_sync_path(
         self, fault: UffdFault, registration: VmRegistration, key: int
@@ -667,15 +704,23 @@ class Monitor:
         self._fault_path = "sync_fetch"
         latency = self.config.latency
         issued_at = self.env.now
+        if self.check.enabled:
+            self.check.pages.on_read_issued(key)
         try:
             page = yield from self._fetch_with_retry(registration, key)
         except KeyNotFoundError as exc:
+            if self.check.enabled:
+                self.check.pages.on_read_failed(key)
             raise FluidMemError(
                 f"remote memory lost page {fault.addr:#x} "
                 f"(key {key:#x}) on backend "
                 f"{registration.store.name!r} — an evicting store "
                 "(e.g. undersized Memcached) cannot back FluidMem"
             ) from exc
+        except Exception:
+            if self.check.enabled:
+                self.check.pages.on_read_failed(key)
+            raise
         self.profiler.record(CodePath.READ_PAGE, self.env.now - issued_at)
         yield from self._charge(
             CodePath.UPDATE_PAGE_CACHE,
@@ -688,9 +733,14 @@ class Monitor:
             latency.insert_lru_mean,
             latency.insert_lru_sigma,
         )
-        yield from self._install_unless_present(
+        installed = yield from self._install_unless_present(
             registration, fault.addr, page
         )
+        if self.check.enabled:
+            if installed:
+                self.check.pages.on_read_installed(key)
+            else:
+                self.check.pages.on_read_dropped(key)
         # Synchronous eviction *before* the wake: the whole cost sits
         # on the critical path.
         yield from self._evict_until(
@@ -730,14 +780,19 @@ class Monitor:
             if token in self._prefetch_inflight:
                 continue
             self._prefetch_inflight.add(token)
+            if self.check.enabled:
+                self.check.pages.on_read_issued(key)
             handle = registration.store.read_async(key)
             self.counters.incr("prefetches_issued")
             self.env.process(
-                self._finish_prefetch(registration, addr, handle, token)
+                self._finish_prefetch(
+                    registration, addr, key, handle, token
+                )
             )
 
     def _finish_prefetch(
-        self, registration: VmRegistration, addr: int, handle, token
+        self, registration: VmRegistration, addr: int, key: int,
+        handle, token,
     ) -> Generator:
         from ..errors import KeyNotFoundError
 
@@ -745,24 +800,40 @@ class Monitor:
             page = yield handle.event
         except KeyNotFoundError:
             self._prefetch_inflight.discard(token)
+            if self.check.enabled and registration.active:
+                self.check.pages.on_read_failed(key)
             return  # raced with a remove; drop silently
         except TransientStoreError:
             # Prefetch is best-effort: never retry off the fault path.
             self._prefetch_inflight.discard(token)
             self.counters.incr("prefetches_failed")
+            if self.check.enabled and registration.active:
+                self.check.pages.on_read_failed(key)
             return
-        if not registration.active or addr in registration.table:
+        if not registration.active:
+            # Torn down mid-flight: its page records are already gone.
             self._prefetch_inflight.discard(token)
             self.counters.incr("prefetches_dropped")
             return
+        if addr in registration.table:
+            self._prefetch_inflight.discard(token)
+            self.counters.incr("prefetches_dropped")
+            if self.check.enabled:
+                self.check.pages.on_read_dropped(key)
+            return
         page = self._as_page(page, addr)
-        yield from self._timed(
+        mapped = yield from self._timed(
             CodePath.UFFD_COPY,
             self.ops.copy(registration.table, addr, page,
                           skip_if_present=True),
         )
         if addr not in self.lru:
             self.lru.insert(addr, registration)
+        if self.check.enabled:
+            if mapped is page:
+                self.check.pages.on_read_installed(key)
+            else:
+                self.check.pages.on_read_dropped(key)
         self._prefetch_inflight.discard(token)
         self.counters.incr("prefetches_completed")
         if self.obs.enabled:
@@ -791,12 +862,16 @@ class Monitor:
                 self.ops.zeropage(registration.table, fault.addr),
             )
             self.counters.incr("tracker_miss_round_trips")
+            if self.check.enabled:
+                self.check.pages.on_zero_fill(key)
         else:
             page = self._as_page(page, fault.addr)
             yield from self._timed(
                 CodePath.UFFD_COPY,
                 self.ops.copy(registration.table, fault.addr, page),
             )
+            if self.check.enabled:
+                self.check.pages.on_probe_installed(key)
         self.lru.insert(fault.addr, registration)
         yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
         yield from self._evict_until(self.lru.capacity, interleaved=False)
@@ -842,6 +917,8 @@ class Monitor:
                     registration.table, fault.addr, steal.entry.page
                 ),
             )
+            if self.check.enabled:
+                self.check.pages.on_steal_installed(steal.entry.key)
             self.counters.incr("steals_after_wait")
         self.lru.insert(fault.addr, registration)
         yield from self._timed(CodePath.WAKE, self.ops.wake(fault))
@@ -900,6 +977,8 @@ class Monitor:
         key = registration.key_for(vaddr)
         self.counters.incr("evictions")
         if self.config.async_writeback:
+            if self.check.enabled:
+                self.check.pages.on_evicted(key, durable=False)
             self.writeback.enqueue(
                 WritebackEntry(
                     key, page, buffer_vaddr, registration, self.env.now
@@ -908,6 +987,8 @@ class Monitor:
         else:
             issued_at = self.env.now
             yield from self._put_with_retry(registration, key, page)
+            if self.check.enabled:
+                self.check.pages.on_evicted(key, durable=True)
             self.profiler.record(
                 CodePath.WRITE_PAGE, self.env.now - issued_at
             )

@@ -25,6 +25,7 @@ import random
 from collections import OrderedDict
 from typing import Dict, Generator, List, Optional, Tuple
 
+from ..check.invariants import NULL_CHECKER, CorrectnessChecker
 from ..errors import FluidMemError, StoreUnavailableError
 from ..faults.retry import RetryPolicy, retry_call
 from ..mem import FrameAllocator, Page, PageTable
@@ -91,6 +92,7 @@ class WritebackQueue:
         profiler: Optional[Profiler] = None,
         obs: Optional[Observability] = None,
         owner: str = "monitor",
+        check: Optional[CorrectnessChecker] = None,
     ) -> None:
         if batch_pages < 1:
             raise FluidMemError(f"batch must be >= 1, got {batch_pages}")
@@ -107,6 +109,7 @@ class WritebackQueue:
         self._profiler = profiler
         self.obs = obs if obs is not None else NULL_OBS
         self.owner = owner
+        self.check = check if check is not None else NULL_CHECKER
         self._pending: "OrderedDict[int, WritebackEntry]" = OrderedDict()
         self._in_flight: Dict[int, Tuple[WritebackEntry, Event]] = {}
         # A token channel so kicks raised before the flusher arms its
@@ -125,6 +128,8 @@ class WritebackQueue:
                 f"key {entry.key:#x} is already queued for write-back"
             )
         self._pending[entry.key] = entry
+        if self.check.enabled:
+            self.check.writeback.on_enqueued(entry.key)
         self.counters.incr("enqueued")
         if len(self._pending) >= self.batch_pages:
             self._wake_flusher()
@@ -141,6 +146,9 @@ class WritebackQueue:
         """Try to resolve a fault from the write list (paper §V-B)."""
         entry = self._pending.pop(key, None)
         if entry is not None:
+            if self.check.enabled:
+                self.check.pages.on_steal_pending(key)
+                self.check.writeback.on_stolen(key)
             self.counters.incr("steals_pending")
             return StealResult(StealResult.PENDING, entry)
         in_flight = self._in_flight.get(key)
@@ -230,6 +238,10 @@ class WritebackQueue:
                 self._in_flight.pop(entry.key, None)
 
         # Release the buffered copies now that the store is durable.
+        if self.check.enabled:
+            for entry in batch:
+                self.check.pages.on_writeback_durable(entry.key)
+                self.check.writeback.on_durable(entry.key)
         for entry in batch:
             pte = self.buffer_table.unmap(entry.buffer_vaddr)
             self.frames.free(pte.frame)
@@ -286,6 +298,10 @@ class WritebackQueue:
         for entry in reversed(batch):
             self._pending[entry.key] = entry
             self._pending.move_to_end(entry.key, last=False)
+        if self.check.enabled:
+            self.check.writeback.on_requeued(
+                [entry.key for entry in batch]
+            )
         self.counters.incr("reenqueued", by=len(batch))
         if self.obs.enabled:
             self.obs.tracer.instant(

@@ -150,6 +150,38 @@ class MonitorStateError(FluidMemError):
     """Monitor used while not running, or double-start, etc."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime correctness invariant was broken (``repro.check``).
+
+    Carries the invariant's name, structured details, and the tail of
+    the observability event trace at the moment of the violation, so a
+    failure arrives with its event context attached.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        details: dict = None,
+        trace_tail: tuple = (),
+    ) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.details = details or {}
+        self.trace_tail = tuple(trace_tail)
+
+    def context_text(self) -> str:
+        """Multi-line rendering of details plus the trace tail."""
+        lines = [str(self)]
+        for name in sorted(self.details):
+            lines.append(f"  {name} = {self.details[name]!r}")
+        if self.trace_tail:
+            lines.append("  trace tail (most recent last):")
+            for event in self.trace_tail:
+                lines.append(f"    {event}")
+        return "\n".join(lines)
+
+
 class WorkloadError(ReproError):
     """Errors from workload generators."""
 

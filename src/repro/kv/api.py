@@ -25,7 +25,13 @@ from typing import Any, Generator, List, Sequence, Tuple
 from ..mem import PAGE_SIZE
 from ..sim import CounterSet, Environment, Event
 
-__all__ = ["KeyValueBackend", "ReadHandle", "WriteHandle", "WriteItem"]
+__all__ = [
+    "KeyValueBackend",
+    "ReadHandle",
+    "WriteHandle",
+    "WriteItem",
+    "recorded",
+]
 
 #: (key, value, nbytes) triple for batched writes.
 WriteItem = Tuple[int, Any, int]
@@ -163,6 +169,16 @@ class KeyValueBackend(abc.ABC):
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} keys={self.stored_keys()}>"
+
+
+def recorded(store: KeyValueBackend, checker=None) -> KeyValueBackend:
+    """Wrap ``store`` in a :class:`repro.check.RecordingStore` so every
+    read is validated against the acked-write history (read-your-writes
+    / no-stale-read-after-ack).  Imported lazily: ``repro.check`` is an
+    optional layer over the kv API, not a dependency of it."""
+    from ..check.history import RecordingStore
+
+    return RecordingStore(store, checker)
 
 
 def _park_failure(event: Event, exc: Exception) -> None:

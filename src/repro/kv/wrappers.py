@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence, Set
 
 from ..errors import KVError, KeyNotFoundError, TransientStoreError
 from ..mem import PAGE_SIZE, Page
@@ -153,6 +153,12 @@ class ReplicatedStore(KeyValueBackend):
         super().__init__(env)
         self.replicas = list(replicas)
         self._alive = [True] * len(self.replicas)
+        #: Per-replica keys whose newest acked write this replica
+        #: missed (it was down or its write failed).  Reads skip a
+        #: replica for such keys — a recovered replica must not serve
+        #: the value it held *before* its outage window (stale read).
+        #: A later successful write to the replica clears the key.
+        self._stale: List[Set[int]] = [set() for _ in self.replicas]
         self.name = f"replicated-x{len(self.replicas)}"
         self.supports_partitions = all(
             replica.supports_partitions for replica in self.replicas
@@ -175,7 +181,8 @@ class ReplicatedStore(KeyValueBackend):
         self._alive[index] = False
 
     def recover_replica(self, index: int) -> None:
-        """Bring a replica back (empty: it must re-replicate on write)."""
+        """Bring a replica back.  Keys written while it was out stay
+        marked stale on it until re-replicated by a later write."""
         self._alive[index] = True
 
     def _replica_alive(self, index: int) -> bool:
@@ -211,20 +218,37 @@ class ReplicatedStore(KeyValueBackend):
         Succeeds when at least one replica made the batch durable;
         replicas that fail mid-write are counted and skipped (the read
         path's failover covers the gap until they re-replicate).
+
+        Every replica that misses the batch — down, or failed
+        mid-write — has the batch's keys marked stale: after it
+        recovers it still holds the *pre-outage* values, and a read
+        failing over onto it must not be served those.  A later
+        successful write of a key clears its mark.
         """
+        self._live()  # all-down is transient: raise before issuing
+        keys = [item[0] for item in items]
+        live_indexes = [
+            index for index in range(len(self.replicas))
+            if self._replica_alive(index)
+        ]
+        for index in range(len(self.replicas)):
+            if index not in live_indexes:
+                self._stale[index].update(keys)
         events = [
-            replica.write_async(list(items)).event
-            for replica in self._live()
+            (index, self.replicas[index].write_async(list(items)).event)
+            for index in live_indexes
         ]
         survivors = 0
         last_error: Optional[Exception] = None
-        for event in events:
+        for index, event in events:
             try:
                 yield event
             except (TransientStoreError, KVError) as exc:
                 last_error = exc
+                self._stale[index].update(keys)
                 self.counters.incr("replica_write_failures")
                 continue
+            self._stale[index].difference_update(keys)
             survivors += 1
         if survivors == 0:
             raise TransientStoreError(
@@ -247,6 +271,12 @@ class ReplicatedStore(KeyValueBackend):
         for index, replica in enumerate(self.replicas):
             if not self._replica_alive(index):
                 self.counters.incr("replicas_skipped")
+                continue
+            if key in self._stale[index]:
+                # The replica missed this key's newest write while it
+                # was out; its surviving copy must not be served.
+                self.counters.incr("failovers")
+                self._observe_failover(index, key, "stale")
                 continue
             try:
                 value = yield from replica.get(key)
@@ -283,6 +313,11 @@ class ReplicatedStore(KeyValueBackend):
             if not self._replica_alive(index):
                 self.counters.incr("replicas_skipped")
                 continue
+            if any(key in self._stale[index] for key in keys):
+                # All-or-nothing per replica: one stale key skips it.
+                self.counters.incr("failovers")
+                self._observe_failover(index, keys[0], "stale")
+                continue
             try:
                 values = yield from replica.multi_read(list(keys))
             except KeyNotFoundError as exc:
@@ -308,14 +343,22 @@ class ReplicatedStore(KeyValueBackend):
         raise TransientStoreError("all replicas are down")
 
     def remove(self, key: int) -> Generator:
+        self._live()  # all-down is transient, not key-not-found
         removed = False
-        for replica in self._live():
+        for index, replica in enumerate(self.replicas):
+            if not self._replica_alive(index):
+                # The replica keeps a copy the removal deleted: its
+                # surviving value is stale by definition.
+                self._stale[index].add(key)
+                continue
             try:
                 yield from replica.remove(key)
                 removed = True
+                self._stale[index].discard(key)
             except KeyNotFoundError:
-                pass
+                self._stale[index].discard(key)
             except TransientStoreError:
+                self._stale[index].add(key)
                 self.counters.incr("replica_remove_failures")
         if not removed:
             raise KeyNotFoundError(key)
@@ -326,6 +369,7 @@ class ReplicatedStore(KeyValueBackend):
             replica.contains(key)
             for index, replica in enumerate(self.replicas)
             if self._replica_alive(index)
+            and key not in self._stale[index]
         )
 
     def stored_keys(self) -> int:

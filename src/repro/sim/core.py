@@ -359,10 +359,15 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._heap: List[Tuple[float, int, Any, Event]] = []
         self._seq = 0
         #: The process currently being resumed, if any.
         self.active_process: Optional[Process] = None
+        #: Optional schedule-perturbation policy (an object with
+        #: ``perturb_delay``/``tiebreak``, see repro.check.explorer).
+        #: When None the engine behaves exactly as before: FIFO order
+        #: among same-timestamp events, no delay perturbation.
+        self.scheduler: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -398,8 +403,14 @@ class Environment:
         priority: int = PRIORITY_NORMAL,
     ) -> None:
         self._seq += 1
+        tiebreak: Any = self._seq
+        if self.scheduler is not None:
+            delay = self.scheduler.perturb_delay(delay, priority, event)
+            tiebreak = self.scheduler.tiebreak(
+                self._now + delay, priority, self._seq, event
+            )
         heapq.heappush(
-            self._heap, (self._now + delay, priority, self._seq, event)
+            self._heap, (self._now + delay, priority, tiebreak, event)
         )
 
     def peek(self) -> float:

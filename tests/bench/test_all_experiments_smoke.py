@@ -1,0 +1,74 @@
+"""Every experiment the CLI advertises must run in quick mode and emit
+a well-formed ``--metrics`` document.
+
+The experiment list is taken from ``--list-experiments`` itself (not
+from the module constant) so a new experiment that is registered but
+broken — or runnable but unlisted — fails here rather than shipping
+silently.
+"""
+
+import contextlib
+import io
+import json
+import numbers
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, METRICS_SCHEMA, main
+
+
+def _listed_experiments():
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        assert main(["--list-experiments"]) == 0
+    names = []
+    for line in buffer.getvalue().splitlines():
+        if line.strip():
+            name, _, description = line.partition(" ")
+            assert description.strip(), f"{name}: missing description"
+            names.append(name)
+    return names
+
+
+LISTED = _listed_experiments()
+
+
+def test_listing_matches_the_canonical_tuple():
+    assert tuple(LISTED) == EXPERIMENTS
+
+
+def _validate_metrics_document(doc, name, seed):
+    assert doc["schema"] == METRICS_SCHEMA == "repro-bench-metrics/1"
+    assert doc["quick"] is True
+    assert doc["seed"] == seed
+    assert doc["faults"] is None
+    assert set(doc["experiments"]) == {name}
+    snapshot = doc["experiments"][name]
+    assert set(snapshot) >= {"counters", "gauges", "histograms"}
+    for value in snapshot["counters"].values():
+        assert isinstance(value, int) and value >= 0
+    for value in snapshot["gauges"].values():
+        assert isinstance(value, numbers.Real)
+    for summary in snapshot["histograms"].values():
+        assert summary["count"] >= 1
+        assert summary["min"] <= summary["p50"] <= summary["p99"] \
+            <= summary["max"]
+    # A quick run must still observe *something* — except table2,
+    # which drives bare test processes with no observability plumbing
+    # (the CLI prints the same caveat for --faults).
+    if name != "table2":
+        assert snapshot["counters"] or snapshot["histograms"]
+
+
+@pytest.mark.parametrize("name", LISTED)
+def test_quick_run_emits_valid_metrics(name, tmp_path):
+    path = tmp_path / f"{name}.json"
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = main([
+            name, "--quick", "--seed", "7", "--metrics", str(path),
+        ])
+    assert code == 0
+    assert stdout.getvalue().strip()  # the table/figure text rendered
+    with open(path) as handle:
+        _validate_metrics_document(json.load(handle), name, seed=7)

@@ -1,0 +1,96 @@
+"""The campaign driver end to end.
+
+Two acceptance properties from the harness's design:
+
+* a clean tree sweeps green across seeds x schedules x scenarios, and
+* a seeded bug (the dropped forwarding window) is *caught*, shrunk,
+  and reported with a reproducer whose parameters really do fail.
+"""
+
+import pytest
+
+from repro.check.campaign import repro_command, run_campaign
+from repro.check.scenarios import BUGS, inject_bug, run_scenario
+from repro.errors import InvariantViolation, KVError
+
+
+def test_campaign_green_on_main():
+    report = run_campaign(
+        scenarios=("writeback", "cluster", "kv"),
+        seeds=(0,),
+        schedules=("random",),
+    )
+    assert report.ok
+    assert report.runs == 3
+    assert report.passed == 3
+    assert len(report.summaries) == 3
+    assert all(s["violations"] == 0 for s in report.summaries)
+
+
+def test_campaign_catches_seeded_forwarding_window_bug():
+    """The harness's reason to exist: drop the forwarding window in
+    migrate_key and the explorer finds a racing read that proves it."""
+    lines = []
+    report = run_campaign(
+        scenarios=("kv",),
+        seeds=(1, 2),
+        schedules=("random", "adversarial"),
+        bug="drop-forwarding-window",
+        emit=lines.append,
+    )
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.invariant == "cluster-reachability"
+    assert failure.ops <= failure.original_ops
+    # The reported command must carry everything needed to replay.
+    assert "REPRO_CHECK_SCENARIO=kv" in failure.command
+    assert "REPRO_CHECK_BUG=drop-forwarding-window" in failure.command
+    assert "tests/check/test_repro_entry.py" in failure.command
+    assert any("reproduce with" in line for line in lines)
+
+    # And the shrunk parameters really do fail, deterministically.
+    with pytest.raises(InvariantViolation) as excinfo:
+        run_scenario(
+            failure.scenario, seed=failure.seed,
+            schedule=failure.schedule, ops=failure.ops,
+            faults=failure.faults, bug=failure.bug,
+        )
+    assert excinfo.value.invariant == "cluster-reachability"
+
+
+def test_bug_injection_is_restored_after_the_run():
+    from repro.cluster.store import ClusterStore
+
+    original = ClusterStore.migrate_key
+    restore = inject_bug("drop-forwarding-window")
+    assert ClusterStore.migrate_key is not original
+    restore()
+    assert ClusterStore.migrate_key is original
+    # Scenario-level injection restores even on a violation.
+    with pytest.raises(InvariantViolation):
+        run_scenario("kv", seed=2, schedule="random", ops=24,
+                     bug="drop-forwarding-window")
+    assert ClusterStore.migrate_key is original
+
+
+def test_unknown_names_are_rejected():
+    with pytest.raises(KVError):
+        inject_bug("drop-the-database")
+    with pytest.raises(KVError):
+        run_scenario("warp-core", seed=0)
+    assert sorted(BUGS) == [
+        "drop-forwarding-window", "drop-writeback-requeue",
+    ]
+
+
+def test_repro_command_format():
+    command = repro_command("kv", 3, "adversarial", 17,
+                            "flaky-fabric", None)
+    assert command.startswith("REPRO_CHECK_SCENARIO=kv ")
+    assert "REPRO_CHECK_SEED=3" in command
+    assert "REPRO_CHECK_OPS=17" in command
+    assert "REPRO_CHECK_FAULTS=flaky-fabric" in command
+    assert "REPRO_CHECK_BUG" not in command
+    assert command.endswith(
+        "python -m pytest tests/check/test_repro_entry.py -x -q"
+    )

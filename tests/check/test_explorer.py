@@ -1,0 +1,96 @@
+"""The schedule explorer: determinism and genuine perturbation.
+
+Three properties make the explorer trustworthy:
+
+* attaching the FIFO policy (or no policy) changes nothing,
+* a non-FIFO policy really does reorder same-timestamp events,
+* the same (policy, seed) always produces the same execution — which
+  is what makes a campaign failure replayable.
+"""
+
+import pytest
+
+from repro.check import make_schedule, parse_schedules
+from repro.check.scenarios import run_scenario
+from repro.errors import KVError
+from repro.sim import Environment
+
+
+def _order_of(policy_name, seed=0, events=6):
+    """Fire ``events`` zero-delay events at once; return firing order."""
+    env = Environment()
+    if policy_name is not None:
+        env.scheduler = make_schedule(policy_name, seed)
+    fired = []
+
+    def waiter(env, tag):
+        yield env.timeout(10.0)
+        fired.append(tag)
+
+    for tag in range(events):
+        env.process(waiter(env, tag))
+    env.run()
+    return fired
+
+
+def test_fifo_matches_bare_engine():
+    assert _order_of(None) == _order_of("fifo") == list(range(6))
+
+
+def test_inverted_reverses_same_timestamp_events():
+    assert _order_of("inverted") == list(reversed(range(6)))
+
+
+def test_random_schedule_permutes_and_is_seed_deterministic():
+    a = _order_of("random", seed=1)
+    b = _order_of("random", seed=1)
+    assert a == b
+    assert sorted(a) == list(range(6))
+    # Some seed must produce a non-FIFO order (all-identity for every
+    # seed would mean the policy does nothing).
+    assert any(
+        _order_of("random", seed=seed) != list(range(6))
+        for seed in range(8)
+    )
+
+
+def test_adversarial_stretches_delays_monotonically():
+    policy = make_schedule("adversarial", seed=3)
+    for delay in (0.0, 1.0, 50.0, 1_000.0):
+        perturbed = policy.perturb_delay(delay, 0, None)
+        assert perturbed >= delay  # never shrinks: causality preserved
+
+
+def test_parse_schedules():
+    assert parse_schedules("random, adversarial") == (
+        "random", "adversarial"
+    )
+    with pytest.raises(KVError):
+        parse_schedules("random,warp")
+    with pytest.raises(KVError):
+        make_schedule("warp")
+
+
+def test_scenario_runs_are_replayable():
+    """Same (scenario, seed, schedule, ops) -> identical summary."""
+    first = run_scenario("writeback", seed=5, schedule="random", ops=24)
+    second = run_scenario("writeback", seed=5, schedule="random", ops=24)
+    assert first == second
+    assert first["violations"] == 0
+
+
+def test_schedules_actually_diversify_a_scenario():
+    """Different policies must not collapse to the same execution —
+    compare a timing-sensitive summary field across policies."""
+    summaries = {
+        name: run_scenario("writeback", seed=0, schedule=name, ops=24)
+        for name in ("fifo", "random", "adversarial")
+    }
+    # All clean ...
+    assert all(s["violations"] == 0 for s in summaries.values())
+    # ... but not byte-for-byte the same run (page_records and degraded
+    # are coarse; ops/faults identical — so diversity must come from
+    # schedule-dependent dynamics somewhere).
+    assert len({
+        tuple(sorted(s.items())) for s in summaries.values()
+    }) >= 2

@@ -1,0 +1,177 @@
+"""Unit tests for the invariant monitors (no simulation required).
+
+These drive the :class:`PageStateMachine`, :class:`WritebackLedger`,
+and :class:`CorrectnessChecker` hooks directly — the legal lifecycle
+passes silently, every illegal edge raises, and a disabled checker is
+inert.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check import CorrectnessChecker, NULL_CHECKER, PageState
+from repro.errors import InvariantViolation
+
+
+def make_checker():
+    return CorrectnessChecker(enabled=True)
+
+
+# ------------------------------------------------------------ page machine
+
+def test_legal_page_lifecycle_passes():
+    check = make_checker()
+    pages = check.pages
+    key = 0x1000
+    # first touch -> resident -> write list -> durable -> fetched back
+    pages.on_zero_fill(key)
+    assert pages.state_of(key) == PageState.RESIDENT
+    pages.on_evicted(key, durable=False)
+    assert pages.state_of(key) == PageState.WRITELIST
+    pages.on_writeback_durable(key)
+    assert pages.state_of(key) == PageState.REMOTE
+    pages.on_read_issued(key)
+    pages.on_read_installed(key)
+    assert pages.state_of(key) == PageState.RESIDENT
+    # sync eviction goes straight back to remote
+    pages.on_evicted(key, durable=True)
+    assert pages.state_of(key) == PageState.REMOTE
+    pages.check_steady()
+    assert check.violations == []
+
+
+def test_steal_paths():
+    check = make_checker()
+    pages = check.pages
+    key = 0x2000
+    pages.on_zero_fill(key)
+    pages.on_evicted(key, durable=False)
+    pages.on_steal_pending(key)          # stolen while still pending
+    assert pages.state_of(key) == PageState.RESIDENT
+    pages.on_evicted(key, durable=False)
+    pages.on_writeback_durable(key)
+    pages.on_steal_installed(key)        # stolen after the flush landed
+    assert pages.state_of(key) == PageState.RESIDENT
+
+
+def test_double_zero_fill_is_illegal():
+    check = make_checker()
+    check.pages.on_zero_fill(0x1000)
+    with pytest.raises(InvariantViolation) as excinfo:
+        check.pages.on_zero_fill(0x1000)
+    assert excinfo.value.invariant == "page-state"
+    assert check.violations  # recorded as well as raised
+
+
+def test_read_of_resident_page_is_illegal():
+    check = make_checker()
+    check.pages.on_zero_fill(0x1000)
+    with pytest.raises(InvariantViolation):
+        check.pages.on_read_issued(0x1000)
+
+
+def test_install_without_read_in_flight_is_illegal():
+    check = make_checker()
+    with pytest.raises(InvariantViolation) as excinfo:
+        check.pages.on_read_installed(0x3000)
+    assert "no read in flight" in str(excinfo.value)
+
+
+def test_eviction_of_remote_page_is_illegal():
+    check = make_checker()
+    check.pages.on_zero_fill(0x1000)
+    check.pages.on_evicted(0x1000, durable=True)
+    with pytest.raises(InvariantViolation):
+        check.pages.on_evicted(0x1000, durable=True)
+
+
+def test_leaked_read_caught_at_steady_state():
+    check = make_checker()
+    check.pages.on_zero_fill(0x1000)
+    check.pages.on_evicted(0x1000, durable=True)
+    check.pages.on_read_issued(0x1000)
+    with pytest.raises(InvariantViolation) as excinfo:
+        check.pages.check_steady()
+    assert excinfo.value.invariant == "read-liveness"
+
+
+def test_forget_drops_tracking():
+    check = make_checker()
+    check.pages.on_zero_fill(0x1000)
+    check.pages.on_forget(0x1000)
+    assert check.pages.state_of(0x1000) is None
+    # A forgotten key can re-enter lazily (e.g. re-registered VM).
+    check.pages.on_zero_fill(0x1000)
+
+
+def test_lazy_adoption_starts_remote():
+    """An adopted VM's first observed event is a read of a page this
+    checker never saw — it must be accepted as a remote page."""
+    check = make_checker()
+    check.pages.on_read_issued(0x9000)
+    check.pages.on_read_installed(0x9000)
+    assert check.pages.state_of(0x9000) == PageState.RESIDENT
+
+
+# ---------------------------------------------------------------- ledger
+
+def _queue(pending=(), in_flight=()):
+    return SimpleNamespace(
+        _pending={key: None for key in pending},
+        _in_flight={key: None for key in in_flight},
+    )
+
+
+def test_ledger_balances_over_lifecycle():
+    check = make_checker()
+    wb = check.writeback
+    wb.on_enqueued(1)
+    wb.on_enqueued(2)
+    wb.on_durable(1)
+    wb.on_stolen(2)
+    wb.check_steady(_queue())
+    assert check.violations == []
+
+
+def test_ledger_flags_vanished_page():
+    check = make_checker()
+    wb = check.writeback
+    wb.on_enqueued(1)
+    wb.on_enqueued(2)
+    wb.on_durable(1)
+    # Key 2 neither flushed, nor stolen, nor forgotten, and the queue
+    # no longer holds it: a lost write.
+    with pytest.raises(InvariantViolation) as excinfo:
+        wb.check_steady(_queue())
+    assert excinfo.value.invariant == "writeback-ledger"
+
+
+def test_ledger_accepts_requeued_pages_still_in_queue():
+    check = make_checker()
+    wb = check.writeback
+    wb.on_enqueued(1)
+    wb.on_requeued([1])
+    wb.check_steady(_queue(pending=[1]))
+    assert check.violations == []
+
+
+# ---------------------------------------------------------- checker shell
+
+def test_null_checker_is_shared_and_disabled():
+    assert NULL_CHECKER.enabled is False
+    # Hooks behind `.enabled` guards are never called on NULL_CHECKER;
+    # the steady sweep must also be a no-op.
+    NULL_CHECKER.check_steady_state()
+    assert NULL_CHECKER.violations == []
+
+
+def test_violation_carries_structure():
+    check = make_checker()
+    with pytest.raises(InvariantViolation) as excinfo:
+        check.violation("demo", "something broke", key="0x1")
+    error = excinfo.value
+    assert error.invariant == "demo"
+    assert error.details == {"key": "0x1"}
+    assert isinstance(error.trace_tail, tuple)
+    assert "demo" in error.context_text()

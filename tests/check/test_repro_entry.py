@@ -1,0 +1,41 @@
+"""Replay one exact campaign run from ``REPRO_CHECK_*`` variables.
+
+The campaign driver prints failures as one-liners of the form::
+
+    REPRO_CHECK_SCENARIO=kv REPRO_CHECK_SEED=2 REPRO_CHECK_SCHEDULE=random \\
+        REPRO_CHECK_OPS=24 REPRO_CHECK_FAULTS=flaky-fabric \\
+        PYTHONPATH=src python -m pytest tests/check/test_repro_entry.py -x -q
+
+Running that command replays the identical (deterministic) run inside
+pytest, so the failure lands with a full traceback, the invariant name,
+and the trace tail — and stays reproducible in a debugger.
+
+Without the variables set, the test is skipped (a plain suite run is
+unaffected).
+"""
+
+import os
+
+import pytest
+
+from repro.check.scenarios import run_scenario
+
+SCENARIO = os.environ.get("REPRO_CHECK_SCENARIO")
+
+
+@pytest.mark.skipif(
+    not SCENARIO,
+    reason="set REPRO_CHECK_SCENARIO (and friends) to replay a "
+           "campaign run",
+)
+def test_replay_campaign_run():
+    ops = os.environ.get("REPRO_CHECK_OPS")
+    summary = run_scenario(
+        SCENARIO,
+        seed=int(os.environ.get("REPRO_CHECK_SEED", "0")),
+        schedule=os.environ.get("REPRO_CHECK_SCHEDULE", "fifo"),
+        ops=int(ops) if ops else None,
+        faults=os.environ.get("REPRO_CHECK_FAULTS") or None,
+        bug=os.environ.get("REPRO_CHECK_BUG") or None,
+    )
+    assert summary["violations"] == 0

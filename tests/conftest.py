@@ -1,4 +1,12 @@
-"""Shared test helpers: a full FluidMem stack wired together."""
+"""Root conftest: the shared FluidMem stack builder and fixtures.
+
+Every suite that needs a wired-up stack (env + uffd + ops + monitor +
+fabric) gets it from here — either by importing :func:`build_stack`
+directly (for module-level helpers that customize the config) or via
+the ``stack`` / ``stack_factory`` fixtures.
+"""
+
+import pytest
 
 from repro.core import FluidMemConfig, FluidMemoryPort, Monitor
 from repro.kernel import UffdLatency, UffdOps, Userfaultfd
@@ -58,7 +66,8 @@ class Stack:
         return vm, qemu, port, registration
 
 
-def build_stack(config=None, host_dram_mib=256, seed=7, obs=None):
+def build_stack(config=None, host_dram_mib=256, seed=7, obs=None,
+                check=None):
     env = Environment()
     streams = RandomStreams(seed=seed)
     fabric = Fabric(env, streams)
@@ -75,6 +84,20 @@ def build_stack(config=None, host_dram_mib=256, seed=7, obs=None):
         config=config or FluidMemConfig(lru_capacity_pages=64),
         rng=streams.stream("monitor"),
         obs=obs,
+        check=check,
     )
     monitor.start()
     return Stack(env, uffd, ops, monitor, fabric)
+
+
+@pytest.fixture
+def stack():
+    """A default stack (64-page LRU, DRAM-class store on demand)."""
+    return build_stack()
+
+
+@pytest.fixture
+def stack_factory():
+    """The :func:`build_stack` callable, for tests that need a custom
+    config, seed, observability, or checker."""
+    return build_stack

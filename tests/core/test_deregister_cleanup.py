@@ -4,7 +4,7 @@ from repro.coord import ZooKeeperEnsemble
 from repro.kv import PartitionOwner, VirtualPartitionRegistry
 from repro.mem import PAGE_SIZE
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def test_deregister_releases_remote_memory():

@@ -21,7 +21,7 @@ from repro.mem import PAGE_SIZE
 from repro.net import IPOIB, Fabric
 from repro.sim import RandomStreams
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def touch(stack, port, vm, indexes, is_write=True):

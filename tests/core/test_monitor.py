@@ -7,7 +7,7 @@ from repro.errors import VcpuDeadlockError
 from repro.mem import PAGE_SIZE
 from repro.vm import VirtMode
 
-from .conftest import build_stack
+from tests.conftest import build_stack
 
 
 def addr(vm, i):

@@ -12,7 +12,7 @@ from repro.core import (
 from repro.errors import FluidMemError
 from repro.mem import PAGE_SIZE
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def touch(stack, port, vm, indexes):

@@ -8,7 +8,7 @@ from repro.kernel import UffdLatency, UffdOps, Userfaultfd
 from repro.mem import MIB, PAGE_SIZE, FrameAllocator
 from repro.sim import RandomStreams
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 # ---------------------------------------------------------------- prefetch

@@ -7,7 +7,7 @@ from repro.core.config import MonitorLatency
 from repro.errors import FluidMemError
 from repro.kv import DramStore
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 # ------------------------------------------------------------------ Profiler

@@ -8,7 +8,7 @@ from repro.vm import (
     SshService,
 )
 
-from .conftest import build_stack
+from tests.conftest import build_stack
 
 
 def make_booted_vm(lru_pages, boot_pages=600):

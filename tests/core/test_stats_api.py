@@ -2,7 +2,7 @@
 
 from repro.mem import PAGE_SIZE
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def test_stats_empty_monitor():

@@ -26,7 +26,7 @@ from repro.kv import DramStore, ReplicatedStore
 from repro.mem import PAGE_SIZE
 from repro.sim import Environment
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def run(env, gen):

@@ -26,7 +26,7 @@ from repro.faults import (
 from repro.kv import DramStore, ReplicatedStore
 from repro.mem import PAGE_SIZE
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 SEED_BASE = int(os.environ.get("FAULT_SEED", "0"))
 PAGES = 18

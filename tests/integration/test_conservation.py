@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import FluidMemConfig
 from repro.mem import PAGE_SIZE
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def audit(stack, vm, qemu, registration, pages):

@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import FluidMemConfig
 from repro.mem import PAGE_SIZE
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def fill_pattern(index: int) -> bytes:

@@ -18,7 +18,7 @@ from repro.kv import DramStore, ReplicatedStore
 from repro.mem import PAGE_SIZE
 from repro.workloads import ZipfianGenerator
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def test_fig3_is_deterministic():

@@ -11,7 +11,7 @@ from repro.mem import PAGE_SIZE
 from repro.obs import Observability
 from repro.sim import Environment
 
-from tests.helpers import build_stack
+from tests.conftest import build_stack
 
 
 def _touch_pages(stack, port, base, count, stride=PAGE_SIZE):
