@@ -125,6 +125,17 @@ def _parser() -> argparse.ArgumentParser:
              "chrome://tracing or Perfetto; timestamps are simulated "
              "microseconds)",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        type=int,
+        default=None,
+        metavar="N",
+        help="wrap the selected experiments in cProfile and print the "
+             "top-N functions by cumulative wall-clock time "
+             "(default N: 25)",
+    )
     return parser
 
 
@@ -296,11 +307,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
     if args.faults is not None:
         _validate_faults(parser, args.faults)
+    if args.profile is not None and args.profile < 1:
+        parser.error("--profile needs a positive function count")
     targets = _expand_targets(args.experiment)
     observing = args.metrics is not None or args.trace is not None
     snapshots = {}
     tracers: List[Tuple[str, EventTracer]] = []
     set_default_fault_plan(args.faults)
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         for index, name in enumerate(targets):
             if index:
@@ -320,7 +339,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 snapshots[name] = obs.registry.snapshot()
                 tracers.append((name, obs.tracer))
     finally:
+        if profiler is not None:
+            profiler.disable()
         set_default_fault_plan(None)
+
+    if profiler is not None:
+        import pstats
+
+        print("\n" + "=" * 70)
+        print(f"cProfile: top {args.profile} functions by cumulative "
+              "wall-clock time")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(
+            args.profile
+        )
 
     if args.metrics is not None:
         _write_json(args.metrics, {

@@ -72,10 +72,14 @@ class BlockDevice(abc.ABC):
         """Read ``nbytes`` at ``sector``; a simulation sub-process."""
         self._check(sector, nbytes)
         start = self.env.now
-        slot = self._queue.request()
-        yield slot
+        slot = self._queue.try_acquire()
+        if slot is None:
+            slot = self._queue.request()
+            yield slot
         try:
-            yield self.env.timeout(self.read_service_us(nbytes))
+            service_us = self.read_service_us(nbytes)
+            if not self.env.try_advance(service_us):
+                yield self.env.timeout(service_us)
         finally:
             self._queue.release(slot)
         self.counters.incr("reads")
@@ -85,10 +89,14 @@ class BlockDevice(abc.ABC):
         """Write ``nbytes`` at ``sector``; a simulation sub-process."""
         self._check(sector, nbytes)
         start = self.env.now
-        slot = self._queue.request()
-        yield slot
+        slot = self._queue.try_acquire()
+        if slot is None:
+            slot = self._queue.request()
+            yield slot
         try:
-            yield self.env.timeout(self.write_service_us(nbytes))
+            service_us = self.write_service_us(nbytes)
+            if not self.env.try_advance(service_us):
+                yield self.env.timeout(service_us)
         finally:
             self._queue.release(slot)
         self.counters.incr("writes")

@@ -52,7 +52,17 @@ class LruBuffer:
         self._obs = obs if obs is not None else NULL_OBS
         self._check = check if check is not None else NULL_CHECKER
         self._name = name
-        if self._obs.enabled:
+        # ``enabled`` is fixed at construction for both sinks; cache it
+        # so insert/remove pay one bool load, not two attribute loads.
+        self._obs_on = self._obs.enabled
+        self._check_on = self._check.enabled
+        # Instruments are get-or-create in the registry; cache them on
+        # first use (lazily, so a buffer that never inserts leaves the
+        # same registry contents as before).
+        self._c_inserts = None
+        self._c_removals = None
+        self._g_resident = None
+        if self._obs_on:
             self._obs.registry.gauge(
                 "lru_capacity_pages", vm=name
             ).set(capacity_pages)
@@ -70,7 +80,7 @@ class LruBuffer:
                 f"capacity must be >= 1 page, got {capacity_pages}"
             )
         self._capacity = capacity_pages
-        if self._obs.enabled:
+        if self._obs_on:
             self._obs.registry.gauge(
                 "lru_capacity_pages", vm=self._name
             ).set(capacity_pages)
@@ -97,15 +107,16 @@ class LruBuffer:
         self._entries[vaddr] = registration
         key = id(registration)
         self._per_registration[key] = self._per_registration.get(key, 0) + 1
-        if self._check.enabled:
+        if self._check_on:
             self._verify_accounting()
-        if self._obs.enabled:
-            self._obs.registry.counter(
-                "lru_inserts", vm=self._name
-            ).inc()
-            self._obs.registry.gauge(
-                "lru_resident_pages", vm=self._name
-            ).set(len(self._entries))
+        if self._obs_on:
+            counter = self._c_inserts
+            if counter is None:
+                counter = self._c_inserts = self._obs.registry.counter(
+                    "lru_inserts", vm=self._name
+                )
+            counter.inc()
+            self._gauge_resident().set(len(self._entries))
 
     def note_access(self, vaddr: int) -> None:
         """Ablation hook: with reordering on, move the page to MRU.
@@ -137,13 +148,19 @@ class LruBuffer:
         for vaddr in doomed:
             del self._entries[vaddr]
         self._per_registration.pop(id(registration), None)
-        if self._check.enabled:
+        if self._check_on:
             self._verify_accounting()
-        if self._obs.enabled:
-            self._obs.registry.gauge(
-                "lru_resident_pages", vm=self._name
-            ).set(len(self._entries))
+        if self._obs_on:
+            self._gauge_resident().set(len(self._entries))
         return doomed
+
+    def _gauge_resident(self):
+        gauge = self._g_resident
+        if gauge is None:
+            gauge = self._g_resident = self._obs.registry.gauge(
+                "lru_resident_pages", vm=self._name
+            )
+        return gauge
 
     def count_for(self, registration: object) -> int:
         """Resident pages belonging to one VM."""
@@ -178,15 +195,16 @@ class LruBuffer:
             self._per_registration.pop(key, None)
         else:
             self._per_registration[key] = remaining
-        if self._check.enabled:
+        if self._check_on:
             self._verify_accounting()
-        if self._obs.enabled:
-            self._obs.registry.counter(
-                "lru_removals", vm=self._name
-            ).inc()
-            self._obs.registry.gauge(
-                "lru_resident_pages", vm=self._name
-            ).set(len(self._entries))
+        if self._obs_on:
+            counter = self._c_removals
+            if counter is None:
+                counter = self._c_removals = self._obs.registry.counter(
+                    "lru_removals", vm=self._name
+                )
+            counter.inc()
+            self._gauge_resident().set(len(self._entries))
 
     # -- eviction ------------------------------------------------------------
 

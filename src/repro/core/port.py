@@ -39,6 +39,12 @@ class FluidMemoryPort(MemoryPort):
         self.qemu = qemu
         self.monitor = monitor
         self.registration = registration
+        #: Batching diagnostics (note_hit_run): how many coalesced hit
+        #: runs retired and how many pages they covered.  Deliberately
+        #: not wired into the metrics registry — benchmark output must
+        #: be identical whether callers batch or not.
+        self.hit_runs = 0
+        self.hit_run_pages = 0
 
     # -- address handling -------------------------------------------------------
 
@@ -59,6 +65,24 @@ class FluidMemoryPort(MemoryPort):
             page.read()
         # No-op unless the LRU-reordering ablation is enabled.
         self.monitor.lru.note_access(host)
+
+    def try_access(
+        self,
+        vaddr: int,
+        is_write: bool = False,
+        kind: PageKind = PageKind.ANONYMOUS,
+    ) -> bool:
+        """Non-generator mirror of :meth:`access`'s LRU-hit branch."""
+        host = self._host_addr(vaddr)
+        if host in self.qemu.page_table:
+            self.monitor.counters.incr("lru_hits")
+            self.touch(vaddr, is_write)
+            return True
+        return False
+
+    def note_hit_run(self, count: int) -> None:
+        self.hit_runs += 1
+        self.hit_run_pages += count
 
     def access(
         self,
@@ -93,7 +117,9 @@ class FluidMemoryPort(MemoryPort):
             )
 
         # The VM exit + vCPU halt before the kernel sees the fault.
-        yield self.env.timeout(self.monitor.config.latency.vm_exit_overhead)
+        vm_exit_us = self.monitor.config.latency.vm_exit_overhead
+        if not self.env.try_advance(vm_exit_us):
+            yield self.env.timeout(vm_exit_us)
         fault = self.monitor.uffd.raise_fault(
             host, self.qemu.pid, is_write
         )

@@ -84,15 +84,20 @@ class Profiler:
         self._registry = registry
         self._labels = dict(labels)
         self._recorded: dict = {}
+        #: path -> bound Histogram.observe; record() is called once per
+        #: profiled charge, so skip the instrument lookup entirely.
+        self._observe: dict = {}
 
     def record(self, path: CodePath, latency_us: float) -> None:
-        histogram = self._recorded.get(path)
-        if histogram is None:
+        try:
+            observe = self._observe[path]
+        except KeyError:
             histogram = self._registry.histogram(
                 CODEPATH_METRIC, path=path.value, **self._labels
             )
             self._recorded[path] = histogram
-        histogram.observe(latency_us)
+            observe = self._observe[path] = histogram.observe
+        observe(latency_us)
 
     def recorder(self, path: CodePath) -> Histogram:
         """The histogram for ``path`` (mean/stdev/percentile API)."""
@@ -131,6 +136,7 @@ class Profiler:
         run-scoped record) but this profiler starts fresh mappings.
         """
         self._recorded.clear()
+        self._observe.clear()
         if self._private:
             self._registry = MetricsRegistry(
                 max_samples_per_histogram=self._max_samples

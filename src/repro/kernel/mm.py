@@ -125,10 +125,12 @@ class GuestMemoryManager:
     ) -> Generator:
         """Handle a fault on a non-resident page; returns the Page."""
         start = self.env.now
-        yield self.env.timeout(
+        entry_us = (
             self.latency.fault_entry_us
             + self.latency.virtualization_overhead_us
         )
+        if not self.env.try_advance(entry_us):
+            yield self.env.timeout(entry_us)
 
         if self.swap is not None and self.swap.has_entry(vaddr):
             page, frame, prefetched = yield from self.swap.swap_in(
@@ -140,7 +142,9 @@ class GuestMemoryManager:
             self.counters.incr("major_faults")
         else:
             # Anonymous (or first-touch) minor fault: zero-fill.
-            yield self.env.timeout(self.latency.minor_fault_us)
+            minor_us = self.latency.minor_fault_us
+            if not self.env.try_advance(minor_us):
+                yield self.env.timeout(minor_us)
             frame = yield from self._allocate_frame()
             page = Page(vaddr=vaddr, kind=kind, mlocked=mlocked)
             self.counters.incr("minor_faults")

@@ -202,11 +202,16 @@ class SwapSubsystem:
         if slot is None:
             raise SwapError(f"no swap entry for {vaddr:#x}")
 
-        yield self.env.timeout(self.latency.swap_cache_lookup_us)
+        env = self.env
+        lookup_us = self.latency.swap_cache_lookup_us
+        if not env.try_advance(lookup_us):
+            yield env.timeout(lookup_us)
         cached = self._swap_cache.pop(vaddr, None)
         if cached is not None:
             # The frame was never freed; just restore the mapping.
-            yield self.env.timeout(self.latency.swap_cache_hit_us)
+            hit_us = self.latency.swap_cache_hit_us
+            if not env.try_advance(hit_us):
+                yield env.timeout(hit_us)
             self._forget(vaddr, slot)
             self.counters.incr("swap_cache_hits")
             page, frame = cached
@@ -221,9 +226,13 @@ class SwapSubsystem:
                 break
             run_vaddrs.append(next_vaddr)
 
-        yield self.env.timeout(self.latency.block_submit_us)
+        submit_us = self.latency.block_submit_us
+        if not env.try_advance(submit_us):
+            yield env.timeout(submit_us)
         yield from self.device.read(slot, SECTOR_BYTES * len(run_vaddrs))
-        yield self.env.timeout(self.latency.completion_us)
+        completion_us = self.latency.completion_us
+        if not env.try_advance(completion_us):
+            yield env.timeout(completion_us)
 
         self._forget(vaddr, slot)
         page = Page(vaddr=vaddr)

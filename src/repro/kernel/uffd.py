@@ -20,6 +20,7 @@ from typing import Generator, List, Optional
 
 from ..errors import UffdError, UffdRegionError
 from ..mem import (
+    PAGE_SIZE,
     FrameAllocator,
     MemoryRegion,
     Page,
@@ -142,7 +143,8 @@ class Userfaultfd:
         ``event_deliver_us`` and happens asynchronously, like the real
         fd write + epoll wake-up.
         """
-        if not is_page_aligned(addr):
+        if (addr & (PAGE_SIZE - 1) or addr >> 64) and \
+                not is_page_aligned(addr):
             raise UffdError(f"fault address {addr:#x} not page aligned")
         region = self.find_region(addr, pid)
         if region is None:
@@ -151,11 +153,20 @@ class Userfaultfd:
             )
         fault = UffdFault(self.env, addr, pid, is_write, region)
         self.counters.incr("faults")
-        self.env.process(self._deliver(fault))
+        # Fast path: when the delivery delay settles as a pure clock
+        # bump, enqueue synchronously — no delivery process, no put
+        # event.  The caller parks on ``fault.resolved`` either way, so
+        # the monitor still only sees the fault via the queue.
+        if self.env.try_advance(self.latency.event_deliver_us):
+            self.events.put_nowait(fault)
+        else:
+            self.env.process(self._deliver(fault))
         return fault
 
     def _deliver(self, fault: UffdFault) -> Generator:
-        yield self.env.timeout(self.latency.event_deliver_us)
+        deliver_us = self.latency.event_deliver_us
+        if not self.env.try_advance(deliver_us):
+            yield self.env.timeout(deliver_us)
         yield self.events.put(fault)
 
 
@@ -175,36 +186,35 @@ class UffdOps:
         self.frames = frames
         self.counters = CounterSet()
 
-    def zeropage(
-        self, table: PageTable, addr: int, kind: PageKind = PageKind.ANONYMOUS
-    ) -> Generator:
-        """UFFDIO_ZEROPAGE: resolve a first touch with the zero page.
+    # The try_* variants are non-generator mirrors of the ioctls for the
+    # monitor's fault hot loop: they draw the same latency sample, and
+    # either settle it via Environment.try_advance (returning the result
+    # with no event machinery at all) or hand the pre-drawn cost back so
+    # the caller can fall into the generator version via ``_cost=`` —
+    # the RNG stream is part of the determinism contract and must never
+    # see a redraw.  The finish_* helpers apply just the state mutation:
+    # a caller that already paid the pre-drawn cost (``yield
+    # env.timeout(cost)`` after a failed try_*) calls them directly,
+    # skipping the generator machinery of the full ioctl.
 
-        Simplification: we charge a frame immediately rather than
-        modelling the shared copy-on-write zero page; FluidMem's LRU
-        accounting counts the page as resident either way.
-        """
-        yield self.env.timeout(self.latency.sample_zeropage(self._rng))
+    def finish_zeropage(
+        self, table: PageTable, addr: int, kind: PageKind = PageKind.ANONYMOUS
+    ) -> Page:
+        """Zeropage state mutation; the cost must already be paid."""
         frame = self.frames.allocate()
         page = Page(vaddr=addr, kind=kind)
         table.map(addr, frame, page)
         self.counters.incr("zeropage")
         return page
 
-    def copy(
+    def finish_copy(
         self,
         table: PageTable,
         addr: int,
         page: Page,
         skip_if_present: bool = False,
-    ) -> Generator:
-        """UFFDIO_COPY: place ``page``'s contents at ``addr`` and map it.
-
-        ``skip_if_present`` mirrors the real ioctl's -EEXIST handling:
-        when a concurrent resolver (e.g. a prefetch completion) mapped
-        the address first, return the winner's page instead of failing.
-        """
-        yield self.env.timeout(self.latency.sample_copy(self._rng))
+    ) -> Page:
+        """Copy state mutation; the cost must already be paid."""
         if skip_if_present:
             existing = table.lookup(addr)
             if existing is not None:
@@ -215,6 +225,94 @@ class UffdOps:
         self.counters.incr("copy")
         return page
 
+    def finish_remap_out(
+        self,
+        table: PageTable,
+        addr: int,
+        dst_table: PageTable,
+        dst_addr: int,
+    ) -> Page:
+        """Remap state mutation; the cost must already be paid."""
+        pte = table.remap_to(addr, dst_table, dst_addr)
+        self.counters.incr("remap")
+        return pte.page
+
+    def try_zeropage(
+        self, table: PageTable, addr: int, kind: PageKind = PageKind.ANONYMOUS
+    ):
+        """Fast UFFDIO_ZEROPAGE: ``(done, page_or_none, cost)``."""
+        cost = self.latency.sample_zeropage(self._rng)
+        if not self.env.try_advance(cost):
+            return False, None, cost
+        return True, self.finish_zeropage(table, addr, kind), cost
+
+    def zeropage(
+        self,
+        table: PageTable,
+        addr: int,
+        kind: PageKind = PageKind.ANONYMOUS,
+        _cost: Optional[float] = None,
+    ) -> Generator:
+        """UFFDIO_ZEROPAGE: resolve a first touch with the zero page.
+
+        Simplification: we charge a frame immediately rather than
+        modelling the shared copy-on-write zero page; FluidMem's LRU
+        accounting counts the page as resident either way.
+        """
+        cost = self.latency.sample_zeropage(self._rng) if _cost is None \
+            else _cost
+        if not self.env.try_advance(cost):
+            yield self.env.timeout(cost)
+        return self.finish_zeropage(table, addr, kind)
+
+    def try_copy(
+        self,
+        table: PageTable,
+        addr: int,
+        page: Page,
+        skip_if_present: bool = False,
+    ):
+        """Fast UFFDIO_COPY: ``(done, page_or_none, cost)``."""
+        cost = self.latency.sample_copy(self._rng)
+        if not self.env.try_advance(cost):
+            return False, None, cost
+        return True, self.finish_copy(table, addr, page, skip_if_present), cost
+
+    def copy(
+        self,
+        table: PageTable,
+        addr: int,
+        page: Page,
+        skip_if_present: bool = False,
+        _cost: Optional[float] = None,
+    ) -> Generator:
+        """UFFDIO_COPY: place ``page``'s contents at ``addr`` and map it.
+
+        ``skip_if_present`` mirrors the real ioctl's -EEXIST handling:
+        when a concurrent resolver (e.g. a prefetch completion) mapped
+        the address first, return the winner's page instead of failing.
+        """
+        cost = self.latency.sample_copy(self._rng) if _cost is None \
+            else _cost
+        if not self.env.try_advance(cost):
+            yield self.env.timeout(cost)
+        return self.finish_copy(table, addr, page, skip_if_present)
+
+    def try_remap_out(
+        self,
+        table: PageTable,
+        addr: int,
+        dst_table: PageTable,
+        dst_addr: int,
+        interleaved: bool = False,
+    ):
+        """Fast UFFDIO_REMAP: ``(done, page_or_none, cost)``."""
+        cost = self.latency.sample_remap(self._rng, interleaved)
+        if not self.env.try_advance(cost):
+            return False, None, cost
+        return True, self.finish_remap_out(table, addr, dst_table, dst_addr), \
+            cost
+
     def remap_out(
         self,
         table: PageTable,
@@ -222,6 +320,7 @@ class UffdOps:
         dst_table: PageTable,
         dst_addr: int,
         interleaved: bool = False,
+        _cost: Optional[float] = None,
     ) -> Generator:
         """UFFDIO_REMAP: move the page out of the VM by PTE rewrite.
 
@@ -230,16 +329,27 @@ class UffdOps:
         optimization where the call runs while the vCPU is already
         suspended, avoiding most of the TLB-shootdown IPI cost.
         """
-        yield self.env.timeout(
-            self.latency.sample_remap(self._rng, interleaved)
-        )
-        pte = table.remap_to(addr, dst_table, dst_addr)
-        self.counters.incr("remap")
-        return pte.page
+        cost = self.latency.sample_remap(self._rng, interleaved) \
+            if _cost is None else _cost
+        if not self.env.try_advance(cost):
+            yield self.env.timeout(cost)
+        return self.finish_remap_out(table, addr, dst_table, dst_addr)
+
+    def try_wake(self, fault: UffdFault) -> bool:
+        """Fast UFFDIO_WAKE; False when the event machinery is needed."""
+        if not self.env.try_advance(self.latency.wake_us):
+            return False
+        if fault.resolved.triggered:
+            raise UffdError(f"{fault!r} already woken")
+        fault.resolved.succeed()
+        self.counters.incr("wake")
+        return True
 
     def wake(self, fault: UffdFault) -> Generator:
         """UFFDIO_WAKE: resume the faulting vCPU thread."""
-        yield self.env.timeout(self.latency.wake_us)
+        wake_us = self.latency.wake_us
+        if not self.env.try_advance(wake_us):
+            yield self.env.timeout(wake_us)
         if fault.resolved.triggered:
             raise UffdError(f"{fault!r} already woken")
         fault.resolved.succeed()

@@ -39,7 +39,8 @@ class DramStore(KeyValueBackend):
         self._used = 0
 
     def get(self, key: int) -> Generator:
-        yield self.env.timeout(self.COPY_US)
+        if not self.env.try_advance(self.COPY_US):
+            yield self.env.timeout(self.COPY_US)
         entry = self._table.get(key)
         if entry is None:
             self.counters.incr("misses")
@@ -48,11 +49,13 @@ class DramStore(KeyValueBackend):
         return entry.value
 
     def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
-        yield self.env.timeout(self.COPY_US)
+        if not self.env.try_advance(self.COPY_US):
+            yield self.env.timeout(self.COPY_US)
         self._insert(key, value, nbytes)
 
     def remove(self, key: int) -> Generator:
-        yield self.env.timeout(self.TOUCH_US)
+        if not self.env.try_advance(self.TOUCH_US):
+            yield self.env.timeout(self.TOUCH_US)
         entry = self._table.pop(key, None)
         if entry is None:
             raise KeyNotFoundError(key)
@@ -62,7 +65,9 @@ class DramStore(KeyValueBackend):
     def multi_write(self, items) -> Generator:
         # Batched local writes amortize nothing interesting; charge
         # one copy per page.
-        yield self.env.timeout(self.COPY_US * max(1, len(items)))
+        cost = self.COPY_US * max(1, len(items))
+        if not self.env.try_advance(cost):
+            yield self.env.timeout(cost)
         for key, value, nbytes in items:
             self._insert(key, value, nbytes)
 

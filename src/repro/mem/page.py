@@ -23,6 +23,10 @@ __all__ = ["PageKind", "Page", "ZERO_PAGE_DATA"]
 #: Contents of the kernel's shared zero page.
 ZERO_PAGE_DATA = bytes(PAGE_SIZE)
 
+#: Inline alignment guard for the hot ``Page.__init__`` path: only call
+#: the full (range-checking, exception-raising) helper when this trips.
+_OFFSET_MASK = PAGE_SIZE - 1
+
 
 class PageKind(enum.Enum):
     """What a page backs, which decides who may evict it.
@@ -75,7 +79,8 @@ class Page:
         data: Optional[bytes] = None,
         mlocked: bool = False,
     ) -> None:
-        if not is_page_aligned(vaddr):
+        if (vaddr & _OFFSET_MASK or vaddr >> 64) and \
+                not is_page_aligned(vaddr):
             raise ValueError(f"page address {vaddr:#x} is not page aligned")
         if data is not None and len(data) != PAGE_SIZE:
             raise ValueError(

@@ -15,10 +15,16 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..errors import PageTableError
-from .addr import is_page_aligned
+from .addr import PAGE_SIZE, is_page_aligned
 from .page import Page
 
 __all__ = ["PageTableEntry", "PageTable"]
+
+#: Low bits that must be clear on any page-aligned address.  The hot
+#: methods test ``vaddr & _OFFSET_MASK or vaddr >> 64`` inline (aligned,
+#: non-negative, within 64 bits) and only call the full checker — which
+#: raises the precise error — when that guard trips.
+_OFFSET_MASK = PAGE_SIZE - 1
 
 
 class PageTableEntry:
@@ -54,7 +60,8 @@ class PageTable:
 
     def map(self, vaddr: int, frame: int, page: Page) -> None:
         """Install a mapping; the address must not already be present."""
-        self._check_aligned(vaddr)
+        if vaddr & _OFFSET_MASK or vaddr >> 64:
+            self._check_aligned(vaddr)
         if vaddr in self._entries:
             raise PageTableError(
                 f"{self.name}: {vaddr:#x} is already mapped"
@@ -63,7 +70,8 @@ class PageTable:
 
     def unmap(self, vaddr: int) -> PageTableEntry:
         """Remove and return the mapping for ``vaddr``."""
-        self._check_aligned(vaddr)
+        if vaddr & _OFFSET_MASK or vaddr >> 64:
+            self._check_aligned(vaddr)
         try:
             return self._entries.pop(vaddr)
         except KeyError:
@@ -73,7 +81,8 @@ class PageTable:
 
     def lookup(self, vaddr: int) -> Optional[PageTableEntry]:
         """The PTE for ``vaddr``, or ``None`` if not present (a fault)."""
-        self._check_aligned(vaddr)
+        if vaddr & _OFFSET_MASK or vaddr >> 64:
+            self._check_aligned(vaddr)
         return self._entries.get(vaddr)
 
     def entry(self, vaddr: int) -> PageTableEntry:

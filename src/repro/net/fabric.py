@@ -120,20 +120,26 @@ class Fabric:
         self.host(dst)
         transport = self.transport_between(src, dst)
 
-        request = source.nic.request()
-        yield request
+        request = source.nic.try_acquire()
+        if request is None:
+            request = source.nic.request()
+            yield request
         try:
-            yield env.timeout(transport.serialization_us(request_bytes))
+            serialization_us = transport.serialization_us(request_bytes)
+            if not env.try_advance(serialization_us):
+                yield env.timeout(serialization_us)
         finally:
             source.nic.release(request)
 
-        remaining = (
+        remaining = max(
+            0.0,
             transport.one_way_us(request_bytes, self._rng)
             - transport.serialization_us(request_bytes)
             + server_us
-            + transport.one_way_us(response_bytes, self._rng)
+            + transport.one_way_us(response_bytes, self._rng),
         )
-        yield env.timeout(max(0.0, remaining))
+        if not env.try_advance(remaining):
+            yield env.timeout(remaining)
         return payload
 
     def __repr__(self) -> str:

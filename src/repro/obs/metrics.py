@@ -16,8 +16,8 @@ one method call on a singleton and allocate nothing.
 
 from __future__ import annotations
 
-import bisect
 import json
+from bisect import bisect_left as _bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import FluidMemError
@@ -100,7 +100,7 @@ class Histogram:
     capped — the bench's quick runs stay far below the cap.
     """
 
-    __slots__ = ("key", "edges", "_bucket_counts", "_recorder")
+    __slots__ = ("key", "edges", "_bucket_counts", "_recorder", "_record")
 
     def __init__(
         self,
@@ -119,10 +119,13 @@ class Histogram:
         self.edges = ordered
         self._bucket_counts = [0] * (len(ordered) + 1)
         self._recorder = LatencyRecorder(key, max_samples=max_samples)
+        # Bound-method cache: observe() is the monitor's per-charge hot
+        # path (one call per profiled code-path sample).
+        self._record = self._recorder.record
 
     def observe(self, value: float) -> None:
-        self._bucket_counts[bisect.bisect_left(self.edges, value)] += 1
-        self._recorder.record(value)
+        self._bucket_counts[_bisect_left(self.edges, value)] += 1
+        self._record(value)
 
     # -- accessors ---------------------------------------------------------
 

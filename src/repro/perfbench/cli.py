@@ -1,0 +1,200 @@
+"""Command-line entry point for the wall-clock perfbench suite.
+
+Usage::
+
+    python -m repro.perfbench                  # full suite, table out
+    python -m repro.perfbench --quick          # CI-sized runs
+    python -m repro.perfbench --json out.json  # also write the document
+    python -m repro.perfbench --compare BENCH_WALLCLOCK.json
+    python -m repro.perfbench --no-fastpath    # fast paths forced off
+
+``--compare`` checks the fresh numbers against the most recent
+matching-mode entry of a BENCH_WALLCLOCK.json trajectory (or a bare
+result document) and exits non-zero when any metric regressed by more
+than ``--max-regression`` (default 2x — generous on purpose: these are
+wall-clock numbers on shared runners).  ``--no-fastpath`` measures the
+engine with every fast path disabled, the same configuration a
+schedule-exploration policy forces; the spread between the two runs is
+the batching layer's contribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim import set_fastpath
+from .benchmarks import PERFBENCH_SCHEMA, run_suite
+
+__all__ = ["main", "compare", "load_reference", "METRIC_DIRECTIONS"]
+
+#: metric name -> "higher" (rates) or "lower" (seconds) is better.
+METRIC_DIRECTIONS = (
+    ("engine_events_per_sec", "higher"),
+    ("monitor_ops_per_sec", "higher"),
+    ("fig3_quick_seconds", "lower"),
+)
+
+
+def load_reference(path: str, mode: str) -> Optional[dict]:
+    """The baseline entry to compare against.
+
+    Accepts either a BENCH_WALLCLOCK.json trajectory (``entries`` list:
+    picks the newest entry whose ``mode`` matches, else the newest of
+    any mode) or a bare perfbench result document.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    if schema != PERFBENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} != {PERFBENCH_SCHEMA!r}"
+        )
+    entries = document.get("entries")
+    if entries is None:
+        return document
+    matching = [e for e in entries if e.get("mode") == mode] or entries
+    return matching[-1] if matching else None
+
+
+def compare(
+    current: dict, reference: dict, max_regression: float
+) -> List[Tuple[str, float, float, float, bool]]:
+    """Per-metric ``(name, current, reference, factor, ok)`` rows.
+
+    ``factor`` > 1 means the current run is worse by that factor (in
+    the metric's own direction); ``ok`` is ``factor <= max_regression``.
+    """
+    rows = []
+    for metric, direction in METRIC_DIRECTIONS:
+        ref = reference.get(metric)
+        cur = current.get(metric)
+        if not ref or not cur or ref <= 0 or cur <= 0:
+            continue
+        factor = ref / cur if direction == "higher" else cur / ref
+        rows.append((metric, cur, ref, factor, factor <= max_regression))
+    return rows
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric.endswith("_seconds"):
+        return f"{value:.4f} s"
+    return f"{value:,.0f}/s"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.perfbench",
+        description="Seeded wall-clock microbenchmarks for the "
+                    "simulation hot path",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized runs (seconds, not tens of seconds)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the best-of-N repetition count per benchmark",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the result document as JSON",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        default=None,
+        help="compare against a BENCH_WALLCLOCK.json trajectory (or a "
+             "bare result file); exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="fail --compare when any metric is worse by more than "
+             "this factor (default: 2.0)",
+    )
+    parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable every engine fast path for this run (the "
+             "configuration a schedule explorer forces)",
+    )
+    return parser
+
+
+def _write_json(path: str, document: object) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    previous = None
+    if args.no_fastpath:
+        previous = set_fastpath(False)
+    try:
+        result = run_suite(
+            quick=args.quick, seed=args.seed, reps=args.reps
+        )
+    finally:
+        if previous is not None:
+            set_fastpath(previous)
+    if args.no_fastpath:
+        result["fastpath"] = False
+
+    width = max(len(name) for name, _ in METRIC_DIRECTIONS)
+    print(f"perfbench ({result['mode']}, seed {result['seed']}"
+          + (", fastpath off" if args.no_fastpath else "") + ")")
+    for metric, _direction in METRIC_DIRECTIONS:
+        print(f"  {metric:<{width}}  "
+              f"{_format_value(metric, result[metric])}")
+
+    if args.json is not None:
+        _write_json(args.json, result)
+        print(f"results written to {args.json}", file=sys.stderr)
+
+    if args.compare is not None:
+        reference = load_reference(args.compare, result["mode"])
+        if reference is None:
+            print(f"{args.compare}: no baseline entries", file=sys.stderr)
+            return 2
+        failed = False
+        print(f"\nvs {args.compare} "
+              f"(mode {reference.get('mode', '?')}, "
+              f"max regression {args.max_regression:g}x):")
+        for metric, cur, ref, factor, ok in compare(
+            result, reference, args.max_regression
+        ):
+            verdict = "ok" if ok else "REGRESSION"
+            print(f"  {metric:<{width}}  "
+                  f"{_format_value(metric, cur)} vs "
+                  f"{_format_value(metric, ref)}  "
+                  f"({factor:.2f}x {'worse' if factor > 1 else 'of'} "
+                  f"baseline)  {verdict}")
+            failed = failed or not ok
+        if failed:
+            print("perfbench: wall-clock regression beyond threshold",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,16 @@ Resources, deterministic RNG streams, and measurement helpers live in
 sibling modules and are re-exported here.
 """
 
-from .core import AllOf, AnyOf, Environment, Event, Process, Timeout
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+    fastpath_enabled,
+    set_fastpath,
+)
 from .randomness import RandomStreams, derive_seed
 from .resources import Container, Resource, Store
 from .stats import (
@@ -24,6 +33,8 @@ __all__ = [
     "Timeout",
     "AnyOf",
     "AllOf",
+    "set_fastpath",
+    "fastpath_enabled",
     "Resource",
     "Store",
     "Container",

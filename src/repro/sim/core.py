@@ -10,6 +10,31 @@ Time is a ``float`` in **microseconds** throughout the FluidMem
 reproduction — the paper reports every latency in µs, so the calibration
 constants can be used verbatim.
 
+Hot-path design (DESIGN.md §12)
+-------------------------------
+Workloads push millions of events through this engine, so the common
+case — a :class:`Timeout` yielded by exactly one :class:`Process` —
+is aggressively optimized:
+
+* every event class uses ``__slots__`` (no per-event ``__dict__``);
+* fire-once timeouts are recycled through a per-environment free list,
+  so the dominant ``yield env.timeout(x)`` pattern allocates nothing
+  at steady state;
+* scheduling inlines the no-:attr:`Environment.scheduler` case (no
+  perturb/tiebreak dispatch, module-level ``heappush``);
+* :meth:`Environment.run` drives a local-variable event loop instead of
+  calling :meth:`Environment.step` per event;
+* :meth:`Environment.try_advance` lets callers replace a solo timeout
+  with a direct clock bump when (and only when) the two are provably
+  equivalent.
+
+All of it is behavior-preserving: with a fixed seed the simulated-time
+trajectory is byte-identical to the straightforward implementation, and
+``set_fastpath(False)`` (or ``REPRO_SIM_FASTPATH=0``) forces the
+straightforward paths for A/B measurement.  When a schedule-exploration
+policy is installed on :attr:`Environment.scheduler`, the fast paths
+disable themselves so the policy sees every scheduling decision.
+
 Example
 -------
 >>> env = Environment()
@@ -25,6 +50,8 @@ Example
 from __future__ import annotations
 
 import heapq
+import os
+from itertools import count as _count
 from typing import (
     Any,
     Callable,
@@ -45,6 +72,8 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "PENDING",
+    "set_fastpath",
+    "fastpath_enabled",
 ]
 
 #: Sentinel for an event value that has not been set yet.
@@ -55,6 +84,34 @@ PRIORITY_NORMAL = 1
 #: Urgent priority, used for process initialization and interrupts.
 PRIORITY_URGENT = 0
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Maximum recycled Timeout objects kept per environment.
+_TIMEOUT_POOL_MAX = 1024
+
+#: Module-wide fast-path switch (timeout pooling + try_advance).  Off
+#: ≈ the pre-overhaul engine, for A/B wall-clock measurement and the
+#: batching determinism pins.  Seeded runs produce byte-identical
+#: simulated results either way — that equivalence is the fast-path
+#: contract (DESIGN.md §12).
+FASTPATH_ON = os.environ.get("REPRO_SIM_FASTPATH", "1").lower() not in (
+    "0", "false", "off", "no",
+)
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Toggle the engine fast paths; returns the previous setting."""
+    global FASTPATH_ON
+    previous = FASTPATH_ON
+    FASTPATH_ON = bool(enabled)
+    return previous
+
+
+def fastpath_enabled() -> bool:
+    """Current state of the module-wide fast-path switch."""
+    return FASTPATH_ON
+
 
 class Event:
     """An outcome that may happen at some point in simulated time.
@@ -64,6 +121,8 @@ class Event:
     *processed* (callbacks have run).  Processes wait on events by
     yielding them.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -103,11 +162,19 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Schedule the event to fire successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        if env.scheduler is None:
+            # Inlined no-scheduler _schedule — succeed() is hot.
+            _heappush(
+                env._heap,
+                (env._now, PRIORITY_NORMAL, next(env._seq), self),
+            )
+        else:
+            env._schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -119,7 +186,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -128,6 +195,11 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger with the same outcome as ``event`` (callback helper)."""
+        if event._value is PENDING:
+            raise SimulationError(
+                f"cannot trigger {self!r} from an untriggered event "
+                f"{event!r}"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -146,13 +218,21 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` µs after it is created."""
 
+    __slots__ = ("delay", "poolable")
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ — this constructor is hot.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        #: Marked by Process._resume when the sole waiter is a parked
+        #: process — the only shape safe to recycle (DESIGN.md §12).
+        self.poolable = False
         env._schedule(self, delay=delay)
 
     def __repr__(self) -> str:
@@ -162,9 +242,11 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event that starts a process on the next urgent step."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._ok = True
         self._value = None
         env._schedule(self, priority=PRIORITY_URGENT)
@@ -172,6 +254,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal event that throws :class:`InterruptError` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -181,8 +265,11 @@ class Interruption(Event):
             raise SimulationError("a process cannot interrupt itself")
         self.process = process
         self.callbacks.append(self._interrupt)
-        self._ok = True
+        # A failed event whose exception is pre-defused: _resume throws
+        # it into the generator, which is the delivery we want.
+        self._ok = False
         self._value = InterruptError(cause)
+        self._defused = True
         self.env._schedule(self, priority=PRIORITY_URGENT)
 
     def _interrupt(self, event: "Event") -> None:
@@ -192,11 +279,10 @@ class Interruption(Event):
         target = self.process._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self.process._resume)
+                target.callbacks.remove(self.process._resume_cb)
             except ValueError:
                 pass
-        self.process._target = None
-        self.process._do_resume(throw=self._value)
+        self.process._resume(self)
 
 
 class Process(Event):
@@ -207,11 +293,16 @@ class Process(Event):
     exception into it on failure).
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        #: Cached bound method: parking on an event happens once per
+        #: yield, and rebuilding the bound method each time is garbage.
+        self._resume_cb = self._resume
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -230,26 +321,31 @@ class Process(Event):
     # -- generator driving -------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        """Resume the generator with ``event``'s outcome and keep driving
+        it until it parks on a pending event or finishes.
+
+        This is the single hottest function in the engine — it is the
+        callback for every parked process, runs once per fired event,
+        and deliberately has no helper-call indirection.
+        """
         self._target = None
         if event._ok:
-            self._do_resume(send=event._value)
+            send: Any = event._value
+            throw: Optional[BaseException] = None
         else:
             event._defused = True
-            self._do_resume(throw=event._value)
-
-    def _do_resume(
-        self, send: Any = None, throw: Optional[BaseException] = None
-    ) -> None:
+            send, throw = None, event._value
         env = self.env
+        generator = self._generator
         prev_active = env.active_process
         env.active_process = self
         try:
             while True:
                 try:
-                    if throw is not None:
-                        target = self._generator.throw(throw)
+                    if throw is None:
+                        target = generator.send(send)
                     else:
-                        target = self._generator.send(send)
+                        target = generator.throw(throw)
                 except StopIteration as stop:
                     self.succeed(getattr(stop, "value", None))
                     return
@@ -259,30 +355,40 @@ class Process(Event):
                     self.fail(exc)
                     return
 
-                send, throw = None, None
-                if not isinstance(target, Event):
-                    throw = SimulationError(
-                        f"process {self.name!r} yielded a non-event: {target!r}"
-                    )
+                if type(target) is Timeout or isinstance(target, Event):
+                    callbacks = target.callbacks
+                    if callbacks is not None:
+                        # Hot path: a pending event — park until it
+                        # fires.  A Timeout we are the only waiter of is
+                        # safe to recycle once it fires.
+                        if target.env is env:
+                            if not callbacks and type(target) is Timeout:
+                                target.poolable = True
+                            callbacks.append(self._resume_cb)
+                            self._target = target
+                            return
+                        send, throw = None, SimulationError(
+                            f"process {self.name!r} yielded an event "
+                            "from another environment"
+                        )
+                        continue
+                    if target.env is not env:
+                        send, throw = None, SimulationError(
+                            f"process {self.name!r} yielded an event "
+                            "from another environment"
+                        )
+                        continue
+                    # Already processed: continue with its outcome.
+                    if target._ok:
+                        send, throw = target._value, None
+                    else:
+                        target._defused = True
+                        send, throw = None, target._value
                     continue
-                if target.env is not env:
-                    throw = SimulationError(
-                        f"process {self.name!r} yielded an event from "
-                        "another environment"
-                    )
-                    continue
-
-                if target.callbacks is not None:
-                    # Not yet processed: park until it fires.
-                    target.callbacks.append(self._resume)
-                    self._target = target
-                    return
-                # Already processed: continue immediately with its outcome.
-                if target._ok:
-                    send = target._value
-                else:
-                    target._defused = True
-                    throw = target._value
+                send, throw = None, SimulationError(
+                    f"process {self.name!r} yielded a non-event: "
+                    f"{target!r}"
+                )
         finally:
             env.active_process = prev_active
 
@@ -292,6 +398,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_unfired")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -334,6 +442,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when any constituent event fires (value: dict of done events)."""
 
+    __slots__ = ()
+
     def _check_vacuous(self) -> None:
         if not self._events:
             self.succeed({})
@@ -344,6 +454,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Fires when all constituent events have fired."""
+
+    __slots__ = ()
 
     def _check_vacuous(self) -> None:
         if self._unfired == 0:
@@ -357,17 +469,35 @@ class AllOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock plus event heap."""
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "active_process",
+        "scheduler",
+        "_timeout_pool",
+        "_until_cap",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[Tuple[float, int, Any, Event]] = []
-        self._seq = 0
+        #: Monotonic tiebreaker for FIFO ordering of equal-time events.
+        self._seq = _count(1)
         #: The process currently being resumed, if any.
         self.active_process: Optional[Process] = None
         #: Optional schedule-perturbation policy (an object with
         #: ``perturb_delay``/``tiebreak``, see repro.check.explorer).
         #: When None the engine behaves exactly as before: FIFO order
-        #: among same-timestamp events, no delay perturbation.
+        #: among same-timestamp events, no delay perturbation.  Setting
+        #: a policy also disables the fast paths (timeout pooling and
+        #: try_advance) so the policy sees every scheduling decision.
         self.scheduler: Optional[Any] = None
+        #: Recycled fire-once Timeouts (see DESIGN.md §12).
+        self._timeout_pool: List[Timeout] = []
+        #: Upper clock bound while inside ``run(until=<time>)``; guards
+        #: try_advance against overshooting the stop time.
+        self._until_cap: Optional[float] = None
 
     @property
     def now(self) -> float:
@@ -382,6 +512,33 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` µs from now."""
+        if self.scheduler is None:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            pool = self._timeout_pool
+            if pool:
+                # Recycled events come back with their (cleared)
+                # callbacks list attached and _ok/_defused already in
+                # the fired-successfully shape; only value, delay and
+                # the poolable mark need refreshing.
+                event = pool.pop()
+                event._value = value
+                event.delay = delay
+            else:
+                # Inlined Timeout construction (no __init__ dispatch).
+                event = Timeout.__new__(Timeout)
+                event.env = self
+                event.callbacks = []
+                event._value = value
+                event._ok = True
+                event._defused = False
+                event.delay = delay
+                event.poolable = False
+            _heappush(
+                self._heap,
+                (self._now + delay, PRIORITY_NORMAL, next(self._seq), event),
+            )
+            return event
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
@@ -402,14 +559,18 @@ class Environment:
         delay: float = 0.0,
         priority: int = PRIORITY_NORMAL,
     ) -> None:
-        self._seq += 1
-        tiebreak: Any = self._seq
-        if self.scheduler is not None:
-            delay = self.scheduler.perturb_delay(delay, priority, event)
-            tiebreak = self.scheduler.tiebreak(
-                self._now + delay, priority, self._seq, event
+        seq = next(self._seq)
+        if self.scheduler is None:
+            # Fast path: FIFO tiebreak, no perturbation dispatch.
+            _heappush(
+                self._heap, (self._now + delay, priority, seq, event)
             )
-        heapq.heappush(
+            return
+        delay = self.scheduler.perturb_delay(delay, priority, event)
+        tiebreak = self.scheduler.tiebreak(
+            self._now + delay, priority, seq, event
+        )
+        _heappush(
             self._heap, (self._now + delay, priority, tiebreak, event)
         )
 
@@ -423,7 +584,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = _heappop(self._heap)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -431,6 +592,31 @@ class Environment:
         if not event._ok and not event._defused:
             # A failure nobody consumed: surface it.
             raise event._value
+        self._maybe_recycle(event, callbacks)
+
+    def _maybe_recycle(self, event: Event, callbacks: list) -> None:
+        """Return a fire-once process Timeout to the free list.
+
+        Only the dominant ``yield env.timeout(x)`` shape qualifies: the
+        exact Timeout type whose single callback is a parked process
+        (``poolable`` is set by :meth:`Process._resume` at park time,
+        and only when it was the first waiter).  Conditions and explicit
+        waiters keep references to the event (``processed``/``value``
+        stay readable), so they never recycle.  The callbacks list is
+        cleared and rides along with the pooled event, so reuse
+        allocates nothing.
+        """
+        if (
+            FASTPATH_ON
+            and type(event) is Timeout
+            and event.poolable
+            and len(callbacks) == 1
+            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+        ):
+            event.poolable = False
+            callbacks.clear()
+            event.callbacks = callbacks
+            self._timeout_pool.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run until the schedule drains, a time, or an event fires.
@@ -458,21 +644,63 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        flag = {"stop": False}
-        if stop_event is not None:
-            stop_event.callbacks.append(lambda ev: flag.__setitem__("stop", True))
+        heap = self._heap
+        pool = self._timeout_pool
+        # Pool headroom doubles as the fast-path switch: 0 disables.
+        pool_room = _TIMEOUT_POOL_MAX if FASTPATH_ON else 0
 
-        while self._heap:
-            if stop_time is not None and self._heap[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
-            if flag["stop"]:
-                assert stop_event is not None
-                if stop_event._ok:
-                    return stop_event._value
-                stop_event._defused = True
-                raise stop_event._value
+        if stop_event is None and stop_time is None:
+            # Drain fast path: the dominant mode — hoisted locals, no
+            # per-event step() dispatch, inline timeout recycling.
+            while heap:
+                when, _prio, _seq, event = _heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if type(event) is Timeout and len(callbacks) == 1:
+                    # Dominant shape: a timeout (always ok, never
+                    # defused) waking one parked process — no iterator,
+                    # no failure bookkeeping.
+                    callbacks[0](event)
+                    if event.poolable and len(pool) < pool_room:
+                        event.poolable = False
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+                    continue
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+
+        # General loop: a stop time and/or a stop event is in play.
+        # Stop-event completion is detected via its processed state
+        # (callbacks is None), so nothing is ever attached to — or left
+        # dangling on — stop_event.callbacks, whatever the exit path.
+        self._until_cap = stop_time
+        try:
+            while heap:
+                if stop_time is not None and heap[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                when, _prio, _seq, event = _heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok:
+                    self._maybe_recycle(event, callbacks)
+                elif not event._defused:
+                    raise event._value
+                if stop_event is not None and stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event._value
+                    stop_event._defused = True
+                    raise stop_event._value
+        finally:
+            self._until_cap = None
 
         if stop_event is not None:
             raise SimulationError(
@@ -498,6 +726,31 @@ class Environment:
                 "run() to that point instead"
             )
         self._now = target
+
+    def try_advance(self, delta: float) -> bool:
+        """Bump the clock by ``delta`` iff it is provably equivalent to
+        ``yield env.timeout(delta)`` for the calling process.
+
+        Equivalence requires that the hypothetical timeout would have
+        been the *only* event to fire before its own deadline: no heap
+        entry at or before ``now + delta`` (strictly — an equal-time
+        event would have fired first, FIFO), no schedule-exploration
+        policy installed (it must see every scheduling decision), no
+        ``run(until=<time>)`` stop time that the bump would overshoot,
+        and the fast paths enabled.  Returns False when any of that
+        fails; callers then fall back to a real timeout.
+        """
+        if not FASTPATH_ON or self.scheduler is not None or delta < 0.0:
+            return False
+        target = self._now + delta
+        heap = self._heap
+        if heap and heap[0][0] <= target:
+            return False
+        cap = self._until_cap
+        if cap is not None and target > cap:
+            return False
+        self._now = target
+        return True
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} pending={len(self._heap)}>"

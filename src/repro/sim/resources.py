@@ -16,6 +16,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
 from ..errors import SimulationError
+from . import core as _core
 from .core import Environment, Event
 
 __all__ = ["Resource", "Request", "Store", "Container"]
@@ -66,6 +67,31 @@ class Resource:
     def request(self) -> Request:
         """Claim a slot; the returned event fires when granted."""
         return Request(self)
+
+    def try_acquire(self) -> Optional[Request]:
+        """Claim a free slot with no event machinery.
+
+        Returns an already-granted token when the fast path applies
+        (fast path enabled, no scheduler installed, no waiters, a slot
+        free) — grant order is decided at request time either way, so
+        skipping the grant event cannot change who gets the slot.
+        Returns ``None`` otherwise; the caller falls back to
+        ``yield self.request()``.  Release the token with
+        :meth:`release` as usual.
+        """
+        if not _core.FASTPATH_ON or self.env.scheduler is not None:
+            return None
+        if self._queue or len(self._users) >= self.capacity:
+            return None
+        request = Request.__new__(Request)
+        request.env = self.env
+        request.callbacks = None  # already processed: a pure token
+        request._value = None
+        request._ok = True
+        request._defused = False
+        request.resource = self
+        self._users.append(request)
+        return request
 
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
@@ -129,6 +155,19 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Add ``item``; the event fires once it is actually stored."""
         return StorePut(self, item)
+
+    def put_nowait(self, item: Any) -> None:
+        """Synchronous put with no event machinery.
+
+        Only valid on unbounded stores (a bounded put may have to
+        block, which needs the event).  Any waiting getter is served
+        exactly as a ``put`` would serve it.
+        """
+        if self.capacity is not None:
+            raise SimulationError("put_nowait() requires an unbounded store")
+        self.items.append(item)
+        if self._getters:
+            self._dispatch()
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Take the oldest item (or oldest matching ``predicate``)."""

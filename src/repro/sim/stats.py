@@ -101,6 +101,18 @@ class LatencyRecorder:
     when raw-sample retention is capped).
     """
 
+    __slots__ = (
+        "name",
+        "max_samples",
+        "_samples",
+        "_count",
+        "_sum",
+        "_welford_mean",
+        "_welford_m2",
+        "_min",
+        "_max",
+    )
+
     def __init__(self, name: str, max_samples: Optional[int] = None) -> None:
         self.name = name
         self.max_samples = max_samples
@@ -117,15 +129,21 @@ class LatencyRecorder:
     def record(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"negative latency {value} for {self.name!r}")
-        self._count += 1
+        count = self._count + 1
+        self._count = count
         self._sum += value
         delta = value - self._welford_mean
-        self._welford_mean += delta / self._count
-        self._welford_m2 += delta * (value - self._welford_mean)
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-        if self.max_samples is None or len(self._samples) < self.max_samples:
-            self._samples.append(value)
+        mean = self._welford_mean + delta / count
+        self._welford_mean = mean
+        self._welford_m2 += delta * (value - mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        samples = self._samples
+        max_samples = self.max_samples
+        if max_samples is None or len(samples) < max_samples:
+            samples.append(value)
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
@@ -241,13 +259,18 @@ class TimeSeries:
 class CounterSet:
     """Named monotonic counters (fault counts, evictions, steals, ...)."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
     def incr(self, name: str, by: int = 1) -> None:
         if by < 0:
             raise ValueError("counters are monotonic; use a new counter")
-        self._counts[name] = self._counts.get(name, 0) + by
+        try:
+            self._counts[name] += by
+        except KeyError:
+            self._counts[name] = by
 
     def __getitem__(self, name: str) -> int:
         return self._counts.get(name, 0)

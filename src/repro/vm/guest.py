@@ -75,6 +75,32 @@ class MemoryPort(abc.ABC):
     ) -> Generator:
         """Full access path: cheap when resident, fault otherwise."""
 
+    def try_access(
+        self,
+        vaddr: int,
+        is_write: bool = False,
+        kind: PageKind = PageKind.ANONYMOUS,
+    ) -> bool:
+        """Non-generator fast path for the resident case.
+
+        Returns True iff the access completed (the page was resident);
+        behavior is then identical to :meth:`access`'s hit branch.  On
+        False nothing happened — the caller must fall back to
+        ``yield from access(...)``.  ``kind`` only matters on the fault
+        path, which this method never takes.
+        """
+        if self.is_resident(vaddr):
+            self.touch(vaddr, is_write)
+            return True
+        return False
+
+    def note_hit_run(self, count: int) -> None:
+        """Batched-hit accounting: ``count`` consecutive hits coalesced.
+
+        Metrics-silent by default — ports may track it for batching
+        diagnostics, but it must never change benchmark output.
+        """
+
     @property
     @abc.abstractmethod
     def resident_capacity(self) -> Optional[int]:
@@ -252,7 +278,8 @@ class GuestVM:
             )
         self._boot_pages = list(self.boot_profile.pages(self.boot_base))
         for vaddr, kind, mlocked in self._boot_pages:
-            yield from port.access(vaddr, is_write=True, kind=kind)
+            if not port.try_access(vaddr, is_write=True, kind=kind):
+                yield from port.access(vaddr, is_write=True, kind=kind)
             if mlocked:
                 # Reflect the mlock on the installed page.
                 self._mark_mlocked(port, vaddr)

@@ -7,6 +7,15 @@ event machinery on faults (where all the interesting latency lives),
 flushing the accumulated hit time as a single timeout every
 ``flush_every`` hits so the clock stays honest relative to background
 processes (kswapd, the write-back flusher).
+
+Hot loops should prefer :meth:`AccessDriver.try_hit` — a plain method
+(no generator) that handles the DRAM-hit case entirely without the
+event machinery, settling due flushes through
+:meth:`~repro.sim.Environment.try_advance` when that is provably
+equivalent to the timeout it replaces.  When it returns False the
+caller falls back to ``yield from driver.access(...)``, which behaves
+exactly as before — so workloads written either way produce
+byte-identical simulated results (DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -48,8 +57,50 @@ class AccessDriver:
         self.latency = latency
         self._pending_us = 0.0
         self._hits_since_flush = 0
+        #: Length of the current run of consecutive hits; reported to
+        #: the port via ``note_hit_run`` when the run ends (metrics-
+        #: silent — purely batching-effectiveness accounting).
+        self._run_hits = 0
         self.hits = 0
         self.faults = 0
+
+    def try_hit(self, vaddr: int, is_write: bool = False) -> bool:
+        """Fast path: account a DRAM hit without the event machinery.
+
+        Returns True iff the page was resident *and* any flush that came
+        due could be settled as a pure clock advance.  On False nothing
+        has been mutated; the caller must fall back to
+        ``yield from access(...)``, which then performs the access
+        (including this hit's accounting) exactly as the slow path
+        always did.
+        """
+        port = self.port
+        if not port.is_resident(vaddr):
+            return False
+        if self._hits_since_flush + 1 >= self.flush_every:
+            # Committing this hit makes a flush due; take the fast path
+            # only if the whole batch settles as a clock advance.
+            if not self.env.try_advance(
+                self._pending_us + self.hit_cost_us
+            ):
+                return False
+            self._pending_us = 0.0
+            self._hits_since_flush = 0
+            port.note_hit_run(self._run_hits + 1)
+            self._run_hits = 0
+        else:
+            self._pending_us += self.hit_cost_us
+            self._hits_since_flush += 1
+            self._run_hits += 1
+        port.touch(vaddr, is_write)
+        self.hits += 1
+        if self.latency is not None:
+            # Sample a plausible in-DRAM access time (same draw, same
+            # order as the generator path — the RNG stream is pinned).
+            self.latency.record(
+                max(0.02, self._rng.gauss(self.hit_cost_us * 8, 0.4))
+            )
+        return True
 
     def access(
         self,
@@ -63,6 +114,7 @@ class AccessDriver:
             self.hits += 1
             self._pending_us += self.hit_cost_us
             self._hits_since_flush += 1
+            self._run_hits += 1
             if self.latency is not None:
                 # Sample a plausible in-DRAM access time.
                 self.latency.record(
@@ -81,11 +133,20 @@ class AccessDriver:
             self.latency.record(self.env.now - started)
 
     def flush(self) -> Generator:
-        """Charge any accumulated hit time to the clock."""
+        """Charge any accumulated hit time to the clock.
+
+        Prefers a direct clock advance when no earlier event exists (and
+        no schedule policy is watching); otherwise falls back to the
+        timeout this method always issued.
+        """
+        if self._run_hits:
+            self.port.note_hit_run(self._run_hits)
+            self._run_hits = 0
         if self._pending_us > 0.0:
             pending, self._pending_us = self._pending_us, 0.0
             self._hits_since_flush = 0
-            yield self.env.timeout(pending)
+            if not self.env.try_advance(pending):
+                yield self.env.timeout(pending)
 
     @property
     def total_accesses(self) -> int:

@@ -240,8 +240,10 @@ class Graph500:
         allocations do.
         """
         driver = AccessDriver(self.env, self.port, rng=self._rng)
+        try_hit = driver.try_hit
         for addr in range(self.xadj_base, self.parent_bases[0], PAGE_SIZE):
-            yield from driver.access(addr, is_write=True)
+            if not try_hit(addr, is_write=True):
+                yield from driver.access(addr, is_write=True)
         yield from driver.flush()
 
     def pick_roots(self) -> List[int]:
@@ -270,28 +272,41 @@ class Graph500:
         yield from driver.access(self._visited_page(root, slot),
                                  is_write=True)
 
+        # Hoisted hot-loop locals: the BFS inner loop touches a page
+        # per array element and most of those are DRAM hits.
+        try_hit = driver.try_hit
+        access = driver.access
+        xadj = graph.xadj
+        adjacency = graph.adjacency
+        xadj_page = self._xadj_page
+        adj_pages = self._adj_pages
+        visited_page = self._visited_page
+        parent_page = self._parent_page
+
         frontier = [root]
         edges_traversed = 0
         while frontier:
             next_frontier: List[int] = []
             for vertex in frontier:
-                start = int(graph.xadj[vertex])
-                end = int(graph.xadj[vertex + 1])
-                yield from driver.access(self._xadj_page(vertex))
-                for page in self._adj_pages(start, end):
-                    yield from driver.access(page)
-                for neighbor in graph.adjacency[start:end]:
+                start = int(xadj[vertex])
+                end = int(xadj[vertex + 1])
+                page = xadj_page(vertex)
+                if not try_hit(page):
+                    yield from access(page)
+                for page in adj_pages(start, end):
+                    if not try_hit(page):
+                        yield from access(page)
+                for neighbor in adjacency[start:end]:
                     neighbor = int(neighbor)
                     edges_traversed += 1
-                    yield from driver.access(
-                        self._visited_page(neighbor, slot)
-                    )
+                    page = visited_page(neighbor, slot)
+                    if not try_hit(page):
+                        yield from access(page)
                     if parent[neighbor] == -1:
                         parent[neighbor] = vertex
-                        yield from driver.access(
-                            self._parent_page(neighbor, slot),
-                            is_write=True,
-                        )
+                        page = parent_page(neighbor, slot)
+                        if not try_hit(page, is_write=True):
+                            yield from access(page, is_write=True)
                         next_frontier.append(neighbor)
             frontier = next_frontier
         return edges_traversed, parent

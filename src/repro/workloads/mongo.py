@@ -216,40 +216,48 @@ class MongoServer:
         self.counters.incr("reads")
 
         # Query execution basics: parse, plan, descend the index.
-        yield self.env.timeout(
-            max(
-                20.0,
-                self._rng.gauss(
-                    self.config.base_op_mean_us,
-                    self.config.base_op_sigma_us,
-                ),
-            )
+        base_op = max(
+            20.0,
+            self._rng.gauss(
+                self.config.base_op_mean_us,
+                self.config.base_op_sigma_us,
+            ),
         )
+        if not self.env.try_advance(base_op):
+            yield self.env.timeout(base_op)
+        driver = self._driver
+        try_hit = driver.try_hit
         for _ in range(self.config.index_touches):
             page = self._rng.randrange(self.config.index_pages)
-            yield from self._driver.access(
-                self.index_region_base + page * PAGE_SIZE
-            )
+            vaddr = self.index_region_base + page * PAGE_SIZE
+            if not try_hit(vaddr):
+                yield from driver.access(vaddr)
         # Btree descent + engine bookkeeping inside the cache region:
         # hot-skewed traversal plus the eviction server's cold scans.
         for _ in range(self.config.internal_touches):
             internal = self.cache.sample_hot_slot(self._rng)
             if internal is None:
                 break
-            yield from self._driver.access(self.cache.slot_addr(internal))
+            vaddr = self.cache.slot_addr(internal)
+            if not try_hit(vaddr):
+                yield from driver.access(vaddr)
         if self._rng.random() < self.config.cold_scan_probability:
             cold = self.cache.random_used_slot(self._rng)
             if cold is not None:
-                yield from self._driver.access(self.cache.slot_addr(cold))
+                vaddr = self.cache.slot_addr(cold)
+                if not try_hit(vaddr):
+                    yield from driver.access(vaddr)
                 self.counters.incr("eviction_scans")
-        yield from self._driver.flush()
+        yield from driver.flush()
 
         slot = self.cache.lookup(record_id)
         if slot is not None:
             # WiredTiger cache hit: touch the cache page.  In the swap
             # world this may be a swap-in; under FluidMem a remote read.
-            yield from self._driver.access(self.cache.slot_addr(slot))
-            yield from self._driver.flush()
+            vaddr = self.cache.slot_addr(slot)
+            if not try_hit(vaddr):
+                yield from driver.access(vaddr)
+            yield from driver.flush()
             self.counters.incr("wt_cache_hits")
             return
 

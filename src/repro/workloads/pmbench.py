@@ -130,9 +130,12 @@ class Pmbench:
         warmup_started = self.env.now
         if config.warmup:
             warm_driver = AccessDriver(self.env, self.port, rng=self._rng)
+            addr = self._addr
+            try_hit = warm_driver.try_hit
             for page in range(config.wss_pages):
-                yield from warm_driver.access(self._addr(page),
-                                              is_write=True)
+                vaddr = addr(page)
+                if not try_hit(vaddr, is_write=True):
+                    yield from warm_driver.access(vaddr, is_write=True)
             yield from warm_driver.flush()
         warmup_time = self.env.now - warmup_started
 
@@ -141,12 +144,18 @@ class Pmbench:
         # access splits the read and write distributions.
         driver = AccessDriver(self.env, self.port, rng=self._rng)
         measured_started = self.env.now
+        addr = self._addr
+        rng = self._rng
+        randrange, rand = rng.randrange, rng.random
+        try_hit = driver.try_hit
+        wss_pages, read_ratio = config.wss_pages, config.read_ratio
         for _ in range(config.measured_accesses):
-            page = self._rng.randrange(config.wss_pages)
-            is_read = self._rng.random() < config.read_ratio
+            page = randrange(wss_pages)
+            is_read = rand() < read_ratio
             driver.latency = read_latency if is_read else write_latency
-            yield from driver.access(self._addr(page),
-                                     is_write=not is_read)
+            vaddr = addr(page)
+            if not try_hit(vaddr, is_write=not is_read):
+                yield from driver.access(vaddr, is_write=not is_read)
         yield from driver.flush()
         measured_time = self.env.now - measured_started
 
