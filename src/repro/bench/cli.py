@@ -9,6 +9,8 @@ Usage::
     python -m repro.bench fig5            # Figure 5 MongoDB/YCSB
     python -m repro.bench table3          # Table III footprint
     python -m repro.bench ablations       # design-choice ablations
+    python -m repro.bench cluster         # shard scale-out + recovery
+    python -m repro.bench market          # multi-tenant marketplace
     python -m repro.bench all             # everything
     python -m repro.bench fig3 table1     # any subset, in order
 
@@ -35,6 +37,7 @@ from .cluster_scaleout import run_cluster
 from .fig3_latency_cdf import run_fig3
 from .fig4_graph500 import run_fig4
 from .fig5_mongodb import run_fig5
+from .market_fleet import run_market
 from .platform import set_default_fault_plan, set_default_observability
 from .reporting import write_csv
 from .table1_codepaths import run_table1
@@ -54,10 +57,12 @@ EXPERIMENT_DESCRIPTIONS = {
     "ablations": "Design-choice ablations (LRU, batching, policies)",
     "cluster": "Shard-cluster scale-out 1->8 nodes: key balance, "
                "crash recovery time",
+    "market": "Multi-tenant memory marketplace: fleet-scale harvest/"
+              "lease with per-tenant SLOs and an audited broker",
 }
 
 EXPERIMENTS = ("fig3", "table1", "table2", "fig4", "fig5", "table3",
-               "ablations", "cluster")
+               "ablations", "cluster", "market")
 
 #: Version tag of the ``--metrics`` JSON document; bump on layout
 #: changes so the CI regression gate can refuse mismatched baselines.
@@ -149,12 +154,13 @@ def _maybe_csv(csv_dir: Optional[str], name: str, headers, rows) -> None:
 def _run_one(name: str, args) -> None:
     quick = args.quick
     seed = args.seed
-    if args.faults and name in ("table2", "ablations", "cluster"):
-        reason = (
-            "schedules its own node crashes"
-            if name == "cluster"
-            else "drives bare test processes, not full platforms"
-        )
+    if args.faults and name in ("table2", "ablations", "cluster", "market"):
+        if name == "cluster":
+            reason = "schedules its own node crashes"
+        elif name == "market":
+            reason = "schedules its own seeded fleet chaos"
+        else:
+            reason = "drives bare test processes, not full platforms"
         print(
             f"note: {name} {reason}; --faults {args.faults} has no "
             f"effect on it",
@@ -240,6 +246,18 @@ def _run_one(name: str, args) -> None:
         _maybe_csv(args.csv, "cluster",
                    ("nodes", "min_keys", "max_keys", "ratio",
                     "keys_moved", "settle_us"),
+                   result.rows())
+    elif name == "market":
+        result = run_market(
+            fleet_scale=2 if quick else 4,
+            ticks=30 if quick else 90,
+            seed=seed,
+        )
+        print(result.table_text())
+        _maybe_csv(args.csv, "market",
+                   ("tenant", "role", "vms", "priority", "slo_us",
+                    "p99_us", "slo_violations", "faults", "remote_hits",
+                    "swap_faults", "deaths"),
                    result.rows())
     elif name == "ablations":
         for ablation in run_all_ablations(seed=seed).values():

@@ -33,6 +33,7 @@ from .invariants import (
     NULL_CHECKER,
     ClusterInvariants,
     CorrectnessChecker,
+    MarketInvariants,
     PageState,
     PageStateMachine,
     WritebackLedger,
@@ -45,6 +46,7 @@ __all__ = [
     "FifoSchedule",
     "InvertedSchedule",
     "KvHistory",
+    "MarketInvariants",
     "NULL_CHECKER",
     "PageState",
     "PageStateMachine",

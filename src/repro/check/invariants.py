@@ -43,6 +43,9 @@ Invariant catalog (see DESIGN.md §11):
 ``read-liveness``
     At steady state no reads are left in flight (a leaked read means a
     fault path lost track of an outstanding fetch).
+``market-*``
+    Marketplace ledger conservation (granted <= harvested, no
+    double-grant, leases freed on VM death) — see :mod:`.market`.
 """
 
 from __future__ import annotations
@@ -51,12 +54,14 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..errors import InvariantViolation
 from ..obs import NULL_OBS, Observability
+from .market import MarketInvariants
 
 __all__ = [
     "PageState",
     "PageStateMachine",
     "WritebackLedger",
     "ClusterInvariants",
+    "MarketInvariants",
     "CorrectnessChecker",
     "NULL_CHECKER",
 ]
@@ -461,6 +466,7 @@ class CorrectnessChecker:
         self.pages = PageStateMachine(self)
         self.writeback = WritebackLedger(self)
         self.cluster = ClusterInvariants(self)
+        self.market = MarketInvariants(self)
         #: Violations seen so far (each is also raised).
         self.violations = []
 
@@ -475,7 +481,7 @@ class CorrectnessChecker:
         raise error
 
     def check_steady_state(
-        self, monitor=None, cluster_store=None
+        self, monitor=None, cluster_store=None, broker=None
     ) -> None:
         """Quiesce-time sweep: called by scenarios and tests once the
         system has drained (no faults in flight, write list empty)."""
@@ -494,6 +500,8 @@ class CorrectnessChecker:
                 )
         if cluster_store is not None:
             self.cluster.check_steady(cluster_store)
+        if broker is not None:
+            self.market.check_steady(broker)
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

@@ -1,0 +1,250 @@
+"""Marketplace ledger invariants (``repro.market``'s safety net).
+
+A memory marketplace is exactly the kind of subsystem where asserted
+wins are worthless: the broker *claims* it never double-sells a byte,
+that grants never exceed harvested capacity, and that a dead VM's
+leases are freed — but only an independent shadow ledger fed by hooks
+can prove it.  :class:`MarketInvariants` keeps that shadow: the broker
+reports every offer, grant, close, and reclaim, and the monitor
+re-derives the conservation laws on every step, raising a structured
+:class:`~repro.errors.InvariantViolation` the moment one breaks.
+
+Invariant catalog (see DESIGN.md §13):
+
+``market-conservation``
+    Capacity conservation: for every producer, ``0 <= granted <=
+    harvested`` at every step, and therefore globally
+    ``sum(granted) <= sum(harvested)``.  No byte is ever sold that was
+    not first harvested, and no byte is sold twice.
+``market-double-grant``
+    Lease identity: a lease id is granted exactly once, closed at most
+    once, and its per-producer backing sums exactly to its page count.
+``market-lease-lifecycle``
+    Teardown completeness: when a VM dies or deregisters, every lease
+    it held (as consumer) or backed (as producer) must be closed and
+    its producer account emptied — remote capacity never leaks past a
+    death.
+``market-steady``
+    Steady-state agreement: the broker's own accounting must match the
+    shadow ledger exactly (harvested, granted, and the active lease
+    set), so a drifted internal counter cannot hide behind correct
+    per-step reports.
+
+The hooks are dict updates guarded by ``checker.enabled`` at the call
+site — the same cost model as every other ``repro.check`` monitor, so
+checker-off runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["MarketInvariants"]
+
+
+class MarketInvariants:
+    """Shadow ledger for the broker's capacity accounting."""
+
+    def __init__(self, checker) -> None:
+        self._checker = checker
+        #: Pages each producer currently has on offer (free + granted).
+        self._harvested: Dict[str, int] = {}
+        #: Pages of each producer's harvest currently granted out.
+        self._granted: Dict[str, int] = {}
+        #: Active leases: lease id -> {producer: pages} backing.
+        self._leases: Dict[int, Dict[str, int]] = {}
+        #: Consumer name per active lease (teardown accounting).
+        self._lease_consumer: Dict[int, str] = {}
+        #: Every lease id ever granted (double-grant detection).
+        self._all_lease_ids: set = set()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def total_harvested(self) -> int:
+        return sum(self._harvested.values())
+
+    @property
+    def total_granted(self) -> int:
+        return sum(self._granted.values())
+
+    @property
+    def active_leases(self) -> int:
+        return len(self._leases)
+
+    # -- broker-side hooks ----------------------------------------------------
+
+    def on_offer(self, producer: str, pages: int) -> None:
+        """A producer harvested ``pages`` and put them on the market."""
+        if pages <= 0:
+            self._checker.violation(
+                "market-conservation",
+                f"producer {producer!r} offered a non-positive amount "
+                f"({pages} pages)",
+                producer=producer, pages=pages,
+            )
+        self._harvested[producer] = self._harvested.get(producer, 0) + pages
+        self._granted.setdefault(producer, 0)
+
+    def on_grant(
+        self, lease_id: int, consumer: str, pages: int,
+        backing: Mapping[str, int],
+    ) -> None:
+        """The broker granted a lease backed by producer capacity."""
+        if lease_id in self._all_lease_ids:
+            self._checker.violation(
+                "market-double-grant",
+                f"lease {lease_id} granted twice (to {consumer!r})",
+                lease_id=lease_id, consumer=consumer,
+            )
+        backed = sum(backing.values())
+        if backed != pages or pages <= 0:
+            self._checker.violation(
+                "market-double-grant",
+                f"lease {lease_id} for {pages} page(s) is backed by "
+                f"{backed} page(s) across {len(backing)} producer(s)",
+                lease_id=lease_id, pages=pages, backed=backed,
+            )
+        for producer in sorted(backing):
+            share = backing[producer]
+            if share <= 0:
+                self._checker.violation(
+                    "market-double-grant",
+                    f"lease {lease_id} carries a non-positive backing "
+                    f"share ({share}) from {producer!r}",
+                    lease_id=lease_id, producer=producer, share=share,
+                )
+            granted = self._granted.get(producer, 0) + share
+            if granted > self._harvested.get(producer, 0):
+                self._checker.violation(
+                    "market-conservation",
+                    f"grant of lease {lease_id} oversells producer "
+                    f"{producer!r}: {granted} granted > "
+                    f"{self._harvested.get(producer, 0)} harvested",
+                    lease_id=lease_id, producer=producer,
+                    granted=granted,
+                    harvested=self._harvested.get(producer, 0),
+                )
+            self._granted[producer] = granted
+        self._all_lease_ids.add(lease_id)
+        self._leases[lease_id] = dict(backing)
+        self._lease_consumer[lease_id] = consumer
+
+    def on_lease_closed(self, lease_id: int, reason: str) -> None:
+        """A lease ended (released, revoked, or torn down with a VM)."""
+        backing = self._leases.pop(lease_id, None)
+        self._lease_consumer.pop(lease_id, None)
+        if backing is None:
+            self._checker.violation(
+                "market-lease-lifecycle",
+                f"lease {lease_id} closed ({reason}) but was not active "
+                "(never granted, or closed twice)",
+                lease_id=lease_id, reason=reason,
+            )
+            return
+        for producer in sorted(backing):
+            remaining = self._granted.get(producer, 0) - backing[producer]
+            if remaining < 0:
+                self._checker.violation(
+                    "market-conservation",
+                    f"closing lease {lease_id} drives producer "
+                    f"{producer!r} to {remaining} granted pages",
+                    lease_id=lease_id, producer=producer,
+                    granted=remaining,
+                )
+            self._granted[producer] = remaining
+
+    def on_reclaim(self, producer: str, pages: int) -> None:
+        """A producer took ``pages`` back (give-back or withdrawal).
+
+        Only *free* (un-granted) capacity may be reclaimed; the broker
+        must revoke backing leases first.
+        """
+        harvested = self._harvested.get(producer, 0) - pages
+        if pages <= 0 or harvested < self._granted.get(producer, 0):
+            self._checker.violation(
+                "market-conservation",
+                f"reclaim of {pages} page(s) from {producer!r} would "
+                f"leave {harvested} harvested < "
+                f"{self._granted.get(producer, 0)} granted",
+                producer=producer, pages=pages, harvested=harvested,
+                granted=self._granted.get(producer, 0),
+            )
+        self._harvested[producer] = harvested
+
+    def on_vm_removed(self, name: str) -> None:
+        """A VM died or deregistered; nothing of it may linger."""
+        leaked = sorted(
+            lease_id
+            for lease_id, consumer in self._lease_consumer.items()
+            if consumer == name
+        )
+        if leaked:
+            self._checker.violation(
+                "market-lease-lifecycle",
+                f"VM {name!r} removed with {len(leaked)} lease(s) still "
+                f"active (first: {leaked[0]})",
+                name=name, leases=leaked[:8],
+            )
+        backing = sorted(
+            lease_id for lease_id, producers in self._leases.items()
+            if name in producers
+        )
+        if backing:
+            self._checker.violation(
+                "market-lease-lifecycle",
+                f"producer {name!r} removed while still backing "
+                f"{len(backing)} lease(s) (first: {backing[0]})",
+                name=name, leases=backing[:8],
+            )
+        if self._granted.get(name, 0):
+            self._checker.violation(
+                "market-lease-lifecycle",
+                f"producer {name!r} removed with {self._granted[name]} "
+                "page(s) still granted out",
+                name=name, granted=self._granted[name],
+            )
+        self._harvested.pop(name, None)
+        self._granted.pop(name, None)
+
+    # -- steady-state -----------------------------------------------------------
+
+    def check_steady(self, broker) -> None:
+        """The broker's own books must match the shadow ledger exactly."""
+        ledger = broker.ledger()
+        shadow = {
+            producer: (
+                self._harvested[producer],
+                self._granted.get(producer, 0),
+            )
+            for producer in sorted(self._harvested)
+        }
+        broker_view = {
+            producer: (entry["harvested"], entry["granted"])
+            for producer, entry in sorted(ledger["producers"].items())
+        }
+        if shadow != broker_view:
+            self._checker.violation(
+                "market-steady",
+                "broker producer accounts disagree with the shadow "
+                f"ledger: broker={broker_view} shadow={shadow}",
+                broker=broker_view, shadow=shadow,
+            )
+        broker_leases = set(ledger["active_leases"])
+        shadow_leases = set(self._leases)
+        if broker_leases != shadow_leases:
+            self._checker.violation(
+                "market-steady",
+                "broker active-lease set disagrees with the shadow "
+                f"ledger: only-broker="
+                f"{sorted(broker_leases - shadow_leases)[:8]} "
+                f"only-shadow={sorted(shadow_leases - broker_leases)[:8]}",
+                broker=len(broker_leases), shadow=len(shadow_leases),
+            )
+        if self.total_granted > self.total_harvested:
+            self._checker.violation(
+                "market-conservation",
+                f"steady state oversold: {self.total_granted} granted > "
+                f"{self.total_harvested} harvested",
+                granted=self.total_granted, harvested=self.total_harvested,
+            )

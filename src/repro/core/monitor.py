@@ -178,6 +178,9 @@ class Monitor:
         #: Optional provider policy (per-VM shares/caps, §III); when
         #: None, eviction is the paper's plain global FIFO.
         self.victim_policy = None
+        #: DRAM pages lent to the memory market (``repro.market``);
+        #: :meth:`give_back` can only return what :meth:`harvest` took.
+        self.harvested_pages = 0
         self._process = None
         self._running = False
 
@@ -419,6 +422,45 @@ class Monitor:
         """Actively evict until the buffer fits its capacity."""
         yield from self._evict_until(self.lru.capacity, interleaved=False)
         yield from self.writeback.drain()
+
+    # -- memory market hooks (repro.market harvester) -----------------------------
+
+    def harvest(self, pages: int) -> Generator:
+        """Lend up to ``pages`` of DRAM budget to the memory market.
+
+        Shrinks the LRU capacity (never below one page — a zero-page
+        buffer deadlocks the fault path) and actively evicts down to
+        the new budget, so the frames are genuinely free when the
+        broker sells them.  Returns the pages actually harvested.
+        """
+        if pages <= 0:
+            raise FluidMemError(
+                f"harvest must be positive, got {pages}"
+            )
+        target = max(1, self.lru.capacity - pages)
+        taken = self.lru.capacity - target
+        if taken > 0:
+            self.set_lru_capacity(target)
+            yield from self.shrink_to_capacity()
+            self.harvested_pages += taken
+            self.counters.incr("pages_harvested", by=taken)
+        return taken
+
+    def give_back(self, pages: int) -> int:
+        """Return harvested DRAM budget to this VM (fast path — a
+        capacity grow takes effect immediately, no eviction needed).
+        Returns the pages actually restored, capped at what
+        :meth:`harvest` took."""
+        if pages <= 0:
+            raise FluidMemError(
+                f"give_back must be positive, got {pages}"
+            )
+        returned = min(pages, self.harvested_pages)
+        if returned > 0:
+            self.set_lru_capacity(self.lru.capacity + returned)
+            self.harvested_pages -= returned
+            self.counters.incr("pages_given_back", by=returned)
+        return returned
 
     # -- fault handling -------------------------------------------------------------
 

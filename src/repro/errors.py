@@ -182,6 +182,10 @@ class InvariantViolation(ReproError):
         return "\n".join(lines)
 
 
+class MarketError(ReproError):
+    """Errors from the memory marketplace (``repro.market``)."""
+
+
 class WorkloadError(ReproError):
     """Errors from workload generators."""
 

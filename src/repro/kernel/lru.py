@@ -114,6 +114,28 @@ class ActiveInactiveLists:
             page.clear_referenced()
             self._inactive[vaddr] = page
 
+    # -- working-set estimation (harvester hook) --------------------------------
+
+    def referenced_inactive_count(self) -> int:
+        """Inactive pages whose referenced bit is currently set.
+
+        Non-destructive (unlike :meth:`select_victims`' aging scan):
+        the bits stay so reclaim still sees them.
+        """
+        return sum(1 for page in self._inactive.values() if page.referenced)
+
+    def wss_estimate(self) -> int:
+        """Working-set-size estimate from the page-access stats.
+
+        Counts the pages the aging machinery currently believes are
+        hot: the whole active list plus the inactive pages that were
+        referenced since the last scan.  This is the signal the
+        ``repro.market`` harvester shrinks a producer VM toward —
+        everything else on the lists is reclaimable without a refault
+        storm.
+        """
+        return self.active_count + self.referenced_inactive_count()
+
     # -- introspection ----------------------------------------------------------
 
     def oldest_inactive(self) -> Optional[Page]:

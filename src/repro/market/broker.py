@@ -1,0 +1,418 @@
+"""The memory-market broker: spot pricing, admission control, leases.
+
+Memtrade's central insight (arXiv 2108.06893) is that harvested VM
+memory is a *perishable commodity*: producers offer capacity they may
+snatch back at any moment, so the broker sells it as revocable spot
+leases, prices it by utilization, and admission-controls so the books
+always balance.  This module is that broker, simulation-grade:
+
+* :class:`SpotPricing` — a convex utilization curve: cheap while the
+  market is slack, steep as harvested capacity sells out, so latecomer
+  consumers are priced out before the ledger can oversell.
+* :class:`Lease` — one grant: consumer, page count, unit price, the
+  per-producer backing map, and the revocation priority class.
+* :class:`Broker` — the ledger.  ``offer`` / ``request`` / ``release``
+  / ``reclaim`` / ``vm_died`` keep three conservation laws (granted <=
+  harvested per producer, no double-grant, all leases freed on VM
+  removal), and every mutation reports to the
+  :class:`~repro.check.MarketInvariants` shadow ledger when a checker
+  is attached — the broker is never trusted to audit itself.
+
+The broker is deliberately passive (no process of its own): harvesters
+and consumer loops call it synchronously on the simulated timeline, so
+two same-seed runs perform identical transactions in identical order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..check.invariants import NULL_CHECKER, CorrectnessChecker
+from ..errors import MarketError
+from ..obs import NULL_OBS, Observability
+
+__all__ = ["SpotPricing", "Lease", "Broker"]
+
+#: Revocation priority classes, lowest evicted first.
+PRIORITY_SPOT = 0
+PRIORITY_STANDARD = 1
+PRIORITY_PREMIUM = 2
+
+
+@dataclass(frozen=True)
+class SpotPricing:
+    """Utilization-driven spot price per page (milli-credits).
+
+    ``quote(u) = base * (1 + slope * u^2)`` rounded to a tenth of a
+    milli-credit: convex, so the last pages of supply cost the most —
+    the demand damper that replaces a real market's bid queue.
+    """
+
+    base_millicredits: float = 10.0
+    slope: float = 9.0
+
+    def quote(self, utilization: float) -> float:
+        u = min(1.0, max(0.0, utilization))
+        return round(self.base_millicredits * (1.0 + self.slope * u * u), 1)
+
+
+class Lease:
+    """One active (or ended) grant of harvested pages to a consumer."""
+
+    __slots__ = (
+        "lease_id", "consumer", "pages", "price_per_page", "priority",
+        "granted_at", "backing", "active", "ended_at", "end_reason",
+    )
+
+    def __init__(
+        self,
+        lease_id: int,
+        consumer: str,
+        pages: int,
+        price_per_page: float,
+        priority: int,
+        granted_at: float,
+        backing: Dict[str, int],
+    ) -> None:
+        self.lease_id = lease_id
+        self.consumer = consumer
+        self.pages = pages
+        self.price_per_page = price_per_page
+        self.priority = priority
+        self.granted_at = granted_at
+        #: producer name -> pages of this lease that producer backs.
+        self.backing = backing
+        self.active = True
+        self.ended_at: Optional[float] = None
+        self.end_reason: Optional[str] = None
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else f"ended({self.end_reason})"
+        return (
+            f"<Lease {self.lease_id} {self.consumer!r} {self.pages}p "
+            f"@{self.price_per_page} prio={self.priority} {state}>"
+        )
+
+
+class _ProducerAccount:
+    __slots__ = ("harvested", "granted")
+
+    def __init__(self) -> None:
+        #: Pages currently on offer (free + granted out).
+        self.harvested = 0
+        #: Pages currently granted to consumers.
+        self.granted = 0
+
+    @property
+    def free(self) -> int:
+        return self.harvested - self.granted
+
+
+class Broker:
+    """The marketplace ledger and matching engine."""
+
+    def __init__(
+        self,
+        env=None,
+        pricing: Optional[SpotPricing] = None,
+        obs: Optional[Observability] = None,
+        check: Optional[CorrectnessChecker] = None,
+    ) -> None:
+        self.env = env
+        self.pricing = pricing or SpotPricing()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.check = check if check is not None else NULL_CHECKER
+        self._obs_on = self.obs.enabled
+        self._check_on = self.check.enabled
+        self._producers: Dict[str, _ProducerAccount] = {}
+        self._leases: Dict[int, Lease] = {}
+        self._by_consumer: Dict[str, List[int]] = {}
+        self._next_lease_id = 1
+        self.counters = self.obs.counters_for(component="broker")
+        #: Called as listener(lease, reason) whenever an active lease is
+        #: revoked by the broker (give-back or producer death) rather
+        #: than released by its consumer — the fleet downgrades the
+        #: consumer's tier here.
+        self.revocation_listeners: List[Callable[[Lease, str], None]] = []
+
+    # -- clock / gauges ---------------------------------------------------------
+
+    @property
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _update_gauges(self) -> None:
+        if not self._obs_on:
+            return
+        registry = self.obs.registry
+        registry.gauge("market_harvested_pages").set(self.total_harvested)
+        registry.gauge("market_granted_pages").set(self.total_granted)
+        registry.gauge("market_spot_price_millicredits").set(
+            self.spot_price()
+        )
+
+    # -- accounting views --------------------------------------------------------
+
+    @property
+    def total_harvested(self) -> int:
+        return sum(
+            account.harvested for account in self._producers.values()
+        )
+
+    @property
+    def total_granted(self) -> int:
+        return sum(account.granted for account in self._producers.values())
+
+    @property
+    def available_pages(self) -> int:
+        return self.total_harvested - self.total_granted
+
+    def utilization(self) -> float:
+        harvested = self.total_harvested
+        if harvested <= 0:
+            return 0.0
+        return self.total_granted / harvested
+
+    def spot_price(self) -> float:
+        """Current per-page spot quote."""
+        return self.pricing.quote(self.utilization())
+
+    def outstanding_of(self, producer: str) -> int:
+        """Pages this producer currently has on the market."""
+        account = self._producers.get(producer)
+        return account.harvested if account is not None else 0
+
+    def leases_of(self, consumer: str) -> List[Lease]:
+        """The consumer's active leases (grant order)."""
+        return [
+            self._leases[lease_id]
+            for lease_id in self._by_consumer.get(consumer, ())
+            if self._leases[lease_id].active
+        ]
+
+    def granted_to(self, consumer: str) -> int:
+        return sum(lease.pages for lease in self.leases_of(consumer))
+
+    def active_leases(self) -> List[Lease]:
+        return [
+            self._leases[lease_id] for lease_id in sorted(self._leases)
+            if self._leases[lease_id].active
+        ]
+
+    def ledger(self) -> Dict[str, object]:
+        """Deterministic snapshot for audits and the invariant monitor."""
+        return {
+            "producers": {
+                name: {
+                    "harvested": account.harvested,
+                    "granted": account.granted,
+                }
+                for name, account in sorted(self._producers.items())
+            },
+            "active_leases": sorted(
+                lease_id for lease_id, lease in self._leases.items()
+                if lease.active
+            ),
+            "total_harvested": self.total_harvested,
+            "total_granted": self.total_granted,
+            "spot_price": self.spot_price(),
+        }
+
+    # -- producer side -----------------------------------------------------------
+
+    def offer(self, producer: str, pages: int) -> int:
+        """A producer puts harvested pages on the market."""
+        if pages <= 0:
+            raise MarketError(
+                f"offer must be positive, got {pages} from {producer!r}"
+            )
+        account = self._producers.setdefault(producer, _ProducerAccount())
+        account.harvested += pages
+        self.counters.incr("offers")
+        self.counters.incr("pages_offered", by=pages)
+        if self._check_on:
+            self.check.market.on_offer(producer, pages)
+        self._update_gauges()
+        return pages
+
+    def reclaim(self, producer: str, pages: int) -> Tuple[int, List[Lease]]:
+        """Give-back: pull up to ``pages`` back off the market, fast.
+
+        Free (un-granted) capacity goes first; if that does not cover
+        the request, backing leases are revoked whole in eviction
+        priority order — spot before standard before premium, newest
+        first within a class (the oldest commitments are honoured the
+        longest).  Returns ``(pages_reclaimed, revoked_leases)``.
+        """
+        if pages <= 0:
+            raise MarketError(
+                f"reclaim must be positive, got {pages} for {producer!r}"
+            )
+        account = self._producers.get(producer)
+        if account is None or account.harvested == 0:
+            return 0, []
+        target = min(pages, account.harvested)
+        revoked: List[Lease] = []
+        # Revoke until the producer's free pool covers the target.
+        while account.free < target:
+            victim = self._revocation_victim(producer)
+            if victim is None:  # pragma: no cover - free >= target then
+                break
+            self._close_lease(victim, "revoked")
+            revoked.append(victim)
+            self.counters.incr("revocations")
+        reclaimed = min(target, account.free)
+        account.harvested -= reclaimed
+        self.counters.incr("reclaims")
+        self.counters.incr("pages_reclaimed", by=reclaimed)
+        if self._check_on and reclaimed:
+            self.check.market.on_reclaim(producer, reclaimed)
+        self._update_gauges()
+        return reclaimed, revoked
+
+    def _revocation_victim(self, producer: str) -> Optional[Lease]:
+        """Lowest priority, then youngest, among leases this producer
+        backs."""
+        candidates = [
+            lease for lease in self._leases.values()
+            if lease.active and producer in lease.backing
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda lease: (
+                lease.priority, -lease.granted_at, -lease.lease_id
+            ),
+        )
+
+    # -- consumer side -----------------------------------------------------------
+
+    def request(
+        self,
+        consumer: str,
+        pages: int,
+        max_price_per_page: float = float("inf"),
+        priority: int = PRIORITY_STANDARD,
+    ) -> Optional[Lease]:
+        """Admission control: grant a lease or reject the request.
+
+        A request is rejected (returns ``None``) when the market lacks
+        free capacity or the spot quote exceeds the consumer's bid —
+        never partially filled, so a consumer can size its fallback
+        path deterministically.
+        """
+        if pages <= 0:
+            raise MarketError(
+                f"request must be positive, got {pages} from {consumer!r}"
+            )
+        if self.available_pages < pages:
+            self.counters.incr("rejects_capacity")
+            return None
+        price = self.spot_price()
+        if price > max_price_per_page:
+            self.counters.incr("rejects_price")
+            return None
+        backing: Dict[str, int] = {}
+        remaining = pages
+        # Deterministic allocation: drain the freest producer first so
+        # revocation risk spreads; names break ties.
+        for name, account in sorted(
+            self._producers.items(), key=lambda kv: (-kv[1].free, kv[0])
+        ):
+            if remaining == 0:
+                break
+            share = min(account.free, remaining)
+            if share <= 0:
+                continue
+            backing[name] = share
+            account.granted += share
+            remaining -= share
+        assert remaining == 0, "admission check guaranteed capacity"
+        lease = Lease(
+            self._next_lease_id, consumer, pages, price, priority,
+            self._now, backing,
+        )
+        self._next_lease_id += 1
+        self._leases[lease.lease_id] = lease
+        self._by_consumer.setdefault(consumer, []).append(lease.lease_id)
+        self.counters.incr("grants")
+        self.counters.incr("pages_granted", by=pages)
+        if self._check_on:
+            self.check.market.on_grant(
+                lease.lease_id, consumer, pages, backing
+            )
+        self._update_gauges()
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        """A consumer returns a lease voluntarily."""
+        if not lease.active:
+            raise MarketError(f"{lease!r} is not active")
+        self._close_lease(lease, "released")
+        self.counters.incr("releases")
+        self._update_gauges()
+
+    def _close_lease(self, lease: Lease, reason: str) -> None:
+        lease.active = False
+        lease.ended_at = self._now
+        lease.end_reason = reason
+        for producer in sorted(lease.backing):
+            account = self._producers.get(producer)
+            if account is not None:
+                account.granted -= lease.backing[producer]
+        if self._check_on:
+            self.check.market.on_lease_closed(lease.lease_id, reason)
+        if reason != "released":
+            for listener in self.revocation_listeners:
+                listener(lease, reason)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def vm_died(self, name: str) -> None:
+        """Fail-stop: free every lease the VM held and every page it
+        offered (revoking the leases its harvest backed)."""
+        self._remove_vm(name, "vm_death")
+        self.counters.incr("vm_deaths")
+
+    def deregister(self, name: str) -> None:
+        """Graceful exit: same teardown, accounted separately."""
+        self._remove_vm(name, "deregistered")
+        self.counters.incr("deregistrations")
+
+    def _remove_vm(self, name: str, reason: str) -> None:
+        # Consumer side: its leases end (backing returns to the pool).
+        for lease_id in list(self._by_consumer.get(name, ())):
+            lease = self._leases[lease_id]
+            if lease.active:
+                self._close_lease(lease, reason)
+        self._by_consumer.pop(name, None)
+        # Producer side: leases backed by it lose their substrate.
+        account = self._producers.get(name)
+        if account is not None:
+            for lease in sorted(
+                (
+                    lease for lease in self._leases.values()
+                    if lease.active and name in lease.backing
+                ),
+                key=lambda lease: lease.lease_id,
+            ):
+                self._close_lease(lease, reason)
+                self.counters.incr("revocations")
+            reclaimed = account.harvested
+            account.harvested = 0
+            if self._check_on and reclaimed:
+                self.check.market.on_reclaim(name, reclaimed)
+            del self._producers[name]
+        if self._check_on:
+            self.check.market.on_vm_removed(name)
+        self._update_gauges()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Broker harvested={self.total_harvested} "
+            f"granted={self.total_granted} "
+            f"leases={len(self.active_leases())} "
+            f"price={self.spot_price()}>"
+        )

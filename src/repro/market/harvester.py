@@ -1,0 +1,220 @@
+"""The per-producer harvester: shrink toward the WSS, give back fast.
+
+Memtrade calls this component the *harvester*: a control loop on each
+producer VM that estimates the working set, skims the idle memory
+above it onto the market, and — the part that makes the whole scheme
+tenable — returns it *immediately* when the producer's own fault rate
+spikes.  Harvesting is speculative; give-back is a contract.
+
+The loop samples on a fixed interval (the :class:`repro.core.autoscale`
+idiom) and on each tick does one of three things:
+
+* **spike** — the fault rate crossed ``spike_rate_per_ms``: reclaim
+  everything outstanding from the broker (which revokes consumer
+  leases as needed, spot first) and give it back to the VM in one
+  step.  A cooldown then suppresses harvesting while the VM recovers.
+* **calm** — the fault rate is under ``calm_rate_per_ms`` and capacity
+  exceeds the WSS estimate plus a reserve: harvest the surplus (capped
+  per tick) and offer it to the broker.
+* **neither** — hold position.
+
+The harvester is generic over a :class:`HarvestTarget`-shaped object so
+the same loop drives a full FluidMem :class:`~repro.core.Monitor` (via
+:class:`MonitorHarvestTarget`, which reuses the monitor's resizable LRU
+as the actuator) or the lightweight fleet VMs in :mod:`.fleet` (which
+estimate WSS straight from the kernel's
+:meth:`~repro.kernel.ActiveInactiveLists.wss_estimate` page-access
+stats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from ..errors import InterruptError, MarketError
+from ..obs import NULL_OBS, Observability
+from .broker import Broker
+
+__all__ = ["HarvestConfig", "Harvester", "MonitorHarvestTarget"]
+
+
+@dataclass(frozen=True)
+class HarvestConfig:
+    """Control-loop parameters."""
+
+    #: Sampling interval (µs).
+    interval_us: float = 50_000.0
+    #: Pages kept above the WSS estimate as headroom.
+    reserve_pages: int = 32
+    #: Surpluses smaller than this are not worth a market round-trip.
+    min_harvest_pages: int = 16
+    #: Per-tick harvest cap — shrink gradually, never in one cliff.
+    max_step_pages: int = 128
+    #: Faults/ms at or above which everything outstanding is given back.
+    spike_rate_per_ms: float = 2.0
+    #: Faults/ms below which harvesting is allowed.
+    calm_rate_per_ms: float = 0.5
+    #: Ticks after a spike during which harvesting stays suppressed.
+    cooldown_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.interval_us <= 0:
+            raise MarketError("interval must be positive")
+        if self.calm_rate_per_ms >= self.spike_rate_per_ms:
+            raise MarketError("calm rate must be below spike rate")
+        if self.min_harvest_pages < 1 or self.max_step_pages < 1:
+            raise MarketError("harvest step bounds must be >= 1 page")
+        if self.reserve_pages < 0 or self.cooldown_ticks < 0:
+            raise MarketError("reserve and cooldown must be >= 0")
+
+
+class MonitorHarvestTarget:
+    """Adapts a FluidMem :class:`~repro.core.Monitor` to the harvester.
+
+    The monitor's resizable LRU is the actuator (its
+    :meth:`~repro.core.Monitor.harvest` / ``give_back`` hooks); resident
+    pages stand in for the WSS — the monitor's user-space LRU has no
+    referenced bits, so what a VM keeps resident is the best estimate
+    its provider can see without guest cooperation (§III).
+    """
+
+    def __init__(self, monitor) -> None:
+        self.monitor = monitor
+
+    @property
+    def capacity(self) -> int:
+        return self.monitor.lru.capacity
+
+    def wss_estimate(self) -> int:
+        return self.monitor.resident_pages()
+
+    def fault_count(self) -> int:
+        return self.monitor.counters["faults"]
+
+    def harvest(self, pages: int) -> Generator:
+        taken = yield from self.monitor.harvest(pages)
+        return taken
+
+    def give_back(self, pages: int) -> int:
+        return self.monitor.give_back(pages)
+
+
+class Harvester:
+    """One producer VM's market-facing control loop."""
+
+    def __init__(
+        self,
+        env,
+        producer: str,
+        target,
+        broker: Broker,
+        config: Optional[HarvestConfig] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.env = env
+        self.producer = producer
+        self.target = target
+        self.broker = broker
+        self.config = config or HarvestConfig()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
+        self.counters = self.obs.counters_for(
+            component="harvester", vm=producer
+        )
+        self._process = None
+        self._last_faults = 0
+        self._cooldown = 0
+        #: (time_us, fault_rate_per_ms, outstanding_pages) per tick.
+        self.history: List[Tuple[float, float, int]] = []
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    @property
+    def outstanding(self) -> int:
+        """Pages this producer currently has on the market."""
+        return self.broker.outstanding_of(self.producer)
+
+    def start(self) -> None:
+        if self.running:
+            raise MarketError(f"harvester {self.producer!r} already running")
+        self._last_faults = self.target.fault_count()
+        self._process = self.env.process(self._run())
+
+    def stop(self) -> None:
+        if self.running:
+            self._process.interrupt("stop")
+
+    # -- one tick, callable directly by lightweight fleets -------------------------
+
+    def tick(self) -> Generator:
+        """Sample the fault rate and harvest or give back accordingly."""
+        config = self.config
+        faults = self.target.fault_count()
+        rate_per_ms = (
+            (faults - self._last_faults) / (config.interval_us / 1000.0)
+        )
+        self._last_faults = faults
+        if rate_per_ms >= config.spike_rate_per_ms and self.outstanding > 0:
+            self._give_back_all()
+            self._cooldown = config.cooldown_ticks
+        elif self._cooldown > 0:
+            self._cooldown -= 1
+        elif rate_per_ms < config.calm_rate_per_ms:
+            surplus = (
+                self.target.capacity
+                - self.target.wss_estimate()
+                - config.reserve_pages
+            )
+            if surplus >= config.min_harvest_pages:
+                want = min(surplus, config.max_step_pages)
+                taken = yield from self.target.harvest(want)
+                if taken > 0:
+                    self.broker.offer(self.producer, taken)
+                    self.counters.incr("harvests")
+                    self.counters.incr("pages_harvested", by=taken)
+        self.history.append((self.env.now, rate_per_ms, self.outstanding))
+        if self._obs_on:
+            self.obs.registry.gauge(
+                "harvester_outstanding_pages", vm=self.producer
+            ).set(self.outstanding)
+
+    def _give_back_all(self) -> None:
+        """Fast path: pull every outstanding page back in one step."""
+        reclaimed, revoked = self.broker.reclaim(
+            self.producer, self.outstanding
+        )
+        if reclaimed > 0:
+            restored = self.target.give_back(reclaimed)
+            if restored != reclaimed:
+                raise MarketError(
+                    f"{self.producer!r} reclaimed {reclaimed} page(s) but "
+                    f"the target only re-absorbed {restored}"
+                )
+            self.counters.incr("give_backs")
+            self.counters.incr("pages_given_back", by=reclaimed)
+            if revoked:
+                self.counters.incr("leases_revoked", by=len(revoked))
+
+    def shutdown(self) -> None:
+        """Producer leaves the market gracefully: stop the loop, pull
+        everything back."""
+        self.stop()
+        if self.outstanding > 0:
+            self._give_back_all()
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.env.timeout(self.config.interval_us)
+                yield from self.tick()
+        except InterruptError:
+            return
+
+    def __repr__(self) -> str:
+        return (
+            f"<Harvester {self.producer!r} outstanding={self.outstanding} "
+            f"cooldown={self._cooldown}>"
+        )

@@ -41,6 +41,10 @@ class BalloonDriver:
         self.mm = mm
         self.floor_pages = floor_pages
         self._held_frames: List[int] = []
+        #: Frames lent to the memory market via :meth:`harvest` —
+        #: :meth:`give_back` can only deflate what harvest inflated,
+        #: so market give-backs never release an operator's balloon.
+        self.harvested_pages = 0
 
     @property
     def inflated_pages(self) -> int:
@@ -105,6 +109,23 @@ class BalloonDriver:
             self.mm.frames.free(self._held_frames.pop())
             released += 1
         return released
+
+    # -- memory market hooks (repro.market harvester) -----------------------------
+
+    def harvest(self, pages: int) -> int:
+        """Inflate on behalf of the memory market; returns the pages
+        actually taken (bounded by free guest frames and the floor,
+        exactly like :meth:`inflate`)."""
+        taken = self.inflate(pages)
+        self.harvested_pages += taken
+        return taken
+
+    def give_back(self, pages: int) -> int:
+        """Deflate market-harvested frames back to the guest; returns
+        the pages restored, capped at what :meth:`harvest` took."""
+        returned = self.deflate(min(pages, self.harvested_pages))
+        self.harvested_pages -= returned
+        return returned
 
     def max_reachable_footprint_mib(self) -> float:
         """The floor expressed in MiB (64.75 MB in the paper's table)."""

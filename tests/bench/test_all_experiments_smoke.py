@@ -72,3 +72,38 @@ def test_quick_run_emits_valid_metrics(name, tmp_path):
     assert stdout.getvalue().strip()  # the table/figure text rendered
     with open(path) as handle:
         _validate_metrics_document(json.load(handle), name, seed=7)
+
+
+def test_market_quick_run_reports_per_tenant_qos(tmp_path):
+    """The market metrics doc must carry the per-tenant QoS story:
+    fault-latency histograms, p99 and violation gauges for every
+    tenant, and the broker's market gauges — the acceptance contract
+    for the marketplace experiment."""
+    path = tmp_path / "market-qos.json"
+    with contextlib.redirect_stdout(io.StringIO()):
+        assert main([
+            "market", "--quick", "--seed", "42", "--metrics", str(path),
+        ]) == 0
+    with open(path) as handle:
+        snapshot = json.load(handle)["experiments"]["market"]
+    tenants = ("idle-pool", "premium-db", "spot-batch", "standard-web")
+    for tenant in tenants:
+        assert f"tenant_fault_latency_us{{tenant={tenant}}}" \
+            in snapshot["histograms"], tenant
+        assert f"tenant_p99_fault_latency_us{{tenant={tenant}}}" \
+            in snapshot["gauges"], tenant
+        violations = snapshot["gauges"][
+            f"tenant_slo_violations_total{{tenant={tenant}}}"
+        ]
+        assert isinstance(violations, numbers.Real) and violations >= 0
+    for gauge in ("market_harvested_pages", "market_granted_pages",
+                  "market_spot_price_millicredits",
+                  "market_lease_rejections", "qos_spot_throttle_us",
+                  "fleet_alive_vms"):
+        assert gauge in snapshot["gauges"], gauge
+    # The market actually moved pages in quick mode.
+    assert snapshot["counters"]["pages_offered{component=broker}"] > 0
+    assert snapshot["counters"]["pages_granted{component=broker}"] > 0
+    assert snapshot["histograms"][
+        "tenant_fault_latency_us{tenant=premium-db}"
+    ]["count"] >= 100  # hundreds of VMs generate real traffic

@@ -1,0 +1,294 @@
+"""Harvester give-back: a fault-rate spike mid-harvest must heal.
+
+The scenario the whole marketplace hinges on: a producer VM has been
+harvested down toward its working set when its demand surges (here a
+:class:`~repro.faults.FaultPlan` SLOW window on the fleet's
+``surge:<vm>`` convention nodes — the VM's Zipf head shifts phase and
+its fault rate spikes).  The harvester must detect the spike, reclaim
+everything it offered (revoking consumer leases, spot first), and give
+the DRAM back — and the producer tenant's windowed p99 fault latency
+must return to its SLO *within the scenario window*, not eventually.
+
+Also covers the layer hooks the harvester stands on: the kernel's
+non-destructive WSS estimate, the monitor's harvest/give-back budget
+accounting, and the balloon-driver wrappers.
+
+``FAULT_SEED`` offsets the seeds so the CI chaos matrix sweeps
+independent universes.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core import FluidMemConfig
+from repro.faults import FaultKind, FaultPlan, FaultWindow
+from repro.kernel import ActiveInactiveLists, GuestMemoryManager
+from repro.market import (
+    Broker,
+    HarvestConfig,
+    Harvester,
+    MarketFleet,
+    MonitorHarvestTarget,
+    QosManager,
+    TenantSlo,
+    TenantSpec,
+)
+from repro.mem import PAGE_SIZE, Page
+from repro.sim import Environment, RandomStreams
+from repro.vm import BalloonDriver
+
+from tests.conftest import build_stack
+
+SEED_BASE = int(os.environ.get("FAULT_SEED", "0")) * 100
+
+TICK_US = 10_000.0
+MARKET_EVERY = 3
+TICKS = 90
+#: Surge covers market rounds ~10..16 of 30.
+SURGE_START = 30 * TICK_US
+SURGE_END = 50 * TICK_US
+PRODUCER_SLO_US = 100.0
+
+
+def _build_surge_fleet(seed):
+    env = Environment()
+    broker = Broker(env)
+    # SLO verdicts need evidence: a window with a handful of straggler
+    # faults (a p99 of two samples is their max) is not a breach.
+    qos = QosManager(min_samples=8)
+    specs = [
+        TenantSpec(
+            "prod", 4, "producer",
+            footprint_pages=160, capacity_pages=160,
+            slo=TenantSlo(PRODUCER_SLO_US, priority=1),
+            accesses_per_tick=24,
+        ),
+        TenantSpec(
+            "cons", 2, "consumer",
+            footprint_pages=256, capacity_pages=96,
+            slo=TenantSlo(2_000.0, priority=0),
+            accesses_per_tick=12,
+        ),
+    ]
+    plan = FaultPlan(
+        [
+            FaultWindow(
+                FaultKind.SLOW, f"surge:prod-{index:03d}",
+                SURGE_START, SURGE_END, param=10.0,
+            )
+            for index in range(4)
+        ],
+        seed=seed,
+    )
+    fleet = MarketFleet(
+        env, specs, RandomStreams(seed), broker, qos,
+        fault_plan=plan,
+        harvest_config=HarvestConfig(
+            interval_us=MARKET_EVERY * TICK_US,
+            reserve_pages=16,
+            min_harvest_pages=8,
+            max_step_pages=256,
+            spike_rate_per_ms=0.6,
+            calm_rate_per_ms=0.3,
+            # Fast give-back, slow re-entry: after a spike the VM keeps
+            # its DRAM for the rest of the scenario, so recovery is not
+            # immediately re-broken by a fresh harvest.
+            cooldown_ticks=1_000,
+        ),
+    )
+    return env, broker, qos, fleet
+
+
+@pytest.mark.parametrize("seed", [SEED_BASE + offset for offset in
+                                  (0, 1, 2)])
+def test_give_back_restores_producer_p99_within_the_window(seed):
+    env, broker, qos, fleet = _build_surge_fleet(seed)
+    env.process(fleet.run(TICKS, tick_us=TICK_US,
+                          market_every=MARKET_EVERY))
+    env.run()
+
+    producers = [vm for vm in fleet.vms if vm.spec.role == "producer"]
+    surge_rounds = range(
+        int(SURGE_START / (MARKET_EVERY * TICK_US)),
+        int(SURGE_END / (MARKET_EVERY * TICK_US)),
+    )
+    history = qos.p99_history
+    # 1. Harvesting happened before the surge: pages were offered.
+    assert broker.counters["pages_offered"] > 0
+    # 2. The surge spiked the producer tenant past its SLO.
+    spiked = [
+        index for index in surge_rounds
+        if history[index].get("prod", 0.0) > PRODUCER_SLO_US
+    ]
+    assert spiked, "surge never drove producer p99 over its SLO"
+    # 3. The harvesters gave back *during the surge*, not at drain:
+    #    each producer had pages on the market before the surge and
+    #    zero outstanding at some market tick inside the window.
+    for name in sorted(fleet.harvesters):
+        ticks = fleet.harvesters[name].history
+        assert any(
+            outstanding > 0 for now, _, outstanding in ticks
+            if now < SURGE_START
+        ), f"{name} never harvested before the surge"
+        assert any(
+            outstanding == 0 for now, _, outstanding in ticks
+            if SURGE_START <= now < SURGE_END
+        ), f"{name} never gave back during the surge"
+    assert broker.counters["pages_reclaimed"] \
+        == broker.counters["pages_offered"]
+    assert all(vm.capacity == vm.spec.capacity_pages for vm in producers)
+    assert all(vm.harvested_pages == 0 for vm in producers)
+    # 4. Recovery *within the scenario window*: from the first
+    #    post-spike round on, some round ends with the producer back at
+    #    or under its SLO — and it stays there for the rest of the run.
+    recovery = [
+        history[index].get("prod")
+        for index in range(max(spiked) + 1, len(history))
+    ]
+    assert recovery, "no market rounds left after the spike"
+    healed_at = next(
+        (
+            offset for offset, p99 in enumerate(recovery)
+            if p99 is None or p99 <= PRODUCER_SLO_US
+        ),
+        None,
+    )
+    assert healed_at is not None, (
+        f"producer p99 never recovered: {recovery}"
+    )
+    for p99 in recovery[healed_at:]:
+        assert p99 is None or p99 <= PRODUCER_SLO_US, (
+            f"producer p99 regressed after healing: {recovery}"
+        )
+
+
+def test_spike_suppresses_harvesting_during_cooldown():
+    env = Environment()
+    broker = Broker(env)
+
+    class FakeTarget:
+        capacity = 512
+        dead = False
+
+        def __init__(self):
+            self.faults = 0
+
+        def wss_estimate(self):
+            return 64
+
+        def fault_count(self):
+            return self.faults
+
+        def harvest(self, pages):
+            self.capacity -= pages
+            yield env.timeout(1.0)
+            return pages
+
+        def give_back(self, pages):
+            self.capacity += pages
+            return pages
+
+    target = FakeTarget()
+    config = HarvestConfig(
+        interval_us=1_000.0, spike_rate_per_ms=2.0,
+        calm_rate_per_ms=0.5, cooldown_ticks=2,
+        reserve_pages=0, min_harvest_pages=1, max_step_pages=64,
+    )
+    harvester = Harvester(env, "vm0", target, broker, config=config)
+
+    def scenario():
+        yield from harvester.tick()  # calm: harvests 64
+        assert broker.outstanding_of("vm0") == 64
+        target.faults += 5_000  # spike: 5 faults/µs
+        yield from harvester.tick()
+        assert broker.outstanding_of("vm0") == 0  # gave everything back
+        assert target.capacity == 512
+        # Cooldown: two calm ticks with no harvesting.
+        for _ in range(config.cooldown_ticks):
+            yield from harvester.tick()
+            assert broker.outstanding_of("vm0") == 0
+        yield from harvester.tick()  # cooldown over: harvests again
+        assert broker.outstanding_of("vm0") == 64
+
+    proc = env.process(scenario())
+    env.run()
+    assert proc.ok
+
+
+# -- the layer hooks the harvester stands on -----------------------------------
+
+
+def test_kernel_wss_estimate_counts_hot_pages_non_destructively():
+    lists = ActiveInactiveLists()
+    pages = [Page(index * PAGE_SIZE) for index in range(8)]
+    for page in pages:
+        lists.insert(page)
+    for page in pages[:3]:  # 3 referenced on the inactive list
+        page.read()
+    assert lists.wss_estimate() == 3
+    assert lists.referenced_inactive_count() == 3
+    # Non-destructive: the referenced bits survive the estimate, so
+    # reclaim still gives those pages their second chance.
+    assert lists.wss_estimate() == 3
+    victims = lists.select_victims(5)
+    assert all(not victim.referenced for victim in victims)
+    assert lists.active_count == 3  # the hot three were promoted
+
+
+def test_monitor_harvest_and_give_back_round_trip():
+    stack = build_stack(
+        config=FluidMemConfig(lru_capacity_pages=64), seed=7
+    )
+    monitor = stack.monitor
+    target = MonitorHarvestTarget(monitor)
+
+    def scenario():
+        taken = yield from target.harvest(16)
+        assert taken == 16
+        assert monitor.lru.capacity == 48
+        assert monitor.harvested_pages == 16
+        # Give-back is capped at what harvest took.
+        assert target.give_back(100) == 16
+        assert monitor.lru.capacity == 64
+        assert monitor.harvested_pages == 0
+        assert target.give_back(1) == 0
+
+    proc = stack.env.process(scenario())
+    stack.env.run()
+    assert proc.ok
+    assert target.capacity == 64
+    assert target.fault_count() == monitor.counters["faults"]
+
+
+def test_monitor_harvest_never_shrinks_below_one_page():
+    stack = build_stack(
+        config=FluidMemConfig(lru_capacity_pages=4), seed=7
+    )
+    monitor = stack.monitor
+
+    def scenario():
+        taken = yield from monitor.harvest(100)
+        assert taken == 3
+        assert monitor.lru.capacity == 1
+
+    proc = stack.env.process(scenario())
+    stack.env.run()
+    assert proc.ok
+
+
+def test_balloon_harvest_give_back_is_bounded_by_harvested():
+    env = Environment()
+    mm = GuestMemoryManager(env, random.Random(0),
+                            dram_bytes=64 * PAGE_SIZE)
+    balloon = BalloonDriver(mm, floor_pages=16)
+    taken = balloon.harvest(32)
+    assert taken == 32
+    assert balloon.harvested_pages == 32
+    # An operator balloon inflated outside the market is untouchable
+    # by market give-backs.
+    balloon.inflate(8)
+    assert balloon.give_back(100) == 32
+    assert balloon.harvested_pages == 0
+    assert balloon.inflated_pages == 8
