@@ -184,27 +184,34 @@ def run_market(
     ticks: int = 90,
     seed: int = 42,
     chaos: bool = True,
+    partitions: int = 1,
 ) -> MarketResult:
-    env = Environment()
     obs = default_observability()
     # The checker is NOT optional here — every run audits the ledger.
     check = CorrectnessChecker(enabled=True, obs=obs)
-    streams = RandomStreams(derive_seed(seed, "market"))
     specs = market_specs(fleet_scale)
     tick_us = 10_000.0
     plan = (
         market_chaos_plan(specs, seed, ticks, tick_us) if chaos else None
     )
+    harvest_config = HarvestConfig(
+        interval_us=3 * tick_us,
+        spike_rate_per_ms=1.0,
+        calm_rate_per_ms=0.4,
+    )
+    if partitions > 1:
+        return _run_market_partitioned(
+            specs, seed, ticks, tick_us, partitions, plan,
+            harvest_config, obs, check,
+        )
+    env = Environment()
+    streams = RandomStreams(derive_seed(seed, "market"))
     broker = Broker(env, obs=obs, check=check)
     qos = QosManager(obs=obs)
     fleet = MarketFleet(
         env, specs, streams, broker, qos,
         fault_plan=plan,
-        harvest_config=HarvestConfig(
-            interval_us=3 * tick_us,
-            spike_rate_per_ms=1.0,
-            calm_rate_per_ms=0.4,
-        ),
+        harvest_config=harvest_config,
         obs=obs,
     )
     proc = env.process(
@@ -214,7 +221,53 @@ def run_market(
     if not proc.ok:  # pragma: no cover - surfaced to the caller
         raise proc.value
 
-    summary = fleet.tenant_summary()
+    return _assemble_result(
+        summary=fleet.tenant_summary(),
+        ticks=ticks,
+        broker_counters=dict(broker.counters.as_dict()),
+        lease_rejections=fleet.lease_rejections,
+        vm_crashes=fleet.counters.as_dict().get("vm_crashes", 0),
+        total_vms=len(fleet.vms),
+        spot_price_final=broker.spot_price(),
+        obs=obs,
+        check=check,
+    )
+
+
+def _run_market_partitioned(
+    specs, seed, ticks, tick_us, partitions, plan, harvest_config,
+    obs, check,
+) -> MarketResult:
+    """The sharded path: same books, N processes, identical bytes."""
+    from ..parallel.fleet import run_partitioned_market
+
+    outcome = run_partitioned_market(
+        specs, seed, ticks,
+        tick_us=tick_us,
+        market_every=3,
+        partitions=partitions,
+        fault_plan=plan,
+        harvest_config=harvest_config,
+        obs=obs,
+        check=check,
+    )
+    return _assemble_result(
+        summary=outcome["summary"],
+        ticks=ticks,
+        broker_counters=outcome["broker_counters"],
+        lease_rejections=outcome["lease_rejections"],
+        vm_crashes=outcome["vm_crashes"],
+        total_vms=outcome["total_vms"],
+        spot_price_final=outcome["spot_price_final"],
+        obs=obs,
+        check=check,
+    )
+
+
+def _assemble_result(
+    summary, ticks, broker_counters, lease_rejections, vm_crashes,
+    total_vms, spot_price_final, obs, check,
+) -> MarketResult:
     rows = [
         MarketRow(
             tenant=name,
@@ -231,26 +284,23 @@ def run_market(
         )
         for name, stats in summary.items()
     ]
-    counters = broker.counters.as_dict()
     if obs.enabled:
         registry = obs.registry
         for row in rows:
             registry.gauge(
                 "tenant_slo_violations_total", tenant=row.tenant
             ).set(row.violations)
-        registry.gauge("market_lease_rejections").set(
-            fleet.lease_rejections
-        )
+        registry.gauge("market_lease_rejections").set(lease_rejections)
     return MarketResult(
         rows_data=rows,
-        total_vms=len(fleet.vms),
+        total_vms=total_vms,
         ticks=ticks,
-        pages_offered=counters.get("pages_offered", 0),
-        pages_granted=counters.get("pages_granted", 0),
-        grants=counters.get("grants", 0),
-        revocations=counters.get("revocations", 0),
-        lease_rejections=fleet.lease_rejections,
-        vm_crashes=fleet.counters.as_dict().get("vm_crashes", 0),
-        spot_price_final=broker.spot_price(),
+        pages_offered=broker_counters.get("pages_offered", 0),
+        pages_granted=broker_counters.get("pages_granted", 0),
+        grants=broker_counters.get("grants", 0),
+        revocations=broker_counters.get("revocations", 0),
+        lease_rejections=lease_rejections,
+        vm_crashes=vm_crashes,
+        spot_price_final=spot_price_final,
         invariant_violations=len(check.violations),
     )

@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import List
 
-from .campaign import run_campaign
+from .campaign import report_json, run_campaign
 from .explorer import SCHEDULES, parse_schedules
 from .scenarios import BUGS, DEFAULT_FAULTS, SCENARIOS
 
@@ -70,6 +70,16 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         help="skip shrinking failures to a minimal op count",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the campaign grid (default 1 = "
+             "serial; the report is identical at any worker count)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the campaign report as canonical JSON to PATH "
+             "('-' for stdout)",
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list scenarios, schedules, fault plans, and bugs",
     )
@@ -106,6 +116,10 @@ def main(argv: List[str] = None) -> int:
     faults = {"default": "default", "none": None}.get(
         args.faults, args.faults
     )
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
     report = run_campaign(
         scenarios=scenarios,
         seeds=range(args.seeds),
@@ -116,7 +130,16 @@ def main(argv: List[str] = None) -> int:
         bug=args.bug,
         shrink=args.shrink,
         emit=print,
+        workers=args.workers,
+        pool_emit=lambda line: print(line, file=sys.stderr),
     )
+    if args.report:
+        rendered = report_json(report)
+        if args.report == "-":
+            sys.stdout.write(rendered)
+        else:
+            with open(args.report, "w") as handle:
+                handle.write(rendered)
     print(
         f"\n{report.runs} run(s): {report.passed} ok, "
         f"{len(report.failures)} failing"

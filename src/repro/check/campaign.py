@@ -18,14 +18,16 @@ debugger-friendly single test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import InvariantViolation, ReproError
+from ..parallel.pool import PoolStats, run_tasks
 from .scenarios import DEFAULT_FAULTS, SCENARIOS, run_scenario
 
 __all__ = ["CampaignFailure", "CampaignReport", "repro_command",
-           "run_campaign"]
+           "report_json", "run_campaign"]
 
 #: Environment variables understood by tests/check/test_repro_entry.py.
 ENV_PREFIX = "REPRO_CHECK"
@@ -135,6 +137,55 @@ def shrink_ops(
     return best
 
 
+def _campaign_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one (scenario, seed, schedule) cell; never raises.
+
+    The unit of work the campaign hands to :func:`repro.parallel.pool.
+    run_tasks`: fully self-contained, picklable in and out, and with
+    all human-readable output captured as ``lines`` so the parent can
+    replay it in *cell order* — the campaign transcript is therefore
+    byte-identical at any worker count.
+    """
+    scenario = payload["scenario"]
+    seed = payload["seed"]
+    schedule = payload["schedule"]
+    plan = payload["faults"]
+    ops = payload["ops"]
+    quick = payload["quick"]
+    bug = payload["bug"]
+    shrink = payload["shrink"]
+    lines: List[str] = []
+    tag = (f"{scenario} seed={seed} schedule={schedule}"
+           + (f" faults={plan}" if plan else "")
+           + (f" bug={bug}" if bug else ""))
+    try:
+        summary = run_scenario(
+            scenario, seed=seed, schedule=schedule,
+            ops=ops, faults=plan, quick=quick, bug=bug,
+        )
+    except ReproError as exc:
+        lines.append(f"FAIL {tag}: {exc}")
+        failed_ops = ops if ops is not None else \
+            _default_ops(scenario, quick)
+        final_ops = failed_ops
+        if shrink:
+            final_ops = shrink_ops(
+                scenario, seed, schedule, failed_ops,
+                plan, bug, lines.append,
+            )
+        invariant = getattr(exc, "invariant", "error")
+        failure = CampaignFailure(
+            scenario=scenario, seed=seed, schedule=schedule,
+            faults=plan, bug=bug, ops=final_ops,
+            original_ops=failed_ops, invariant=invariant,
+            message=str(exc),
+        )
+        lines.append(f"  reproduce with:\n    {failure.command}")
+        return {"ok": False, "failure": asdict(failure), "lines": lines}
+    lines.append(f"ok   {tag}")
+    return {"ok": True, "summary": summary, "lines": lines}
+
+
 def run_campaign(
     scenarios: Sequence[str],
     seeds: Sequence[int],
@@ -145,10 +196,21 @@ def run_campaign(
     bug: Optional[str] = None,
     shrink: bool = True,
     emit: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+    pool_emit: Optional[Callable[[str], None]] = None,
+    pool_stats: Optional[PoolStats] = None,
 ) -> CampaignReport:
-    """Sweep the grid; shrink and report every failure found."""
+    """Sweep the grid; shrink and report every failure found.
+
+    ``workers > 1`` fans the grid cells out over that many processes
+    via :mod:`repro.parallel`; results (and the ``emit`` transcript)
+    are merged in grid order, so the returned report is identical at
+    any worker count.  ``pool_emit`` receives worker-lifecycle notices
+    (crash/retry), which are timing-dependent and deliberately kept
+    out of the deterministic transcript.
+    """
     emit = emit or (lambda line: None)
-    report = CampaignReport()
+    cells: List[Dict[str, Any]] = []
     for scenario in scenarios:
         if scenario not in SCENARIOS:
             raise ReproError(
@@ -158,39 +220,47 @@ def run_campaign(
         plan = DEFAULT_FAULTS[scenario] if faults == "default" else faults
         for seed in seeds:
             for schedule in schedules:
-                report.runs += 1
-                tag = (f"{scenario} seed={seed} schedule={schedule}"
-                       + (f" faults={plan}" if plan else "")
-                       + (f" bug={bug}" if bug else ""))
-                try:
-                    summary = run_scenario(
-                        scenario, seed=seed, schedule=schedule,
-                        ops=ops, faults=plan, quick=quick, bug=bug,
-                    )
-                except ReproError as exc:
-                    emit(f"FAIL {tag}: {exc}")
-                    failed_ops = ops if ops is not None else \
-                        _default_ops(scenario, quick)
-                    final_ops = failed_ops
-                    if shrink:
-                        final_ops = shrink_ops(
-                            scenario, seed, schedule, failed_ops,
-                            plan, bug, emit,
-                        )
-                    invariant = getattr(exc, "invariant", "error")
-                    failure = CampaignFailure(
-                        scenario=scenario, seed=seed, schedule=schedule,
-                        faults=plan, bug=bug, ops=final_ops,
-                        original_ops=failed_ops, invariant=invariant,
-                        message=str(exc),
-                    )
-                    report.failures.append(failure)
-                    emit(f"  reproduce with:\n    {failure.command}")
-                    continue
-                report.passed += 1
-                report.summaries.append(summary)
-                emit(f"ok   {tag}")
+                cells.append({
+                    "scenario": scenario, "seed": seed,
+                    "schedule": schedule, "faults": plan, "ops": ops,
+                    "quick": quick, "bug": bug, "shrink": shrink,
+                })
+    results = run_tasks(
+        _campaign_cell, cells, workers=workers,
+        emit=pool_emit, stats=pool_stats,
+    )
+    report = CampaignReport()
+    for outcome in results:
+        report.runs += 1
+        for line in outcome["lines"]:
+            emit(line)
+        if outcome["ok"]:
+            report.passed += 1
+            report.summaries.append(outcome["summary"])
+        else:
+            report.failures.append(CampaignFailure(**outcome["failure"]))
     return report
+
+
+def report_json(report: CampaignReport) -> str:
+    """Canonical JSON rendering of a campaign report.
+
+    Sorted keys, fixed indentation, no timing or host information, and
+    — critically — nothing about how many workers produced it: the
+    bytes depend only on the grid and its outcomes, which is what the
+    CI ``parallel-determinism`` job diffs.
+    """
+    doc = {
+        "schema": "repro-check-report/1",
+        "runs": report.runs,
+        "passed": report.passed,
+        "failures": [
+            {**asdict(failure), "command": failure.command}
+            for failure in report.failures
+        ],
+        "summaries": report.summaries,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
 
 def _default_ops(scenario: str, quick: bool) -> int:

@@ -186,6 +186,15 @@ class MarketError(ReproError):
     """Errors from the memory marketplace (``repro.market``)."""
 
 
+class ParallelError(ReproError):
+    """Errors from the multiprocess execution layer (``repro.parallel``).
+
+    Raised when a worker process crashes more times than the retry
+    budget allows, when a fleet partition dies mid-run, or when the
+    coordinator/worker protocol is violated.
+    """
+
+
 class WorkloadError(ReproError):
     """Errors from workload generators."""
 

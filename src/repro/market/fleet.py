@@ -58,6 +58,11 @@ __all__ = [
     "FIRST_TOUCH_US",
     "REMOTE_FAULT_US",
     "SWAP_FAULT_US",
+    "MIN_CONSUMER_DEMAND_PAGES",
+    "apply_chaos",
+    "build_tenant_vms",
+    "consumer_demand",
+    "summarize_tenants",
 ]
 
 #: Modeled fault-service latencies (µs).  A first touch is a zero-fill;
@@ -72,6 +77,9 @@ SWAP_FAULT_US = 150.0
 _EVICT_US_PER_PAGE = 0.2
 #: No VM shrinks below this local budget (the balloon-floor analogue).
 _MIN_CAPACITY_PAGES = 32
+#: Consumers ignore shortfalls below this — a lease that small is not
+#: worth a market round trip.
+MIN_CONSUMER_DEMAND_PAGES = 16
 
 
 @dataclass(frozen=True)
@@ -281,6 +289,90 @@ class MarketVM:
         )
 
 
+def build_tenant_vms(
+    env: Environment, spec: TenantSpec, streams: RandomStreams
+) -> List[MarketVM]:
+    """The VMs of one tenant, named ``<tenant>-NNN``.
+
+    Each VM's RNG stream is derived from its *name*, not from draw
+    order, so any subset of tenants built in any process replays the
+    exact access streams of the full serial fleet.
+    """
+    vms = []
+    for index in range(spec.vms):
+        name = f"{spec.name}-{index:03d}"
+        vms.append(MarketVM(env, name, spec, streams.stream(f"vm:{name}")))
+    return vms
+
+
+def apply_chaos(
+    plan: FaultPlan,
+    now: float,
+    vms: List[MarketVM],
+    harvesters: Dict[str, Harvester],
+    counters,
+    on_death,
+) -> None:
+    """One tick of the fleet chaos convention over ``vms`` in order.
+
+    CRASH windows fail-stop the VM (``on_death(name)`` tells the
+    ledger's owner — the broker in the serial fleet, the coordinator's
+    pipe in a sharded run); ``surge:<name>`` SLOW windows toggle the
+    demand surge.  A crashed producer's harvester gets its fault
+    baseline re-synced so the post-reboot rate estimate is not negative.
+    """
+    for vm in vms:
+        crashed = plan.is_crashed(vm.name, now)
+        if crashed and not vm.dead:
+            vm.crash()
+            on_death(vm.name)
+            harvester = harvesters.get(vm.name)
+            if harvester is not None:
+                harvester._last_faults = vm.stats.faults
+            counters.incr("vm_crashes")
+        elif not crashed and vm.dead:
+            vm.reboot()
+            counters.incr("vm_reboots")
+        vm.surging = plan.extra_latency_us(f"surge:{vm.name}", now) > 0
+
+
+def consumer_demand(vm: MarketVM) -> Optional[int]:
+    """Pages this VM wants from the market this round, or ``None``.
+
+    ``None`` for dead VMs, producers, and shortfalls under
+    :data:`MIN_CONSUMER_DEMAND_PAGES`.
+    """
+    if vm.dead or vm.spec.role != "consumer":
+        return None
+    shortfall = vm.remote_shortfall()
+    if shortfall < MIN_CONSUMER_DEMAND_PAGES:
+        return None
+    return min(shortfall, vm.spec.lease_request_cap)
+
+
+def summarize_tenants(
+    specs: List[TenantSpec], vms: List[MarketVM], qos: QosManager
+) -> Dict[str, Dict[str, object]]:
+    """Per-tenant aggregates for the bench table, in spec order."""
+    summary: Dict[str, Dict[str, object]] = {}
+    for spec in specs:
+        tenant_vms = [vm for vm in vms if vm.spec is spec]
+        summary[spec.name] = {
+            "role": spec.role,
+            "vms": len(tenant_vms),
+            "priority": spec.slo.priority,
+            "slo_us": spec.slo.p99_fault_latency_us,
+            "p99_us": qos.last_p99.get(spec.name, 0.0),
+            "violations": qos.violation_counts.get(spec.name, 0),
+            "faults": sum(vm.stats.faults for vm in tenant_vms),
+            "hits": sum(vm.stats.hits for vm in tenant_vms),
+            "remote_hits": sum(vm.stats.remote_hits for vm in tenant_vms),
+            "swap_faults": sum(vm.stats.swap_faults for vm in tenant_vms),
+            "deaths": sum(vm.stats.deaths for vm in tenant_vms),
+        }
+    return summary
+
+
 class MarketFleet:
     """Drives the whole marketplace: VMs, harvesters, broker, QoS."""
 
@@ -311,15 +403,11 @@ class MarketFleet:
                 raise MarketError(f"duplicate tenant name {spec.name!r}")
             names.add(spec.name)
             self.qos.register(spec.name, spec.slo)
-            for index in range(spec.vms):
-                name = f"{spec.name}-{index:03d}"
-                vm = MarketVM(
-                    env, name, spec, streams.stream(f"vm:{name}")
-                )
+            for vm in build_tenant_vms(env, spec, streams):
                 self.vms.append(vm)
                 if spec.role == "producer":
-                    self.harvesters[name] = Harvester(
-                        env, name, vm, broker,
+                    self.harvesters[vm.name] = Harvester(
+                        env, vm.name, vm, broker,
                         config=harvest_config, obs=self.obs,
                     )
         self._by_name = {vm.name: vm for vm in self.vms}
@@ -340,22 +428,10 @@ class MarketFleet:
         plan = self.fault_plan
         if plan is None:
             return
-        now = self.env.now
-        for vm in self.vms:
-            crashed = plan.is_crashed(vm.name, now)
-            if crashed and not vm.dead:
-                vm.crash()
-                self.broker.vm_died(vm.name)
-                harvester = self.harvesters.get(vm.name)
-                if harvester is not None:
-                    harvester._last_faults = vm.stats.faults
-                self.counters.incr("vm_crashes")
-            elif not crashed and vm.dead:
-                vm.reboot()
-                self.counters.incr("vm_reboots")
-            vm.surging = (
-                plan.extra_latency_us(f"surge:{vm.name}", now) > 0
-            )
+        apply_chaos(
+            plan, self.env.now, self.vms, self.harvesters,
+            self.counters, self.broker.vm_died,
+        )
 
     # -- market round -----------------------------------------------------------------
 
@@ -366,20 +442,19 @@ class MarketFleet:
             if not harvester.target.dead:
                 yield from harvester.tick()
         for vm in self.vms:
-            if vm.dead or vm.spec.role != "consumer":
+            want = consumer_demand(vm)
+            if want is None:
                 continue
-            shortfall = vm.remote_shortfall()
-            if shortfall >= 16:
-                lease = self.broker.request(
-                    vm.name,
-                    min(shortfall, vm.spec.lease_request_cap),
-                    max_price_per_page=vm.spec.max_price,
-                    priority=vm.spec.slo.priority,
-                )
-                if lease is None:
-                    self.lease_rejections += 1
-                else:
-                    vm.set_remote_budget(self.broker.granted_to(vm.name))
+            lease = self.broker.request(
+                vm.name,
+                want,
+                max_price_per_page=vm.spec.max_price,
+                priority=vm.spec.slo.priority,
+            )
+            if lease is None:
+                self.lease_rejections += 1
+            else:
+                vm.set_remote_budget(self.broker.granted_to(vm.name))
         p99s = self.qos.evaluate()
         if self._obs_on:
             registry = self.obs.registry
@@ -436,23 +511,7 @@ class MarketFleet:
 
     def tenant_summary(self) -> Dict[str, Dict[str, object]]:
         """Per-tenant aggregates for the bench table."""
-        summary: Dict[str, Dict[str, object]] = {}
-        for spec in self.specs:
-            vms = [vm for vm in self.vms if vm.spec is spec]
-            summary[spec.name] = {
-                "role": spec.role,
-                "vms": len(vms),
-                "priority": spec.slo.priority,
-                "slo_us": spec.slo.p99_fault_latency_us,
-                "p99_us": self.qos.last_p99.get(spec.name, 0.0),
-                "violations": self.qos.violation_counts.get(spec.name, 0),
-                "faults": sum(vm.stats.faults for vm in vms),
-                "hits": sum(vm.stats.hits for vm in vms),
-                "remote_hits": sum(vm.stats.remote_hits for vm in vms),
-                "swap_faults": sum(vm.stats.swap_faults for vm in vms),
-                "deaths": sum(vm.stats.deaths for vm in vms),
-            }
-        return summary
+        return summarize_tenants(self.specs, self.vms, self.qos)
 
     def __repr__(self) -> str:
         return (

@@ -7,6 +7,7 @@ from .transports import (
     RDMA_FDR,
     TRANSPORTS,
     TransportSpec,
+    min_transport_latency_us,
 )
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "IPOIB",
     "ETHERNET_10G",
     "TRANSPORTS",
+    "min_transport_latency_us",
 ]

@@ -1,0 +1,672 @@
+"""Sharded market-fleet runner: one event loop per VM partition.
+
+The market experiment couples its hundreds of VMs only through three
+narrow channels — the broker's ledger, the QoS throttle scalar, and
+the per-tick chaos/budget exchange — so the fleet shards cleanly by
+tenant group: each partition owns a contiguous block of tenants and
+runs their access ticks (the dominant cost) on its own
+:class:`~repro.sim.Environment` in its own process, while a
+coordinator in the parent keeps the single authoritative
+:class:`~repro.market.Broker` (with its live
+:class:`~repro.check.CorrectnessChecker` shadow ledger) and sequences
+the cross-partition phases.
+
+**Conservative windows.**  Partitions advance decoupled between
+barriers; the safe window for that is bounded below by the minimum
+one-way latency any message between partitions could have — in this
+repo's transport models that is
+:func:`repro.net.min_transport_latency_us` (RDMA FDR propagation plus
+per-message overhead).  The fleet's tick (default 10 000 µs) is far
+coarser, and all cross-VM coupling happens at tick boundaries, so the
+runner barriers every tick: ``window = conservative_window_us(
+floor_us=tick_us)``.  :func:`repro.parallel.conservative_window_us`
+enforces the floor-vs-bound rule.
+
+**Determinism.**  Every VM's RNG stream is derived from its *name*
+(:func:`~repro.market.fleet.build_tenant_vms`), clocks advance through
+the identical float additions the serial fleet performs (``sync_to``
+barriers plus the same harvest timeouts), broker operations are
+applied in the serial fleet's global VM order, and the QoS throttle
+moves by the globally-combined protected-violating verdict
+(:meth:`~repro.market.QosManager.apply_throttle_decision`).  The
+result — tenant summaries, broker counters, and the merged metrics
+registry — is byte-identical to the serial run at any partition count.
+
+Phase protocol, per tick (coordinator <-> each partition pipe):
+
+1. ``chaos``      partition -> deaths in VM order; coordinator applies
+                  ``vm_died`` globally, replies final lease budgets.
+2. (access ticks run partition-local; no messages.)
+3. Market rounds every ``market_every`` ticks:
+   ``market``          all partitions report an identical clock;
+   ``harvest_phase``   producer blocks run sequentially in the serial
+                       fleet's sorted-harvester order, broker calls
+                       relayed as blocking RPCs carrying the shard
+                       clock;
+   ``consumer_phase``  clocks re-synced to the post-harvest time,
+                       revocation budgets applied, lease demands
+                       gathered in VM order;
+   ``qos_phase``       grants applied, per-tenant windows closed;
+   ``throttle``        the OR of every shard's protected-violating
+                       verdict, applied everywhere.
+4. Drain: harvester shutdown (same sequential order), consumer lease
+   release in global VM order, a final steady-state audit, and one
+   ``report`` carrying tenant summaries plus the full metrics-registry
+   state for exact merging.
+
+A partition process that dies mid-protocol raises
+:class:`~repro.errors.ParallelError` naming it; ``KeyboardInterrupt``
+terminates and joins every partition before re-raising.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import signal
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MarketError, ParallelError
+from ..faults import FaultPlan
+from ..market.broker import Broker
+from ..market.fleet import (
+    MarketVM,
+    TenantSpec,
+    apply_chaos,
+    build_tenant_vms,
+    consumer_demand,
+    summarize_tenants,
+)
+from ..market.harvester import HarvestConfig, Harvester
+from ..market.qos import QosManager
+from ..obs import NULL_OBS, Observability
+from ..sim import Environment, RandomStreams, derive_seed
+from .windows import conservative_window_us, partition_seed
+
+__all__ = ["partition_specs", "run_partitioned_market"]
+
+#: Pipe poll interval while watching for partition death (seconds).
+_POLL_S = 0.05
+
+
+def partition_specs(
+    specs: Sequence[TenantSpec], partitions: int
+) -> List[List[TenantSpec]]:
+    """Split ``specs`` into contiguous, non-empty partition groups.
+
+    Contiguity matters: the serial fleet's global VM order is the
+    concatenation of spec blocks, and the coordinator replays broker
+    operations in exactly that order by walking partitions in index
+    order.  ``partitions`` beyond ``len(specs)`` is clamped — a tenant
+    is the smallest shardable unit.
+    """
+    if partitions < 1:
+        raise ParallelError(f"partitions must be >= 1, got {partitions}")
+    count = min(partitions, len(specs))
+    bounds = [len(specs) * index // count for index in range(count + 1)]
+    return [
+        list(specs[bounds[index]:bounds[index + 1]])
+        for index in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class _PartitionConfig:
+    """Everything one partition process needs (must pickle)."""
+
+    index: int
+    specs: Tuple[TenantSpec, ...]
+    seed: int
+    ticks: int
+    tick_us: float
+    market_every: int
+    plan: Optional[FaultPlan]
+    harvest_config: Optional[HarvestConfig]
+    obs_enabled: bool
+
+
+class _BrokerProxy:
+    """The partition-side stand-in for the coordinator's broker.
+
+    Implements exactly the surface :class:`~repro.market.Harvester`
+    touches; every call is a blocking pipe RPC carrying the shard's
+    clock so the ledger timestamps (``granted_at``/``ended_at``) match
+    the serial run.
+    """
+
+    def __init__(self, conn, env: Environment) -> None:
+        self._conn = conn
+        self._env = env
+
+    def _call(self, method: str, *args):
+        self._conn.send(("brk", method, args, self._env.now))
+        kind, payload = self._conn.recv()
+        if kind != "ok":
+            raise ParallelError(f"broker rpc {method} failed: {payload}")
+        return payload
+
+    def outstanding_of(self, producer: str) -> int:
+        return self._call("outstanding_of", producer)
+
+    def offer(self, producer: str, pages: int) -> int:
+        return self._call("offer", producer, pages)
+
+    def reclaim(self, producer: str, pages: int):
+        reclaimed, revoked_count = self._call("reclaim", producer, pages)
+        # Callers only test truthiness and len(); the Lease objects
+        # themselves stay on the coordinator.
+        return reclaimed, [None] * revoked_count
+
+
+# ---------------------------------------------------------------------------
+# partition (child process) side
+# ---------------------------------------------------------------------------
+
+
+def _harvest(harvesters: Dict[str, Harvester], names: Sequence[str]):
+    """The serial fleet's harvest loop over one partition's block."""
+    for name in names:
+        harvester = harvesters[name]
+        if not harvester.target.dead:
+            yield from harvester.tick()
+
+
+def _partition_main(conn, config: _PartitionConfig) -> None:
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Hygiene only: fleet code never touches the global random module,
+    # but a partition-derived seed keeps any stray use per-partition
+    # deterministic (mirrors the work-queue pool's per-task reseed).
+    random.seed(partition_seed(config.seed, config.index))
+    try:
+        _run_partition(conn, config)
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        try:
+            conn.send((
+                "error", config.index, f"{type(exc).__name__}: {exc}"
+            ))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _run_partition(conn, config: _PartitionConfig) -> None:
+    env = Environment()
+    obs = Observability(enabled=config.obs_enabled)
+    qos = QosManager(obs=obs)
+    # Same root stream as the serial fleet: per-VM streams are derived
+    # by name, so building only this partition's tenants replays the
+    # exact serial access streams.
+    streams = RandomStreams(derive_seed(config.seed, "market"))
+    counters = obs.counters_for(component="fleet")
+    broker = _BrokerProxy(conn, env)
+    vms: List[MarketVM] = []
+    harvesters: Dict[str, Harvester] = {}
+    for spec in config.specs:
+        qos.register(spec.name, spec.slo)
+        for vm in build_tenant_vms(env, spec, streams):
+            vms.append(vm)
+            if spec.role == "producer":
+                harvesters[vm.name] = Harvester(
+                    env, vm.name, vm, broker,
+                    config=config.harvest_config, obs=obs,
+                )
+    by_name = {vm.name: vm for vm in vms}
+
+    def apply_budgets(budgets: Sequence[Tuple[str, int]]) -> None:
+        for name, pages in budgets:
+            by_name[name].set_remote_budget(pages)
+
+    for tick in range(config.ticks):
+        deaths: List[str] = []
+        if config.plan is not None:
+            apply_chaos(
+                config.plan, env.now, vms, harvesters,
+                counters, deaths.append,
+            )
+        conn.send(("chaos", config.index, env.now, deaths))
+        msg = conn.recv()
+        if msg[0] != "budgets":
+            raise ParallelError(
+                f"partition {config.index}: expected budgets, "
+                f"got {msg[0]!r}"
+            )
+        apply_budgets(msg[1])
+        for vm in vms:
+            if vm.dead:
+                continue
+            vm.run_tick(qos, qos.throttle_delay_us(vm.spec.name))
+        if (tick + 1) % config.market_every == 0:
+            _market_round(
+                conn, config, env, qos, obs, vms, harvesters,
+                apply_budgets,
+            )
+        env.sync_to(env.now + config.tick_us)
+
+    # Drain protocol: shutdown -> release -> report.
+    alive_consumers = [
+        vm.name for vm in vms
+        if not vm.dead and vm.spec.role == "consumer"
+    ]
+    conn.send(("drain", config.index, env.now, alive_consumers))
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "shutdown_phase":
+            for name in msg[1]:
+                harvesters[name].shutdown()
+            conn.send(("shutdown_done", config.index, env.now))
+        elif kind == "release_phase":
+            for vm in vms:
+                if not vm.dead and vm.spec.role == "consumer":
+                    vm.set_remote_budget(0)
+            conn.send(("release_done", config.index))
+        elif kind == "report":
+            state = obs.registry.export_state() if obs.enabled else None
+            conn.send((
+                "report",
+                config.index,
+                summarize_tenants(list(config.specs), vms, qos),
+                dict(counters.as_dict()),
+                state,
+            ))
+            return
+        else:
+            raise ParallelError(
+                f"partition {config.index}: unexpected drain message "
+                f"{kind!r}"
+            )
+
+
+def _market_round(
+    conn,
+    config: _PartitionConfig,
+    env: Environment,
+    qos: QosManager,
+    obs: Observability,
+    vms: List[MarketVM],
+    harvesters: Dict[str, Harvester],
+    apply_budgets,
+) -> None:
+    conn.send(("market", config.index, env.now))
+    p99s: Dict[str, float] = {}
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "harvest_phase":
+            _, start_now, names = msg
+            env.sync_to(start_now)
+            proc = env.process(_harvest(harvesters, names))
+            env.run()
+            if not proc.ok:
+                raise proc.value
+            conn.send(("harvest_done", config.index, env.now))
+        elif kind == "consumer_phase":
+            _, sync_now, budgets = msg
+            env.sync_to(sync_now)
+            apply_budgets(budgets)
+            demands = []
+            for vm in vms:
+                want = consumer_demand(vm)
+                if want is not None:
+                    demands.append((
+                        vm.name, want, vm.spec.max_price,
+                        vm.spec.slo.priority,
+                    ))
+            conn.send(("demands", config.index, demands))
+        elif kind == "qos_phase":
+            apply_budgets(msg[1])
+            p99s, protected = qos.close_windows()
+            alive = sum(1 for vm in vms if not vm.dead)
+            conn.send(("qos_done", config.index, protected, alive))
+        elif kind == "throttle":
+            qos.apply_throttle_decision(msg[1])
+            qos.p99_history.append(dict(p99s))
+            if obs.enabled:
+                registry = obs.registry
+                for tenant in sorted(p99s):
+                    registry.gauge(
+                        "tenant_p99_fault_latency_us", tenant=tenant
+                    ).set(p99s[tenant])
+            conn.send(("market_done", config.index))
+            return
+        else:
+            raise ParallelError(
+                f"partition {config.index}: unexpected market message "
+                f"{kind!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# coordinator (parent process) side
+# ---------------------------------------------------------------------------
+
+
+class _CoordinatorClock:
+    """The broker's ``env``: just a settable ``now`` the coordinator
+    snaps to the shard clock carried by each message."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _recv(conn, proc, index: int):
+    """One message from partition ``index``; death-aware."""
+    while True:
+        if conn.poll(_POLL_S):
+            try:
+                msg = conn.recv()
+            except EOFError:
+                raise ParallelError(
+                    f"market partition {index} closed its pipe "
+                    "unexpectedly"
+                ) from None
+            if msg[0] == "error":
+                raise ParallelError(
+                    f"market partition {msg[1]} failed: {msg[2]}"
+                )
+            return msg
+        if not proc.is_alive():
+            raise ParallelError(
+                f"market partition {index} died "
+                f"(exit code {proc.exitcode})"
+            )
+
+
+def _gather(conns, procs, kind: str):
+    """The ``kind`` message from every partition, payloads by index."""
+    out = []
+    for index, (conn, proc) in enumerate(zip(conns, procs)):
+        msg = _recv(conn, proc, index)
+        if msg[0] != kind or msg[1] != index:
+            raise ParallelError(
+                f"market partition {index}: expected {kind!r}, "
+                f"got {msg[0]!r} from {msg[1]}"
+            )
+        out.append(msg[2:])
+    return out
+
+
+def _same_clock(values: Sequence[float], phase: str) -> float:
+    first = values[0]
+    for value in values[1:]:
+        if value != first:
+            raise ParallelError(
+                f"partition clocks diverged at {phase}: {values}"
+            )
+    return first
+
+
+def run_partitioned_market(
+    specs: Sequence[TenantSpec],
+    seed: int,
+    ticks: int,
+    tick_us: float = 10_000.0,
+    market_every: int = 3,
+    partitions: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    harvest_config: Optional[HarvestConfig] = None,
+    obs: Optional[Observability] = None,
+    check=None,
+) -> Dict[str, object]:
+    """Run the market fleet sharded over ``partitions`` processes.
+
+    Returns a dict with the merged per-tenant ``summary`` (spec
+    order), ``lease_rejections``, ``vm_crashes``, ``total_vms``,
+    ``spot_price_final``, ``broker_counters``, the effective
+    ``partitions`` count, and the conservative ``window_us`` — all
+    equal to what the serial :class:`~repro.market.MarketFleet` run
+    produces.  When ``obs`` is enabled, every partition's metrics
+    registry is merged into ``obs.registry`` (exact, in partition
+    order) alongside the coordinator's own broker/checker instruments.
+    """
+    if ticks < 1:
+        raise MarketError("need at least one tick")
+    obs = obs if obs is not None else NULL_OBS
+    groups = partition_specs(specs, partitions)
+    # The barrier interval doubles as the conservative window; the
+    # helper enforces that it cannot undercut the transport-model
+    # lookahead bound.
+    window_us = conservative_window_us(floor_us=tick_us)
+
+    clock = _CoordinatorClock()
+    broker = Broker(clock, obs=obs, check=check)
+    check_on = check is not None and check.enabled
+    fleet_counters = obs.counters_for(component="fleet")
+
+    vm_names = [
+        f"{spec.name}-{index:03d}"
+        for spec in specs
+        for index in range(spec.vms)
+    ]
+    name_to_part: Dict[str, int] = {}
+    for part_index, group in enumerate(groups):
+        for spec in group:
+            for index in range(spec.vms):
+                name_to_part[f"{spec.name}-{index:03d}"] = part_index
+    producer_names = sorted(
+        f"{spec.name}-{index:03d}"
+        for spec in specs if spec.role == "producer"
+        for index in range(spec.vms)
+    )
+    # Sequential harvest blocks: sorted producer order, grouped by
+    # consecutive owning partition — the serial sorted-harvester loop,
+    # sliced.
+    harvest_groups: List[Tuple[int, List[str]]] = []
+    for name in producer_names:
+        part_index = name_to_part[name]
+        if harvest_groups and harvest_groups[-1][0] == part_index:
+            harvest_groups[-1][1].append(name)
+        else:
+            harvest_groups.append((part_index, [name]))
+
+    # Revocation listener: the serial fleet refreshes the consumer's
+    # budget immediately; here the refresh is deferred to the next
+    # barrier.  set_remote_budget only demotes FIFO overflow, so the
+    # flushed final state matches the serial interleaving exactly.
+    pending: Dict[str, bool] = {}
+
+    def on_revocation(lease, reason: str) -> None:
+        pending[lease.consumer] = True
+        fleet_counters.incr("consumer_revocations")
+
+    broker.revocation_listeners.append(on_revocation)
+
+    def flush_budgets() -> List[List[Tuple[str, int]]]:
+        out: List[List[Tuple[str, int]]] = [[] for _ in groups]
+        for name in vm_names:
+            if name in pending:
+                out[name_to_part[name]].append(
+                    (name, broker.granted_to(name))
+                )
+        pending.clear()
+        return out
+
+    ctx = multiprocessing.get_context()
+    conns = []
+    procs = []
+    lease_rejections = 0
+    try:
+        for part_index, group in enumerate(groups):
+            parent_conn, child_conn = ctx.Pipe()
+            config = _PartitionConfig(
+                index=part_index,
+                specs=tuple(group),
+                seed=seed,
+                ticks=ticks,
+                tick_us=tick_us,
+                market_every=market_every,
+                plan=fault_plan,
+                harvest_config=harvest_config,
+                obs_enabled=obs.enabled,
+            )
+            proc = ctx.Process(
+                target=_partition_main,
+                args=(child_conn, config),
+                daemon=True,
+                name=f"repro-market-p{part_index}",
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        for tick in range(ticks):
+            infos = _gather(conns, procs, "chaos")
+            clock.now = _same_clock(
+                [info[0] for info in infos], f"tick {tick}"
+            )
+            # Deaths in global VM order: partition blocks are
+            # contiguous, so concatenation in index order is the
+            # serial fleet's iteration order.
+            for info in infos:
+                for name in info[1]:
+                    broker.vm_died(name)
+            budgets = flush_budgets()
+            for part_index, conn in enumerate(conns):
+                conn.send(("budgets", budgets[part_index]))
+
+            if (tick + 1) % market_every != 0:
+                continue
+            enters = _gather(conns, procs, "market")
+            now = _same_clock(
+                [enter[0] for enter in enters], f"market tick {tick}"
+            )
+            clock.now = now
+            for part_index, names in harvest_groups:
+                conns[part_index].send(("harvest_phase", now, names))
+                while True:
+                    msg = _recv(
+                        conns[part_index], procs[part_index], part_index
+                    )
+                    if msg[0] == "brk":
+                        _, method, args, rpc_now = msg
+                        clock.now = rpc_now
+                        if method == "reclaim":
+                            reclaimed, revoked = broker.reclaim(*args)
+                            conns[part_index].send(
+                                ("ok", (reclaimed, len(revoked)))
+                            )
+                        else:
+                            conns[part_index].send(
+                                ("ok", getattr(broker, method)(*args))
+                            )
+                    elif msg[0] == "harvest_done":
+                        now = msg[2]
+                        break
+                    else:
+                        raise ParallelError(
+                            f"market partition {part_index}: unexpected "
+                            f"harvest message {msg[0]!r}"
+                        )
+            clock.now = now
+            budgets = flush_budgets()
+            for part_index, conn in enumerate(conns):
+                conn.send(("consumer_phase", now, budgets[part_index]))
+            demand_lists = _gather(conns, procs, "demands")
+            grants: List[List[Tuple[str, int]]] = [[] for _ in groups]
+            for demand_list in demand_lists:
+                for name, want, max_price, priority in demand_list[0]:
+                    lease = broker.request(
+                        name, want,
+                        max_price_per_page=max_price, priority=priority,
+                    )
+                    if lease is None:
+                        lease_rejections += 1
+                    else:
+                        grants[name_to_part[name]].append(
+                            (name, broker.granted_to(name))
+                        )
+            for part_index, conn in enumerate(conns):
+                conn.send(("qos_phase", grants[part_index]))
+            verdicts = _gather(conns, procs, "qos_done")
+            protected = any(verdict[0] for verdict in verdicts)
+            for conn in conns:
+                conn.send(("throttle", protected))
+            _gather(conns, procs, "market_done")
+            if obs.enabled:
+                obs.registry.gauge("fleet_alive_vms").set(
+                    sum(verdict[1] for verdict in verdicts)
+                )
+            if check_on:
+                check.check_steady_state(broker=broker)
+
+        drains = _gather(conns, procs, "drain")
+        clock.now = _same_clock([drain[0] for drain in drains], "drain")
+        alive_consumers = set()
+        for drain in drains:
+            alive_consumers.update(drain[1])
+        for part_index, names in harvest_groups:
+            conns[part_index].send(("shutdown_phase", names))
+            while True:
+                msg = _recv(
+                    conns[part_index], procs[part_index], part_index
+                )
+                if msg[0] == "brk":
+                    _, method, args, rpc_now = msg
+                    clock.now = rpc_now
+                    if method == "reclaim":
+                        reclaimed, revoked = broker.reclaim(*args)
+                        conns[part_index].send(
+                            ("ok", (reclaimed, len(revoked)))
+                        )
+                    else:
+                        conns[part_index].send(
+                            ("ok", getattr(broker, method)(*args))
+                        )
+                elif msg[0] == "shutdown_done":
+                    break
+                else:
+                    raise ParallelError(
+                        f"market partition {part_index}: unexpected "
+                        f"shutdown message {msg[0]!r}"
+                    )
+        for name in vm_names:
+            if name in alive_consumers:
+                for lease in broker.leases_of(name):
+                    broker.release(lease)
+        # Alive consumers zero their budgets next; any deferred
+        # refreshes from the shutdown reclaims are superseded.
+        pending.clear()
+        for conn in conns:
+            conn.send(("release_phase",))
+        _gather(conns, procs, "release_done")
+        if check_on:
+            check.check_steady_state(broker=broker)
+        for conn in conns:
+            conn.send(("report",))
+        reports = _gather(conns, procs, "report")
+        for proc in procs:
+            proc.join()
+    except BaseException:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join()
+        raise
+    finally:
+        for conn in conns:
+            conn.close()
+
+    summary: Dict[str, Dict[str, object]] = {}
+    for report in reports:
+        summary.update(report[0])
+    if obs.enabled:
+        for report in reports:
+            obs.registry.merge_state(report[2])
+    return {
+        "summary": summary,
+        "total_vms": sum(spec.vms for spec in specs),
+        "lease_rejections": lease_rejections,
+        "vm_crashes": sum(
+            report[1].get("vm_crashes", 0) for report in reports
+        ),
+        "spot_price_final": broker.spot_price(),
+        "broker_counters": dict(broker.counters.as_dict()),
+        "partitions": len(groups),
+        "window_us": window_us,
+    }

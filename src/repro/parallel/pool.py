@@ -1,0 +1,309 @@
+"""Multiprocess work-queue runner with deterministic result merging.
+
+The embarrassingly-parallel layers of this repo — ``repro.check``
+campaign grids and ``repro.perfbench`` seed sweeps — share one
+execution contract, and this module is its single implementation:
+
+* **Tasks are keyed.**  Every task is a ``(key, payload)`` pair; the
+  key is the task's position in the submitted sequence.  Results are
+  merged **ordered by task key, never by completion order**, so the
+  merged output is byte-identical no matter how many workers ran or
+  how the OS scheduled them.
+* **Workers are seeded.**  Before each task runs, the worker reseeds
+  the global :mod:`random` module from ``derive_seed(seed, task key)``
+  — a task that (incorrectly) leans on ambient randomness still sees
+  a per-task stream that does not depend on which worker picked it up.
+  Well-behaved task functions carry their own seeds in the payload.
+* **Crashes are detected and retried.**  A worker that dies
+  (``os._exit``, OOM kill, segfault) while holding a task is noticed
+  via its exit code; the orphaned task is re-queued up to ``retries``
+  times, then the pool raises a :class:`~repro.errors.ParallelError`
+  naming the task.  A replacement worker is spawned so the pool never
+  shrinks below the requested width.
+* **SIGINT tears down gracefully.**  Workers ignore SIGINT; the parent
+  catches :class:`KeyboardInterrupt`, terminates every worker, joins
+  them, and re-raises — no orphan processes, no half-written queues.
+
+``workers <= 1`` bypasses multiprocessing entirely and runs the tasks
+in-process, in order: the serial path **is** the existing sequential
+code path, which is what the determinism pins compare against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import ParallelError
+from ..sim import derive_seed
+
+__all__ = ["PoolStats", "run_tasks"]
+
+#: How long the parent sleeps between result-queue polls (seconds).
+_POLL_S = 0.05
+#: Exit code workers use for a clean shutdown.
+_OK_EXIT = 0
+
+
+@dataclass
+class PoolStats:
+    """What the pool observed; fill by passing an instance to
+    :func:`run_tasks`."""
+
+    workers: int = 0
+    tasks: int = 0
+    retries: int = 0
+    worker_crashes: int = 0
+    task_errors: int = 0
+    #: task key -> number of attempts that key needed.
+    attempts: Dict[int, int] = field(default_factory=dict)
+
+
+def _worker_main(
+    fn: Callable[[Any], Any],
+    seed: int,
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+    claims: "multiprocessing.Array",
+    slot: int,
+) -> None:
+    """Worker loop: claim, run, report, until the ``None`` sentinel."""
+    # The parent owns teardown: a ^C must not kill workers mid-put,
+    # or the queues are left in an undefined state.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    import random as _random
+
+    while True:
+        item = task_queue.get()
+        if item is None:
+            result_queue.put(("exit", slot, None, None))
+            return
+        key, payload = item
+        # Claims go through shared memory, not the result queue: a
+        # shared-memory write is visible to the parent the moment it
+        # happens, whatever kills this process afterwards.  The slot is
+        # deliberately NOT reset after the task: if this process dies
+        # after fn returns but before the "done" put completes, the
+        # parent sees a stale claim for a still-pending key and simply
+        # reruns it (fn is deterministic per payload, so the merged
+        # bytes cannot change).
+        claims[slot] = key
+        # Hygiene seeding: ambient randomness, if any, is a function of
+        # the task key — never of the worker that happened to claim it.
+        _random.seed(derive_seed(seed, f"task:{key}"))
+        try:
+            result = fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            result_queue.put(
+                ("error", slot, key, f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        result_queue.put(("done", slot, key, result))
+
+
+class _Pool:
+    """Parent-side state machine for one :func:`run_tasks` call."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        workers: int,
+        seed: int,
+        retries: int,
+        emit: Callable[[str], None],
+        stats: PoolStats,
+    ) -> None:
+        self.fn = fn
+        self.payloads = list(payloads)
+        self.workers = workers
+        self.seed = seed
+        self.retries = retries
+        self.emit = emit
+        self.stats = stats
+        ctx = multiprocessing.get_context()
+        self.task_queue: "multiprocessing.Queue" = ctx.Queue()
+        # Results travel over a SimpleQueue on purpose: a regular Queue
+        # buffers puts in a background feeder thread, so a worker that
+        # dies hard (os._exit, OOM kill, segfault) can take finished
+        # results down with it — they were "sent" but never flushed.
+        # SimpleQueue writes to the OS pipe synchronously in put(), so
+        # once put() returns, the bytes survive the process; a crash can
+        # only ever lose the task that was running, which the claim
+        # board below recovers.
+        self.result_queue: "multiprocessing.SimpleQueue" = (
+            ctx.SimpleQueue()
+        )
+        # Crash-proof claim board: one slot per worker seat, holding the
+        # task key that seat most recently claimed (-1 = never claimed).
+        # Shared memory survives any way the worker can die.
+        self.claims = ctx.Array("q", [-1] * workers)
+        self.ctx = ctx
+        #: seat index -> the process currently occupying that seat.
+        self.procs: Dict[int, multiprocessing.Process] = {}
+        #: seat index -> human-readable worker number (for messages).
+        self.worker_ids: Dict[int, int] = {}
+        #: task key -> attempt count so far.
+        self.attempts: Dict[int, int] = {}
+        self.results: Dict[int, Any] = {}
+        self.pending: set = set()
+        self.next_worker_id = 0
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, slot: int) -> None:
+        self.claims[slot] = -1
+        self.worker_ids[slot] = self.next_worker_id
+        self.next_worker_id += 1
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(self.fn, self.seed, self.task_queue,
+                  self.result_queue, self.claims, slot),
+            daemon=True,
+        )
+        proc.start()
+        self.procs[slot] = proc
+
+    def _reap_crashes(self) -> None:
+        """Re-queue tasks held by workers that died; replace the dead."""
+        for slot, proc in list(self.procs.items()):
+            if proc.is_alive():
+                continue
+            proc.join()
+            if proc.exitcode == _OK_EXIT:
+                # Clean exit after the sentinel; nothing to do.
+                del self.procs[slot]
+                continue
+            key = self.claims[slot]
+            del self.procs[slot]
+            self.stats.worker_crashes += 1
+            if key < 0 or key not in self.pending:
+                # Never claimed anything, or its last claim already
+                # reported a result: died between tasks.  Just refill
+                # the seat.
+                self._spawn(slot)
+                continue
+            if self.attempts[key] >= 1 + self.retries:
+                raise ParallelError(
+                    f"task {key} crashed its worker "
+                    f"{self.attempts[key]} time(s) (last exit code "
+                    f"{proc.exitcode}); retry budget of "
+                    f"{self.retries} exhausted"
+                )
+            self.attempts[key] += 1
+            self.emit(
+                f"worker {self.worker_ids[slot]} died "
+                f"(exit {proc.exitcode}) holding task {key}; retrying "
+                f"(attempt {self.attempts[key]} of "
+                f"{1 + self.retries})"
+            )
+            self.stats.retries += 1
+            self.task_queue.put((key, self.payloads[key]))
+            self._spawn(slot)
+
+    def terminate_all(self) -> None:
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs.values():
+            proc.join()
+        self.procs.clear()
+        # Unblock the queue feeder threads so interpreter exit is clean.
+        self.task_queue.cancel_join_thread()
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> List[Any]:
+        for key, payload in enumerate(self.payloads):
+            self.attempts[key] = 1
+            self.task_queue.put((key, payload))
+        for slot in range(self.workers):
+            self._spawn(slot)
+
+        self.pending = set(range(len(self.payloads)))
+        first_error: Optional[str] = None
+        while self.pending:
+            # SimpleQueue has no get(timeout=); poll its read end so the
+            # crash reaper still runs while the queue is quiet.
+            if not self.result_queue._reader.poll(_POLL_S):
+                self._reap_crashes()
+                continue
+            kind, _slot, key, value = self.result_queue.get()
+            if kind == "done":
+                # A lost "done" makes the reaper rerun the task, so a
+                # second report for the same key is possible — the
+                # pending guard keeps the first result authoritative
+                # (they are identical anyway: fn is deterministic).
+                if key in self.pending:
+                    self.pending.discard(key)
+                    self.results[key] = value
+            elif kind == "error":
+                self.stats.task_errors += 1
+                if first_error is None:
+                    first_error = f"task {key}: {value}"
+                self.pending.discard(key)
+            elif kind == "exit":
+                pass  # clean shutdown, reaped below
+
+        # All tasks accounted for: release the workers.
+        for _ in range(len(self.procs)):
+            self.task_queue.put(None)
+        deadline = time.monotonic() + 10.0
+        for proc in self.procs.values():
+            proc.join(max(0.0, deadline - time.monotonic()))
+        self.terminate_all()
+
+        if first_error is not None:
+            raise ParallelError(
+                f"{self.stats.task_errors} task(s) raised; first: "
+                f"{first_error}"
+            )
+        self.stats.attempts = dict(self.attempts)
+        return [self.results[key] for key in range(len(self.payloads))]
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int = 1,
+    seed: int = 0,
+    retries: int = 1,
+    emit: Optional[Callable[[str], None]] = None,
+    stats: Optional[PoolStats] = None,
+) -> List[Any]:
+    """Run ``fn`` over ``payloads``; results in **payload order**.
+
+    ``workers <= 1`` runs in-process (the serial reference path).
+    ``fn`` must be importable from the worker (module-level) and its
+    payloads and results picklable.  ``retries`` bounds how many times
+    a task orphaned by a worker crash is re-queued before the pool
+    gives up with a :class:`~repro.errors.ParallelError`.  ``stats``,
+    when given, is filled with what the pool observed.
+    """
+    stats = stats if stats is not None else PoolStats()
+    stats.workers = max(1, workers)
+    stats.tasks = len(payloads)
+    emit = emit or (lambda line: None)
+    if not payloads:
+        return []
+    if workers <= 1:
+        results = []
+        for key, payload in enumerate(payloads):
+            stats.attempts[key] = 1
+            results.append(fn(payload))
+        return results
+    pool = _Pool(
+        fn, payloads, min(workers, len(payloads)), seed, retries,
+        emit, stats,
+    )
+    try:
+        return pool.run()
+    except KeyboardInterrupt:
+        pool.terminate_all()
+        raise
+    except ParallelError:
+        pool.terminate_all()
+        raise

@@ -1,0 +1,63 @@
+"""Conservative synchronization windows and partition seeds.
+
+The sharded fleet runner is a *conservative* parallel discrete-event
+scheme: partitions may only advance through a time window that no
+cross-partition message can reach into.  The window is sized from the
+transport models' hard latency floor (DESIGN.md §14):
+
+    window = max(floor_us, min over transports of min_one_way_us())
+
+A message sent at simulated time ``t`` from one partition cannot
+affect another before ``t + lookahead``, so running every partition
+independently over ``[t, t + window)`` and exchanging state at the
+barrier is equivalent to a serial interleaving — provided all
+cross-partition coupling happens *at* the barriers, which the fleet
+runner arranges (market rounds and chaos transitions are barrier
+events).
+
+Partition seeds are derived, not split: ``partition_seed(root, i)``
+feeds the same keyed-blake2b derivation that the simulator's named
+RNG streams use, so partition ``i`` sees an identical stream whether
+the fleet runs in one process or eight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..net.transports import TransportSpec, min_transport_latency_us
+from ..sim import derive_seed
+
+__all__ = ["conservative_window_us", "partition_seed"]
+
+
+def conservative_window_us(
+    transports: Optional[Sequence[TransportSpec]] = None,
+    floor_us: float = 0.0,
+) -> float:
+    """Safe-advance window in µs for partitions linked by ``transports``.
+
+    ``None`` means "any modeled transport could carry cross-partition
+    traffic" — the global bound.  ``floor_us`` lets callers batch
+    several lookahead quanta per barrier when the coupling is coarser
+    than a single message (e.g. the market fleet only couples at tick
+    boundaries), trading barrier overhead against none of the
+    correctness: the window may exceed the message lookahead only when
+    the caller proves no finer-grained coupling exists.
+    """
+    bound = min_transport_latency_us(transports)
+    if bound <= 0.0:
+        raise ValueError(f"non-positive lookahead bound {bound}")
+    return max(float(floor_us), bound)
+
+
+def partition_seed(root_seed: int, partition: int) -> int:
+    """Seed for partition ``partition`` derived from ``root_seed``.
+
+    Stable across partition counts: partition 3 of 4 and partition 3
+    of 8 get the same seed, so a VM group's random trajectory depends
+    only on which partition *index* hosts it, never on the topology.
+    """
+    if partition < 0:
+        raise ValueError(f"negative partition index {partition}")
+    return derive_seed(root_seed, f"partition:{partition}")

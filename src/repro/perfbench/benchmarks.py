@@ -25,9 +25,11 @@ determinism tests); this suite only watches speed.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..parallel.pool import run_tasks
 from ..sim import Environment
 
 __all__ = [
@@ -38,6 +40,8 @@ __all__ = [
     "bench_monitor",
     "bench_fig3_quick",
     "run_suite",
+    "run_sweep",
+    "bench_sweep_scaling",
 ]
 
 #: Version tag of the perfbench JSON document; bump on layout changes
@@ -164,4 +168,96 @@ def run_suite(
         "engine_events_per_sec": engine,
         "monitor_ops_per_sec": monitor,
         "fig3_quick_seconds": fig3,
+    }
+
+
+def _sweep_one(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One seed's sweep cell: monitor + fig3 at the given sizes.
+
+    Module-level so :func:`repro.parallel.pool.run_tasks` can ship it
+    to worker processes.
+    """
+    seed = payload["seed"]
+    sizes = payload["sizes"]
+    return {
+        "seed": seed,
+        "monitor_ops_per_sec": bench_monitor(
+            sizes["monitor_accesses"], seed=seed
+        ),
+        "fig3_quick_seconds": bench_fig3_quick(
+            sizes["fig3_accesses"], seed=seed
+        ),
+    }
+
+
+def run_sweep(
+    seeds: Sequence[int],
+    quick: bool = False,
+    workers: int = 1,
+    sizes: Optional[Dict[str, int]] = None,
+    emit: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Sweep the seeded benchmarks (monitor, fig3) over ``seeds``.
+
+    The sweep is the perfbench path that parallelizes: each seed's
+    cell is an independent simulation, fanned out over ``workers``
+    processes via :mod:`repro.parallel` and merged back in seed order.
+    Rows are wall-clock rates and therefore host-dependent; the *row
+    order and structure* are deterministic at any worker count.
+    """
+    chosen = dict(QUICK_SIZES if quick else FULL_SIZES)
+    if sizes:
+        chosen.update(sizes)
+    payloads: List[Dict[str, Any]] = [
+        {"seed": seed, "sizes": chosen} for seed in seeds
+    ]
+    started = time.perf_counter()
+    rows = run_tasks(_sweep_one, payloads, workers=workers, emit=emit)
+    elapsed = time.perf_counter() - started
+    return {
+        "schema": PERFBENCH_SCHEMA,
+        "mode": "sweep",
+        "quick": quick,
+        "workers": max(1, workers),
+        "seeds": [int(seed) for seed in seeds],
+        "sizes": chosen,
+        "wall_seconds": elapsed,
+        "rows": rows,
+    }
+
+
+def bench_sweep_scaling(
+    seeds: int = 8,
+    workers: int = 4,
+    quick: bool = True,
+    emit: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Measure the multi-core speedup of the parallel seed sweep.
+
+    Runs the same ``seeds``-cell sweep twice — serially and with
+    ``workers`` processes — and reports the wall-clock ratio.  The
+    achievable speedup is bounded by the host's cores (recorded as
+    ``host_cpus``): on a 1-core host the parallel run degenerates to
+    time-slicing and the ratio measures pool overhead instead.
+    """
+    try:
+        host_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        host_cpus = os.cpu_count() or 1
+    serial = run_sweep(range(seeds), quick=quick, workers=1, emit=emit)
+    parallel = run_sweep(
+        range(seeds), quick=quick, workers=workers, emit=emit
+    )
+    serial_s = serial["wall_seconds"]
+    parallel_s = parallel["wall_seconds"]
+    return {
+        "schema": PERFBENCH_SCHEMA,
+        "mode": "sweep-scaling",
+        "quick": quick,
+        "sweep_seeds": seeds,
+        "workers": workers,
+        "host_cpus": host_cpus,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else 0.0,
     }

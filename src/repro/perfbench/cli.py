@@ -27,7 +27,12 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from ..sim import set_fastpath
-from .benchmarks import PERFBENCH_SCHEMA, run_suite
+from .benchmarks import (
+    PERFBENCH_SCHEMA,
+    bench_sweep_scaling,
+    run_suite,
+    run_sweep,
+)
 
 __all__ = ["main", "compare", "load_reference", "METRIC_DIRECTIONS"]
 
@@ -131,6 +136,27 @@ def _parser() -> argparse.ArgumentParser:
         help="disable every engine fast path for this run (the "
              "configuration a schedule explorer forces)",
     )
+    parser.add_argument(
+        "--sweep-seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the seeded benchmarks over seeds 0..N-1 instead of "
+             "the three-metric suite",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="M",
+        help="worker processes for --sweep-seeds (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="measure the sweep's multi-core speedup (serial vs "
+             "--workers processes over --sweep-seeds cells)",
+    )
     return parser
 
 
@@ -143,8 +169,48 @@ def _write_json(path: str, document: object) -> None:
         handle.write("\n")
 
 
+def _main_sweep(args: argparse.Namespace) -> int:
+    """The --sweep-seeds / --scaling modes."""
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    seeds = args.sweep_seeds if args.sweep_seeds is not None else 8
+    pool_emit = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    if args.scaling:
+        result = bench_sweep_scaling(
+            seeds=seeds, workers=args.workers, quick=args.quick,
+            emit=pool_emit,
+        )
+        print(f"sweep scaling ({result['sweep_seeds']} seed(s), "
+              f"{result['workers']} worker(s), "
+              f"{result['host_cpus']} host cpu(s))")
+        print(f"  serial    {result['serial_seconds']:.2f} s")
+        print(f"  parallel  {result['parallel_seconds']:.2f} s")
+        print(f"  speedup   {result['speedup']:.2f}x")
+    else:
+        result = run_sweep(
+            range(seeds), quick=args.quick, workers=args.workers,
+            emit=pool_emit,
+        )
+        print(f"seed sweep ({len(result['rows'])} seed(s), "
+              f"{result['workers']} worker(s), "
+              f"{result['wall_seconds']:.2f} s wall)")
+        for row in result["rows"]:
+            print(f"  seed {row['seed']:>3}  "
+                  f"monitor {row['monitor_ops_per_sec']:,.0f}/s  "
+                  f"fig3 {row['fig3_quick_seconds']:.4f} s")
+    if args.json is not None:
+        _write_json(args.json, result)
+        print(f"results written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
+
+    if args.sweep_seeds is not None or args.scaling:
+        return _main_sweep(args)
 
     previous = None
     if args.no_fastpath:

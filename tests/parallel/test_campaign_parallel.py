@@ -1,0 +1,118 @@
+"""Campaign fan-out: byte-identical reports, worker-crash recovery.
+
+Grid note: kv seeds 0-2 are the CI-sized cells; higher kv seeds can
+run unboundedly long under the random schedule, so every grid here
+stays within seeds 0-2.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.check.campaign as campaign_mod
+from repro.check.campaign import report_json, run_campaign
+from repro.errors import ParallelError
+from repro.parallel import PoolStats
+
+_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+forked = pytest.mark.skipif(
+    not _FORK, reason="crash-injection helpers rely on the fork start method"
+)
+
+GRID = dict(
+    scenarios=["kv"],
+    seeds=[0, 1, 2],
+    schedules=["random", "adversarial"],
+    quick=True,
+)
+SMALL_GRID = dict(
+    scenarios=["kv"], seeds=[0, 1], schedules=["random"], quick=True
+)
+
+
+def _run(workers, stats=None, **grid):
+    transcript = []
+    report = run_campaign(
+        emit=transcript.append, workers=workers, pool_stats=stats,
+        **grid,
+    )
+    return report, transcript
+
+
+def test_report_and_transcript_byte_identical_across_worker_counts():
+    serial_report, serial_lines = _run(1, **GRID)
+    parallel_report, parallel_lines = _run(3, **GRID)
+    assert parallel_lines == serial_lines
+    assert report_json(parallel_report) == report_json(serial_report)
+    assert serial_report.runs == 6
+
+
+def test_report_json_has_no_worker_field():
+    report, _ = _run(2, **SMALL_GRID)
+    rendered = report_json(report)
+    assert "worker" not in rendered
+    assert '"schema": "repro-check-report/1"' in rendered
+
+
+def test_failures_merge_identically(tmp_path):
+    grid = dict(
+        scenarios=["kv"], seeds=[0, 1], schedules=["random"],
+        quick=True, bug="lru-recency", shrink=False,
+    )
+    serial_report, serial_lines = _run(1, **grid)
+    parallel_report, parallel_lines = _run(2, **grid)
+    assert parallel_lines == serial_lines
+    assert report_json(parallel_report) == report_json(serial_report)
+    assert serial_report.failures, "bug grid should produce failures"
+
+
+_REAL_CELL = campaign_mod._campaign_cell
+
+
+def _crash_once_cell(payload):
+    """Kill the worker hard on one specific cell, first attempt only."""
+    flag = os.environ.get("REPRO_TEST_CAMPAIGN_CRASH_FLAG")
+    if (
+        flag
+        and payload["seed"] == 1
+        and payload["schedule"] == "random"
+        and not os.path.exists(flag)
+    ):
+        with open(flag, "w") as handle:
+            handle.write("crashed")
+        os._exit(31)
+    return _REAL_CELL(payload)
+
+
+def _always_crash_cell(payload):
+    if payload["seed"] == 1:
+        os._exit(31)
+    return _REAL_CELL(payload)
+
+
+@forked
+def test_worker_killed_mid_campaign_is_retried_and_deterministic(
+    tmp_path, monkeypatch
+):
+    baseline_report, baseline_lines = _run(1, **SMALL_GRID)
+    flag = str(tmp_path / "campaign-crash")
+    monkeypatch.setenv("REPRO_TEST_CAMPAIGN_CRASH_FLAG", flag)
+    monkeypatch.setattr(campaign_mod, "_campaign_cell", _crash_once_cell)
+    stats = PoolStats()
+    report, lines = _run(2, stats=stats, **SMALL_GRID)
+    assert os.path.exists(flag), "the crash cell must have fired"
+    assert stats.worker_crashes == 1
+    assert stats.retries == 1
+    # The retried cell lands back in grid order: bytes match serial.
+    assert lines == baseline_lines
+    assert report_json(report) == report_json(baseline_report)
+
+
+@forked
+def test_crash_retry_exhaustion_raises_parallel_error(monkeypatch):
+    monkeypatch.setattr(
+        campaign_mod, "_campaign_cell", _always_crash_cell
+    )
+    with pytest.raises(ParallelError, match="retry budget"):
+        _run(2, **SMALL_GRID)

@@ -1,0 +1,69 @@
+"""Registry export/merge: the exactness contract behind shard merging."""
+
+import pytest
+
+from repro.errors import FluidMemError
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated():
+    registry = MetricsRegistry()
+    registry.counter("faults", vm="a").inc(3)
+    registry.gauge("resident", vm="a").set(17.5)
+    histogram = registry.histogram("latency_us", vm="a")
+    for value in (1.0, 4.0, 9.0, 150.0):
+        histogram.observe(value)
+    return registry
+
+
+def test_merge_disjoint_keys_reproduces_snapshot():
+    source = _populated()
+    target = MetricsRegistry()
+    target.merge_state(source.export_state())
+    assert target.snapshot() == source.snapshot()
+
+
+def test_merge_overlapping_counters_add_and_gauges_overwrite():
+    target = _populated()
+    other = MetricsRegistry()
+    other.counter("faults", vm="a").inc(2)
+    other.gauge("resident", vm="a").set(99.0)
+    target.merge_state(other.export_state())
+    snap = target.snapshot()
+    assert snap["counters"]["faults{vm=a}"] == 5
+    assert snap["gauges"]["resident{vm=a}"] == 99.0
+
+
+def test_merge_overlapping_histogram_reobserves_samples():
+    target = _populated()
+    other = MetricsRegistry()
+    other.histogram("latency_us", vm="a").observe(42.0)
+    target.merge_state(other.export_state())
+    row = target.snapshot()["histograms"]["latency_us{vm=a}"]
+    assert row["count"] == 5
+    assert row["max"] == 150.0
+
+
+def test_merge_refuses_truncated_histogram_into_existing_key():
+    source = MetricsRegistry(max_samples_per_histogram=2)
+    histogram = source.histogram("latency_us", vm="a")
+    for value in (1.0, 2.0, 3.0):
+        histogram.observe(value)  # retention capped at 2 of 3
+
+    fresh = MetricsRegistry()
+    fresh.merge_state(source.export_state())  # new key: exact install
+    assert (
+        fresh.snapshot()["histograms"]["latency_us{vm=a}"]["count"] == 3
+    )
+
+    occupied = _populated()
+    with pytest.raises(FluidMemError, match="dropped raw samples"):
+        occupied.merge_state(source.export_state())
+
+
+def test_merge_into_disabled_registry_is_a_noop():
+    disabled = MetricsRegistry(enabled=False)
+    disabled.merge_state(_populated().export_state())
+    assert disabled.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }

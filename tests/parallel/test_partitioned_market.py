@@ -1,0 +1,93 @@
+"""Sharded market fleet: byte-identical books at any partition count."""
+
+import json
+
+import pytest
+
+from repro.bench.market_fleet import run_market
+from repro.bench.platform import set_default_observability
+from repro.errors import ParallelError
+from repro.obs import Observability
+from repro.parallel.fleet import partition_specs, run_partitioned_market
+from repro.market import TenantSlo, TenantSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_obs():
+    yield
+    set_default_observability(None)
+
+
+def _run(partitions, **kwargs):
+    obs = Observability(enabled=True)
+    set_default_observability(obs)
+    result = run_market(partitions=partitions, **kwargs)
+    snapshot = json.dumps(
+        obs.registry.snapshot(), indent=2, sort_keys=True
+    )
+    return result, snapshot
+
+
+QUICK = dict(fleet_scale=1, ticks=9, seed=42, chaos=True)
+
+
+def test_partitioned_market_matches_serial_bytes():
+    serial_result, serial_snapshot = _run(1, **QUICK)
+    for partitions in (2, 4):
+        result, snapshot = _run(partitions, **QUICK)
+        assert result == serial_result, f"partitions={partitions}"
+        assert snapshot == serial_snapshot, f"partitions={partitions}"
+    assert serial_result.invariant_violations == 0
+    assert serial_result.vm_crashes > 0, "chaos must actually fire"
+
+
+def test_partitioned_market_without_chaos():
+    calm = dict(fleet_scale=1, ticks=6, seed=7, chaos=False)
+    serial_result, serial_snapshot = _run(1, **calm)
+    result, snapshot = _run(3, **calm)
+    assert result == serial_result
+    assert snapshot == serial_snapshot
+
+
+def test_partitions_clamped_to_tenant_count():
+    serial_result, serial_snapshot = _run(1, **QUICK)
+    result, snapshot = _run(16, **QUICK)
+    assert result == serial_result
+    assert snapshot == serial_snapshot
+
+
+def _toy_specs():
+    return [
+        TenantSpec(
+            "prod", 2, "producer", footprint_pages=128,
+            capacity_pages=128, slo=TenantSlo(500.0, priority=1),
+            accesses_per_tick=4,
+        ),
+        TenantSpec(
+            "cons", 2, "consumer", footprint_pages=160,
+            capacity_pages=64, slo=TenantSlo(250.0, priority=1),
+            accesses_per_tick=4,
+        ),
+    ]
+
+
+def test_partition_specs_contiguous_and_clamped():
+    specs = _toy_specs()
+    assert partition_specs(specs, 1) == [specs]
+    two = partition_specs(specs, 2)
+    assert two == [[specs[0]], [specs[1]]]
+    assert partition_specs(specs, 5) == two  # clamped
+    with pytest.raises(ParallelError):
+        partition_specs(specs, 0)
+
+
+def test_runner_reports_partition_count_and_window():
+    outcome = run_partitioned_market(
+        _toy_specs(), seed=3, ticks=3, partitions=2
+    )
+    assert outcome["partitions"] == 2
+    assert outcome["total_vms"] == 4
+    # The barrier interval is the fleet tick, far above the transport
+    # lookahead bound, so it is the conservative window.
+    assert outcome["window_us"] == 10_000.0
+    assert set(outcome["summary"]) == {"prod", "cons"}

@@ -1,0 +1,110 @@
+"""The work-queue pool: deterministic merge, crash retry, teardown."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import PoolStats, run_tasks
+
+_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
+forked = pytest.mark.skipif(
+    not _FORK, reason="crash-injection helpers rely on the fork start method"
+)
+
+
+def _times_ten(payload):
+    # Uneven durations scramble completion order on purpose: the merge
+    # must be keyed by task order, never by finish order.
+    if payload % 3 == 0:
+        time.sleep(0.05)
+    return payload * 10
+
+
+def _crash_marked(payload):
+    """Crash the worker hard the first time the flag file is absent."""
+    flag = payload.get("flag")
+    if flag is not None and not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("crashed")
+        os._exit(23)
+    return payload["value"]
+
+
+def _always_crash(payload):
+    os._exit(23)
+
+
+def _raise_on_two(payload):
+    if payload == 2:
+        raise ValueError(f"bad payload {payload}")
+    return payload
+
+
+def test_results_in_payload_order_at_any_worker_count():
+    payloads = list(range(12))
+    expected = [value * 10 for value in payloads]
+    assert run_tasks(_times_ten, payloads, workers=1) == expected
+    assert run_tasks(_times_ten, payloads, workers=4) == expected
+
+
+def test_empty_payloads():
+    assert run_tasks(_times_ten, [], workers=4) == []
+
+
+def test_stats_filled():
+    stats = PoolStats()
+    run_tasks(_times_ten, [1, 2, 3], workers=2, stats=stats)
+    assert stats.workers == 2
+    assert stats.tasks == 3
+    assert stats.worker_crashes == 0
+    assert stats.attempts == {0: 1, 1: 1, 2: 1}
+
+
+def test_serial_path_runs_in_process():
+    # workers <= 1 must not spawn anything: a closure (unpicklable to a
+    # spawn context, stateful across calls) works fine.
+    seen = []
+
+    def record(payload):
+        seen.append(payload)
+        return payload
+
+    assert run_tasks(record, [5, 6], workers=1) == [5, 6]
+    assert seen == [5, 6]
+
+
+@forked
+def test_crashed_worker_task_retried_once(tmp_path):
+    flag = str(tmp_path / "crash-once")
+    payloads = [{"value": index} for index in range(6)]
+    payloads[3]["flag"] = flag
+    stats = PoolStats()
+    emitted = []
+    results = run_tasks(
+        _crash_marked, payloads, workers=2, stats=stats,
+        emit=emitted.append,
+    )
+    assert results == list(range(6))
+    assert stats.worker_crashes == 1
+    assert stats.retries == 1
+    assert stats.attempts[3] == 2
+    assert any("retrying" in line for line in emitted)
+
+
+@forked
+def test_retry_budget_exhaustion_raises():
+    stats = PoolStats()
+    with pytest.raises(ParallelError, match="retry budget"):
+        run_tasks(
+            _always_crash, [0], workers=2, retries=1, stats=stats,
+        )
+    assert stats.worker_crashes == 2
+
+
+@forked
+def test_task_exception_surfaces_as_parallel_error():
+    with pytest.raises(ParallelError, match="bad payload 2"):
+        run_tasks(_raise_on_two, [0, 1, 2, 3], workers=2)

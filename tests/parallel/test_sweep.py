@@ -1,0 +1,54 @@
+"""Perfbench seed sweep: structure deterministic at any worker count."""
+
+from repro.perfbench.benchmarks import (
+    PERFBENCH_SCHEMA,
+    bench_sweep_scaling,
+    run_sweep,
+)
+
+# Tiny sizes: these tests pin structure and determinism, not speed.
+TINY = {"monitor_accesses": 200, "fig3_accesses": 100}
+
+
+def _strip_wallclock(document):
+    rows = [
+        {"seed": row["seed"]} for row in document["rows"]
+    ]
+    return {
+        key: value for key, value in document.items()
+        if key not in ("wall_seconds", "rows", "workers")
+    } | {"rows": rows}
+
+
+def test_sweep_rows_in_seed_order_at_any_worker_count():
+    serial = run_sweep(range(3), quick=True, sizes=TINY, workers=1)
+    parallel = run_sweep(range(3), quick=True, sizes=TINY, workers=3)
+    assert serial["schema"] == PERFBENCH_SCHEMA
+    assert serial["mode"] == "sweep"
+    assert [row["seed"] for row in serial["rows"]] == [0, 1, 2]
+    # Rates are wall-clock (host-dependent); everything else matches.
+    assert _strip_wallclock(parallel) == _strip_wallclock(serial)
+    assert serial["workers"] == 1
+    assert parallel["workers"] == 3
+    for row in serial["rows"] + parallel["rows"]:
+        assert row["monitor_ops_per_sec"] > 0
+        assert row["fig3_quick_seconds"] > 0
+
+
+def test_sweep_scaling_document_shape(monkeypatch):
+    import repro.perfbench.benchmarks as bench_mod
+
+    calls = []
+
+    def fake_run_sweep(seeds, quick=False, workers=1, emit=None):
+        calls.append(workers)
+        return {"wall_seconds": 4.0 if workers == 1 else 2.0}
+
+    monkeypatch.setattr(bench_mod, "run_sweep", fake_run_sweep)
+    result = bench_sweep_scaling(seeds=4, workers=2, quick=True)
+    assert calls == [1, 2]
+    assert result["mode"] == "sweep-scaling"
+    assert result["serial_seconds"] == 4.0
+    assert result["parallel_seconds"] == 2.0
+    assert result["speedup"] == 2.0
+    assert result["host_cpus"] >= 1

@@ -1,0 +1,72 @@
+"""Conservative windows, lookahead bounds, partition seeds."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    ETHERNET_10G,
+    RDMA_FDR,
+    TRANSPORTS,
+    min_transport_latency_us,
+)
+from repro.net.fabric import Fabric
+from repro.parallel import conservative_window_us, partition_seed
+from repro.sim import Environment, RandomStreams
+
+
+def test_min_transport_latency_is_the_global_floor():
+    floor = min_transport_latency_us()
+    assert floor > 0
+    assert floor == min(
+        spec.min_one_way_us(0) for spec in TRANSPORTS.values()
+    )
+    # The fastest modeled transport is RDMA FDR: propagation plus the
+    # per-message overhead, with zero serialization for empty payloads.
+    assert floor == RDMA_FDR.min_one_way_us(0)
+
+
+def test_conservative_window_floor_rule():
+    bound = min_transport_latency_us()
+    # No floor: the window is the transport bound itself.
+    assert conservative_window_us() == bound
+    # A coarser floor (the fleet tick) dominates.
+    assert conservative_window_us(floor_us=10_000.0) == 10_000.0
+    # A sub-bound floor cannot shrink the window below the bound.
+    assert conservative_window_us(floor_us=bound / 10) == bound
+
+
+def test_conservative_window_subset_of_transports():
+    window = conservative_window_us(transports=[ETHERNET_10G])
+    assert window == ETHERNET_10G.min_one_way_us(0)
+    assert window > min_transport_latency_us()
+
+
+def test_partition_seed_deterministic_and_distinct():
+    seeds = [partition_seed(42, index) for index in range(8)]
+    assert seeds == [partition_seed(42, index) for index in range(8)]
+    assert len(set(seeds)) == len(seeds)
+    assert partition_seed(43, 0) != partition_seed(42, 0)
+
+
+def test_partition_seed_rejects_negative_index():
+    with pytest.raises(ValueError):
+        partition_seed(42, -1)
+
+
+def test_fabric_lookahead_is_min_over_links():
+    env = Environment()
+    fabric = Fabric(env, RandomStreams(7))
+    for name in ("a", "b", "c"):
+        fabric.add_host(name)
+    fabric.connect("a", "b", RDMA_FDR)
+    fabric.connect("b", "c", ETHERNET_10G)
+    assert fabric.lookahead_us() == RDMA_FDR.min_one_way_us(0)
+    assert fabric.lookahead_us(4096) == min(
+        RDMA_FDR.min_one_way_us(4096), ETHERNET_10G.min_one_way_us(4096)
+    )
+
+
+def test_fabric_lookahead_requires_links():
+    fabric = Fabric(Environment(), RandomStreams(7))
+    with pytest.raises(NetworkError):
+        fabric.lookahead_us()
