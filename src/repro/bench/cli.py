@@ -43,6 +43,7 @@ from .reporting import write_csv
 from .table1_codepaths import run_table1
 from .table2_optimizations import run_table2
 from .table3_footprint import run_table3
+from .tournament import run_tournament
 
 __all__ = ["main", "METRICS_SCHEMA"]
 
@@ -59,10 +60,13 @@ EXPERIMENT_DESCRIPTIONS = {
                "crash recovery time",
     "market": "Multi-tenant memory marketplace: fleet-scale harvest/"
               "lease with per-tenant SLOs and an audited broker",
+    "tournament": "Policy tournament: every alloc x prefetch x "
+                  "handler-count combo raced over pmbench/graph500/"
+                  "market workloads, ranked by fault p99",
 }
 
 EXPERIMENTS = ("fig3", "table1", "table2", "fig4", "fig5", "table3",
-               "ablations", "cluster", "market")
+               "ablations", "cluster", "market", "tournament")
 
 #: Version tag of the ``--metrics`` JSON document; bump on layout
 #: changes so the CI regression gate can refuse mismatched baselines.
@@ -125,6 +129,15 @@ def _parser() -> argparse.ArgumentParser:
              "Other experiments run serially regardless",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the tournament experiment's cells over N processes "
+             "(repro.parallel); results are byte-identical at any N. "
+             "Other experiments ignore it",
+    )
+    parser.add_argument(
         "--metrics",
         metavar="PATH",
         default=None,
@@ -179,6 +192,12 @@ def _run_one(name: str, args) -> None:
         print(
             f"note: {name} runs serially; --partitions "
             f"{args.partitions} only shards the market experiment",
+            file=sys.stderr,
+        )
+    if args.workers > 1 and name != "tournament":
+        print(
+            f"note: {name} runs serially; --workers {args.workers} "
+            f"only fans out the tournament experiment",
             file=sys.stderr,
         )
     if name == "fig3":
@@ -275,6 +294,20 @@ def _run_one(name: str, args) -> None:
                     "p99_us", "slo_violations", "faults", "remote_hits",
                     "swap_faults", "deaths"),
                    result.rows())
+    elif name == "tournament":
+        result = run_tournament(
+            quick=quick, seed=seed, workers=args.workers,
+            faults=args.faults,
+        )
+        print(result.table_text())
+        print(
+            f"\nWinner: {result.winner} over "
+            f"{len(result.cells)} cells ({result.workers} worker(s))."
+        )
+        _maybe_csv(args.csv, "tournament",
+                   ("rank", "combo", "mean_p99_us", "mean_p50_us",
+                    "faults", "prefetch_hit_pct", "frame_occupancy"),
+                   result.rows())
     elif name == "ablations":
         for ablation in run_all_ablations(seed=seed).values():
             print(ablation.table_text())
@@ -345,6 +378,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--profile needs a positive function count")
     if args.partitions < 1:
         parser.error("--partitions needs a positive process count")
+    if args.workers < 1:
+        parser.error("--workers needs a positive process count")
     targets = _expand_targets(args.experiment)
     observing = args.metrics is not None or args.trace is not None
     snapshots = {}

@@ -16,7 +16,7 @@ from .config import FluidMemConfig, MonitorLatency
 from .lru_buffer import LruBuffer
 from .migration import MigrationReport, migrate_vm
 from .monitor import Monitor, VmRegistration
-from .policy import SharePolicy, ShareSpec
+from ..policy.share import SharePolicy, ShareSpec
 from .page_tracker import PageTracker
 from .port import FluidMemoryPort
 from .profiling import CodePath, Profiler

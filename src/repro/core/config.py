@@ -75,6 +75,21 @@ class FluidMemConfig:
     #: sequentially following pages from the store before the guest
     #: asks.  0 = off (the paper's shipped design).
     prefetch_pages: int = 0
+    #: Which prefetch policy generates candidates when
+    #: ``prefetch_pages`` > 0 (:mod:`repro.policy.prefetch`):
+    #: ``"sequential"`` (the original next-N scheme), ``"leap"``
+    #: (majority-trend window detection), or ``"none"``.
+    prefetch_policy: str = "sequential"
+    #: Allocation policy for host frames and the monitor's eviction
+    #: buffer (:mod:`repro.policy.alloc`): ``"lifo"`` (the shipped
+    #: free-stack behaviour), ``"first-fit"``, ``"buddy"``, or
+    #: ``"arena"``.  Name validation happens at monitor build time so
+    #: this module stays import-light.
+    alloc_policy: str = "lifo"
+    #: Lightweight fault-handler coroutines (arXiv 2107.13848): 1 is
+    #: the paper's single-threaded monitor loop; N > 1 lets faults
+    #: from different vCPUs overlap behind a semaphore of N slots.
+    fault_handlers: int = 1
     #: Ablation only — NOT in the paper's design: reorder the LRU on
     #: every monitor-visible access.  The paper's list is insertion
     #: ordered ("the internal ordering of the list does not change"),
@@ -105,6 +120,10 @@ class FluidMemConfig:
             raise FluidMemError("writeback_stale_us must be positive")
         if self.prefetch_pages < 0:
             raise FluidMemError("prefetch_pages must be >= 0")
+        if self.fault_handlers < 1:
+            raise FluidMemError(
+                f"fault_handlers must be >= 1, got {self.fault_handlers}"
+            )
 
     def with_optimizations(
         self,

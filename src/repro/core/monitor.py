@@ -38,7 +38,9 @@ from ..kernel import UffdFault, UffdOps, UffdRegion, Userfaultfd
 from ..kv import KeyValueBackend, PartitionedKeyCodec
 from ..mem import PAGE_SIZE, MemoryRegion, Page, PageTable
 from ..obs import NULL_OBS, Observability
-from ..sim import Environment, LatencyRecorder
+from ..policy.prefetch import resolve_prefetcher
+from ..policy.registry import make_alloc_policy, validate_policy_names
+from ..sim import Environment, LatencyRecorder, Resource
 from ..vm import QemuProcess
 from .config import FluidMemConfig
 from .lru_buffer import LruBuffer
@@ -152,11 +154,38 @@ class Monitor:
         self.fault_latency = LatencyRecorder(
             f"{name}.fault", max_samples=500_000
         )
-        #: Which handler resolved the in-flight fault (obs label).
-        self._fault_path: Optional[str] = None
+        #: Which handler resolved each in-flight fault (obs label);
+        #: keyed by the fault so concurrent handlers never clobber
+        #: each other's classification.
+        self._fault_paths: Dict[UffdFault, str] = {}
+
+        validate_policy_names(
+            self.config.alloc_policy, self.config.prefetch_policy
+        )
+        #: Candidate generator for the async prefetch extension; None
+        #: when prefetching is off (the shipped default) so the fault
+        #: hot path pays one identity check.
+        self.prefetcher = resolve_prefetcher(
+            self.config.prefetch_policy, self.config.prefetch_pages
+        )
+        #: (id(registration), addr) installed by prefetch and not yet
+        #: touched — the accuracy ledger (hit vs wasted).
+        self._prefetched_addrs = set()
+        #: Eviction-buffer slot placement.  None (the "lifo" default)
+        #: keeps the historical monotonically growing buffer space;
+        #: a policy recycles slots freed by completed write-backs.
+        self._buffer_policy = make_alloc_policy(self.config.alloc_policy)
+        self._buffer_slot_count = 16384
 
         self.buffer_table = PageTable(f"{name}-buffer")
-        self._buffer_next = BUFFER_BASE
+        if self._buffer_policy is not None:
+            self._buffer_policy.bind(self._buffer_slot_count)
+            # Overflow region starts past the policy-managed slots.
+            self._buffer_next = (
+                BUFFER_BASE + self._buffer_slot_count * PAGE_SIZE
+            )
+        else:
+            self._buffer_next = BUFFER_BASE
         self.writeback = WritebackQueue(
             env,
             self.buffer_table,
@@ -169,6 +198,10 @@ class Monitor:
             obs=self.obs,
             owner=name,
             check=self.check,
+            slot_free=(
+                self._release_buffer_slot
+                if self._buffer_policy is not None else None
+            ),
         )
 
         self._by_handle: Dict[UffdRegion, VmRegistration] = {}
@@ -181,6 +214,7 @@ class Monitor:
         #: DRAM pages lent to the memory market (``repro.market``);
         #: :meth:`give_back` can only return what :meth:`harvest` took.
         self.harvested_pages = 0
+        self._handler_slots: Optional[Resource] = None
         self._process = None
         self._running = False
 
@@ -198,43 +232,75 @@ class Monitor:
         return self._running
 
     def _run(self) -> Generator:
+        if self.config.fault_handlers > 1:
+            yield from self._run_concurrent()
+            return
+        # The paper's single-threaded monitor loop: one fault at a
+        # time, in event order.
         while self._running:
             fault = yield self.uffd.events.get()
-            start = self.env.now
-            self._fault_path = None
-            try:
-                yield from self._handle_fault(fault)
-            except StoreUnavailableError as exc:
-                # Graceful degradation: the faulting vCPU gets the
-                # error (fail fast, no hang) while the monitor keeps
-                # serving the other VMs' faults.
-                self.counters.incr("faults_failed_unavailable")
-                if self._obs_on:
-                    self.obs.tracer.instant(
-                        "fault_failed", self.env.now, cat="fault",
-                        track=self.name, addr=f"{fault.addr:#x}",
-                        error=type(exc).__name__,
-                    )
-                if fault.resolved.callbacks is not None:
-                    fault.resolved._defused = True  # may have no waiter
-                    fault.resolved.fail(exc)
-                continue
-            latency = self.env.now - start
-            self.fault_latency.record(latency)
+            yield from self._service_fault(fault)
+
+    def _run_concurrent(self) -> Generator:
+        """Lightweight-threaded handlers (arXiv 2107.13848): the
+        dispatcher claims one of N semaphore slots per fault and hands
+        the fault to its own coroutine, so faults from different
+        vCPUs overlap instead of convoying behind one handler."""
+        slots = self._handler_slots = Resource(
+            self.env, capacity=self.config.fault_handlers
+        )
+        while self._running:
+            fault = yield self.uffd.events.get()
+            token = slots.try_acquire()
+            if token is None:
+                request = slots.request()
+                yield request
+                token = request
+            self.env.process(self._handle_concurrent(fault, token))
+
+    def _handle_concurrent(self, fault: UffdFault, token) -> Generator:
+        try:
+            yield from self._service_fault(fault)
+        finally:
+            self._handler_slots.release(token)
+
+    def _service_fault(self, fault: UffdFault) -> Generator:
+        start = self.env.now
+        try:
+            yield from self._handle_fault(fault)
+        except StoreUnavailableError as exc:
+            # Graceful degradation: the faulting vCPU gets the
+            # error (fail fast, no hang) while the monitor keeps
+            # serving the other VMs' faults.
+            self._fault_paths.pop(fault, None)
+            self.counters.incr("faults_failed_unavailable")
             if self._obs_on:
-                path = self._fault_path or "unclassified"
-                registry = self.obs.registry
-                registry.histogram(
-                    "fault_latency_us", vm=self.name
-                ).observe(latency)
-                registry.histogram(
-                    "path_latency_us", path=path, vm=self.name
-                ).observe(latency)
-                self.obs.tracer.complete(
-                    "fault", start, latency, cat="fault",
-                    track=self.name, path=path, addr=f"{fault.addr:#x}",
+                self.obs.tracer.instant(
+                    "fault_failed", self.env.now, cat="fault",
+                    track=self.name, addr=f"{fault.addr:#x}",
+                    error=type(exc).__name__,
                 )
-            self.writeback.check_stale()
+            if fault.resolved.callbacks is not None:
+                fault.resolved._defused = True  # may have no waiter
+                fault.resolved.fail(exc)
+            return
+        latency = self.env.now - start
+        self.fault_latency.record(latency)
+        path = self._fault_paths.pop(fault, None)
+        if self._obs_on:
+            path = path or "unclassified"
+            registry = self.obs.registry
+            registry.histogram(
+                "fault_latency_us", vm=self.name
+            ).observe(latency)
+            registry.histogram(
+                "path_latency_us", path=path, vm=self.name
+            ).observe(latency)
+            self.obs.tracer.complete(
+                "fault", start, latency, cat="fault",
+                track=self.name, path=path, addr=f"{fault.addr:#x}",
+            )
+        self.writeback.check_stale()
 
     # -- registration (the QEMU wrapper library's entry points, §IV) -------------
 
@@ -334,6 +400,7 @@ class Monitor:
             yield from registration.store.remove(key)
         self.counters.incr("remote_pages_released", by=len(doomed_keys))
         registration.release_partition()
+        self._forget_prefetch_state(registration)
         self._registrations.remove(registration)
         self.counters.incr("vms_deregistered")
 
@@ -355,8 +422,7 @@ class Monitor:
         pushed = 0
         for vaddr in resident:
             self.lru.remove(vaddr)
-            buffer_vaddr = self._buffer_next
-            self._buffer_next += PAGE_SIZE
+            buffer_vaddr = self._take_buffer_slot()
             page = yield from self.ops.remap_out(
                 registration.table, vaddr, self.buffer_table,
                 buffer_vaddr, interleaved=False,
@@ -367,6 +433,7 @@ class Monitor:
                 self.check.pages.on_evicted(key, durable=True)
             pte = self.buffer_table.unmap(buffer_vaddr)
             self.ops.frames.free(pte.frame)
+            self._release_buffer_slot(buffer_vaddr)
             pushed += 1
         registration.active = False
         for handle in registration.handles:
@@ -382,9 +449,22 @@ class Monitor:
                     if self._check_on:
                         self.check.pages.on_forget(key)
                         self.check.writeback.on_forget(key)
+        self._forget_prefetch_state(registration)
         self._registrations.remove(registration)
         self.counters.incr("vms_detached")
         return seen_keys, pushed
+
+    def _forget_prefetch_state(self, registration: VmRegistration) -> None:
+        """Drop per-VM prefetcher history and accuracy-ledger entries
+        when a VM leaves (their id() may be recycled by a later VM)."""
+        vm_token = id(registration)
+        if self.prefetcher is not None:
+            self.prefetcher.forget(vm_token)
+        if self._prefetched_addrs:
+            self._prefetched_addrs = {
+                token for token in self._prefetched_addrs
+                if token[0] != vm_token
+            }
 
     def attach_vm(
         self,
@@ -462,6 +542,32 @@ class Monitor:
             self.counters.incr("pages_given_back", by=returned)
         return returned
 
+    # -- eviction-buffer slot placement -----------------------------------------
+
+    def _take_buffer_slot(self) -> int:
+        """Pick the buffer vaddr for the next evicted page.
+
+        With a policy, slots freed by completed write-backs are
+        recycled; exhaustion falls through to the historical
+        monotonic overflow region (and is counted).
+        """
+        if self._buffer_policy is not None:
+            slot = self._buffer_policy.take()
+            if slot is not None:
+                return BUFFER_BASE + slot * PAGE_SIZE
+            self.counters.incr("buffer_slot_overflows")
+        vaddr = self._buffer_next
+        self._buffer_next += PAGE_SIZE
+        return vaddr
+
+    def _release_buffer_slot(self, buffer_vaddr: int) -> None:
+        """Recycle a policy-managed slot (overflow vaddrs are not)."""
+        if self._buffer_policy is None:
+            return
+        slot = (buffer_vaddr - BUFFER_BASE) // PAGE_SIZE
+        if 0 <= slot < self._buffer_slot_count:
+            self._buffer_policy.give(slot)
+
     # -- fault handling -------------------------------------------------------------
 
     def _handle_fault(self, fault: UffdFault) -> Generator:
@@ -489,7 +595,12 @@ class Monitor:
         if fault.addr in registration.table:
             # A prefetch landed between the fault being raised and us
             # reading the event: spurious — just wake the vCPU.
-            self._fault_path = "spurious"
+            self._fault_paths[fault] = "spurious"
+            if self._prefetched_addrs:
+                token = (id(registration), fault.addr)
+                if token in self._prefetched_addrs:
+                    self._prefetched_addrs.discard(token)
+                    self.counters.incr("prefetch_hits")
             if self.ops.try_wake(fault):
                 self.profiler.record(CodePath.WAKE, self.ops.latency.wake_us)
             else:
@@ -514,7 +625,7 @@ class Monitor:
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """Figure 2's red path: zero page, wake, evict asynchronously."""
-        self._fault_path = "zero_fill"
+        self._fault_paths[fault] = "zero_fill"
         latency = self.config.latency
         pending = self._charge_fast(
             CodePath.INSERT_PAGE_HASH_NODE,
@@ -682,7 +793,7 @@ class Monitor:
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """§V-B: issue the read, evict under it, then copy + wake."""
-        self._fault_path = "async_fetch"
+        self._fault_paths[fault] = "async_fetch"
         latency = self.config.latency
         issued_at = self.env.now
         if self._check_on:
@@ -782,7 +893,7 @@ class Monitor:
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """Unoptimized (Table II "Default"): everything in sequence."""
-        self._fault_path = "sync_fetch"
+        self._fault_paths[fault] = "sync_fetch"
         latency = self.config.latency
         issued_at = self.env.now
         if self._check_on:
@@ -848,15 +959,19 @@ class Monitor:
         pages from the store before the guest faults on them.
 
         Runs entirely off the critical path — the faulting vCPU has
-        already been woken when this is called.
+        already been woken when this is called.  *Which* addresses to
+        pull is the pluggable prefetcher's call; the monitor only
+        applies the safety filters (already local, never evicted,
+        still on the write list, already in flight).
         """
-        count = self.config.prefetch_pages
-        if count <= 0:
+        prefetcher = self.prefetcher
+        if prefetcher is None:
             return
-        for step in range(1, count + 1):
-            addr = fault.addr + step * PAGE_SIZE
-            if addr not in fault.region:
-                break
+        vm_token = id(registration)
+        prefetcher.record_fault(vm_token, fault.addr)
+        for addr in prefetcher.candidates(
+            vm_token, fault.addr, fault.region
+        ):
             if addr in registration.table:
                 continue
             key = registration.key_for(addr)
@@ -880,6 +995,17 @@ class Monitor:
                 )
             )
 
+    def _trace_prefetch_drop(self, addr: int, key: int, reason: str) -> None:
+        """Every silently-dropped prefetch leaves a tracer breadcrumb —
+        'the prefetcher did nothing' and 'the prefetcher's work was
+        thrown away' look identical in the counters alone."""
+        if self._obs_on:
+            self.obs.tracer.instant(
+                "prefetch_drop", self.env.now, cat="prefetch",
+                track=self.name, addr=f"{addr:#x}", key=f"{key:#x}",
+                reason=reason,
+            )
+
     def _finish_prefetch(
         self, registration: VmRegistration, addr: int, key: int,
         handle, token,
@@ -890,6 +1016,7 @@ class Monitor:
             page = yield handle.event
         except KeyNotFoundError:
             self._prefetch_inflight.discard(token)
+            self._trace_prefetch_drop(addr, key, "key-lost")
             if self._check_on and registration.active:
                 self.check.pages.on_read_failed(key)
             return  # raced with a remove; drop silently
@@ -897,6 +1024,7 @@ class Monitor:
             # Prefetch is best-effort: never retry off the fault path.
             self._prefetch_inflight.discard(token)
             self.counters.incr("prefetches_failed")
+            self._trace_prefetch_drop(addr, key, "transient-error")
             if self._check_on and registration.active:
                 self.check.pages.on_read_failed(key)
             return
@@ -904,10 +1032,12 @@ class Monitor:
             # Torn down mid-flight: its page records are already gone.
             self._prefetch_inflight.discard(token)
             self.counters.incr("prefetches_dropped")
+            self._trace_prefetch_drop(addr, key, "vm-inactive")
             return
         if addr in registration.table:
             self._prefetch_inflight.discard(token)
             self.counters.incr("prefetches_dropped")
+            self._trace_prefetch_drop(addr, key, "already-present")
             if self._check_on:
                 self.check.pages.on_read_dropped(key)
             return
@@ -919,6 +1049,10 @@ class Monitor:
         )
         if addr not in self.lru:
             self.lru.insert(addr, registration)
+        if mapped is page:
+            self._prefetched_addrs.add(token)
+        else:
+            self._trace_prefetch_drop(addr, key, "install-race")
         if self._check_on:
             if mapped is page:
                 self.check.pages.on_read_installed(key)
@@ -932,13 +1066,24 @@ class Monitor:
             ).observe(self.env.now - handle.issued_at)
         yield from self._evict_until(self.lru.capacity, interleaved=False)
 
+    def note_prefetch_hit(
+        self, registration: VmRegistration, addr: int
+    ) -> None:
+        """Credit the prefetcher: a page it installed was touched
+        before eviction.  Called by the access ports on LRU hits
+        (guarded there on ``_prefetched_addrs`` being non-empty)."""
+        token = (id(registration), addr)
+        if token in self._prefetched_addrs:
+            self._prefetched_addrs.discard(token)
+            self.counters.incr("prefetch_hits")
+
     def _first_touch_via_store(
         self, fault: UffdFault, registration: VmRegistration, key: int
     ) -> Generator:
         """No-tracker ablation: pay a miss round trip, then zero-fill."""
         from ..errors import KeyNotFoundError
 
-        self._fault_path = "store_first_touch"
+        self._fault_paths[fault] = "store_first_touch"
         issued_at = self.env.now
         try:
             page = yield from self._fetch_with_retry(registration, key)
@@ -976,7 +1121,7 @@ class Monitor:
         steal: StealResult,
     ) -> Generator:
         """§V-B: the faulted page is on the write list."""
-        self._fault_path = (
+        self._fault_paths[fault] = (
             "steal_local" if steal.state == StealResult.PENDING
             else "steal_wait"
         )
@@ -1058,8 +1203,14 @@ class Monitor:
         interleaved: bool,
     ) -> Generator:
         evict_started = self.env.now
-        buffer_vaddr = self._buffer_next
-        self._buffer_next += PAGE_SIZE
+        if self._prefetched_addrs:
+            # A never-touched prefetched page going back out was
+            # wasted work (and a wasted store round trip).
+            token = (id(registration), vaddr)
+            if token in self._prefetched_addrs:
+                self._prefetched_addrs.discard(token)
+                self.counters.incr("prefetches_wasted")
+        buffer_vaddr = self._take_buffer_slot()
         done, page, cost = self.ops.try_remap_out(
             registration.table,
             vaddr,
@@ -1095,6 +1246,7 @@ class Monitor:
             )
             pte = self.buffer_table.unmap(buffer_vaddr)
             self.ops.frames.free(pte.frame)
+            self._release_buffer_slot(buffer_vaddr)
         if self._obs_on:
             self.obs.registry.histogram(
                 "path_latency_us", path="eviction", vm=self.name
@@ -1168,6 +1320,11 @@ class Monitor:
                 1 for registration in self._registrations
                 if registration.quarantined
             ),
+            "fault_handlers": self.config.fault_handlers,
+            "prefetch_policy": (
+                "none" if self.prefetcher is None else self.prefetcher.name
+            ),
+            "frame_fragmentation": self.ops.frames.fragmentation(),
             "counters": self.counters.as_dict(),
         }
         if self.fault_latency.count:

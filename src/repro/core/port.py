@@ -76,6 +76,8 @@ class FluidMemoryPort(MemoryPort):
         host = self._host_addr(vaddr)
         if host in self.qemu.page_table:
             self.monitor.counters.incr("lru_hits")
+            if self.monitor._prefetched_addrs:
+                self.monitor.note_prefetch_hit(self.registration, host)
             self.touch(vaddr, is_write)
             return True
         return False
@@ -101,6 +103,8 @@ class FluidMemoryPort(MemoryPort):
             # Resident: the monitor never sees this access — the whole
             # point of keeping hot pages local (the "LRU hit" path).
             self.monitor.counters.incr("lru_hits")
+            if self.monitor._prefetched_addrs:
+                self.monitor.note_prefetch_hit(self.registration, host)
             self.touch(vaddr, is_write)
             return None
 

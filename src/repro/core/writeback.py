@@ -93,6 +93,7 @@ class WritebackQueue:
         obs: Optional[Observability] = None,
         owner: str = "monitor",
         check: Optional[CorrectnessChecker] = None,
+        slot_free=None,
     ) -> None:
         if batch_pages < 1:
             raise FluidMemError(f"batch must be >= 1, got {batch_pages}")
@@ -110,6 +111,9 @@ class WritebackQueue:
         self.obs = obs if obs is not None else NULL_OBS
         self.owner = owner
         self.check = check if check is not None else NULL_CHECKER
+        #: Optional callback invoked with each buffer vaddr once its
+        #: frame is released (the monitor's buffer-slot recycler).
+        self._slot_free = slot_free
         self._pending: "OrderedDict[int, WritebackEntry]" = OrderedDict()
         self._in_flight: Dict[int, Tuple[WritebackEntry, Event]] = {}
         # A token channel so kicks raised before the flusher arms its
@@ -245,6 +249,8 @@ class WritebackQueue:
         for entry in batch:
             pte = self.buffer_table.unmap(entry.buffer_vaddr)
             self.frames.free(pte.frame)
+            if self._slot_free is not None:
+                self._slot_free(entry.buffer_vaddr)
         self.counters.incr("flushed", by=len(batch))
         self.counters.incr("batches")
         if self.obs.enabled:

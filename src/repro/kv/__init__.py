@@ -10,12 +10,18 @@ from .partitions import (
     VirtualPartitionRegistry,
 )
 from .ramcloud import RamCloudServer, RamCloudStore, SEGMENT_BYTES
-from .wrappers import CompressedStore, CompressionModel, ReplicatedStore
+from .wrappers import (
+    CompressedStore,
+    CompressionModel,
+    ReplicatedStore,
+    SlotTrackedStore,
+)
 
 __all__ = [
     "CompressedStore",
     "CompressionModel",
     "ReplicatedStore",
+    "SlotTrackedStore",
     "KeyValueBackend",
     "ReadHandle",
     "WriteHandle",

@@ -1,6 +1,6 @@
 """Seeded wall-clock microbenchmarks for the simulation hot path.
 
-Three measurements, smallest scope to largest:
+Four measurements, smallest scope to largest:
 
 * **engine** — raw event throughput of the discrete-event core: N
   processes looping on ``timeout(1.0)``, reported as events/sec.  This
@@ -14,6 +14,11 @@ Three measurements, smallest scope to largest:
 * **fig3-quick** — one full ``run_fig3`` quick experiment, reported in
   wall-clock seconds.  The closest proxy for "how long does a bench
   run take".
+* **prefetcher** — the Leap majority-trend prefetcher's decision loop
+  (``record_fault`` + ``candidates``) on a synthetic strided/random
+  fault stream, reported as ops/sec.  This code runs after *every*
+  resolved read fault when prefetching is on, so its throughput bounds
+  the policy lab's overhead.
 
 Unlike every other number in this repo, these are *wall-clock*
 measurements: they depend on the machine and on ambient load.  The
@@ -39,6 +44,7 @@ __all__ = [
     "bench_engine",
     "bench_monitor",
     "bench_fig3_quick",
+    "bench_prefetcher",
     "run_suite",
     "run_sweep",
     "bench_sweep_scaling",
@@ -54,6 +60,7 @@ FULL_SIZES = {
     "engine_procs": 4,
     "monitor_accesses": 30_000,
     "fig3_accesses": 4_000,
+    "prefetcher_ops": 400_000,
 }
 
 #: CI-sized runs: same shape, a few seconds total.
@@ -62,11 +69,12 @@ QUICK_SIZES = {
     "engine_procs": 4,
     "monitor_accesses": 8_000,
     "fig3_accesses": 1_500,
+    "prefetcher_ops": 100_000,
 }
 
 #: Best-of-N repetitions per benchmark (noise rejection).
-FULL_REPS = {"engine": 3, "monitor": 2, "fig3": 2}
-QUICK_REPS = {"engine": 2, "monitor": 1, "fig3": 1}
+FULL_REPS = {"engine": 3, "monitor": 2, "fig3": 2, "prefetcher": 2}
+QUICK_REPS = {"engine": 2, "monitor": 1, "fig3": 1, "prefetcher": 1}
 
 
 def bench_engine(total_events: int = 800_000, procs: int = 4) -> float:
@@ -130,13 +138,61 @@ def bench_fig3_quick(measured_accesses: int = 4_000, seed: int = 42) -> float:
     return time.perf_counter() - started
 
 
+class _FlatRegion:
+    """Just enough region protocol for candidate filtering."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    def __contains__(self, addr: int) -> bool:
+        return self.lo <= addr < self.hi
+
+
+def bench_prefetcher(ops: int = 400_000, seed: int = 42) -> float:
+    """Leap decision-loop throughput in ops/sec.
+
+    One op = one ``record_fault`` + one ``candidates`` call.  The
+    stream alternates strided scans (a majority trend exists, so the
+    vote and candidate generation both run) with uniform jumps (no
+    majority: the vote runs, generation short-circuits) — both shapes
+    the monitor feeds it in production.
+    """
+    import random
+
+    from ..mem import PAGE_SIZE
+    from ..policy.prefetch import LeapPrefetcher
+
+    rng = random.Random(seed)
+    prefetcher = LeapPrefetcher(depth=4)
+    region = _FlatRegion(0, 1 << 30)
+    span_pages = (1 << 30) // PAGE_SIZE
+    addrs = []
+    cursor = 0
+    for index in range(ops):
+        if (index // 64) % 2 == 0:
+            cursor = (cursor + 3) % span_pages  # strided scan burst
+        else:
+            cursor = rng.randrange(span_pages)  # random burst
+        addrs.append(cursor * PAGE_SIZE)
+    record_fault = prefetcher.record_fault
+    candidates = prefetcher.candidates
+    started = time.perf_counter()
+    for addr in addrs:
+        record_fault(0, addr)
+        candidates(0, addr, region)
+    return ops / (time.perf_counter() - started)
+
+
 def run_suite(
     quick: bool = False,
     seed: int = 42,
     reps: Optional[int] = None,
     sizes: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
-    """Run all three benchmarks; returns the perfbench JSON document.
+    """Run all four benchmarks; returns the perfbench JSON document.
 
     ``reps`` overrides the per-benchmark best-of-N count (handy for
     tests); ``sizes`` overrides individual workload sizes.
@@ -160,6 +216,10 @@ def run_suite(
         bench_fig3_quick(chosen["fig3_accesses"], seed=seed)
         for _ in range(repetitions["fig3"])
     )
+    prefetcher = max(
+        bench_prefetcher(chosen["prefetcher_ops"], seed=seed)
+        for _ in range(repetitions["prefetcher"])
+    )
     return {
         "schema": PERFBENCH_SCHEMA,
         "mode": "quick" if quick else "full",
@@ -168,6 +228,7 @@ def run_suite(
         "engine_events_per_sec": engine,
         "monitor_ops_per_sec": monitor,
         "fig3_quick_seconds": fig3,
+        "prefetcher_ops_per_sec": prefetcher,
     }
 
 

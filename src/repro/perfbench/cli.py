@@ -41,6 +41,7 @@ METRIC_DIRECTIONS = (
     ("engine_events_per_sec", "higher"),
     ("monitor_ops_per_sec", "higher"),
     ("fig3_quick_seconds", "lower"),
+    ("prefetcher_ops_per_sec", "higher"),
 )
 
 

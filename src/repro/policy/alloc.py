@@ -1,0 +1,287 @@
+"""Allocation strategies for frame and remote-slot placement.
+
+The paper's monitor allocates host frames and remote-store slots with
+one hard-coded scheme (a LIFO free stack — dense handles, zero search
+cost).  The disaggregation follow-ups treat placement as a policy in
+its own right: fragmentation of the remote slab determines how well a
+provider can reclaim, compact, or hand back memory.  This module makes
+the scheme pluggable behind a three-method ABC:
+
+* :class:`LifoAllocationPolicy` — the shipped behaviour (free stack),
+* :class:`FirstFitAllocationPolicy` — lowest free index first,
+* :class:`BuddyAllocationPolicy` — power-of-two buddy system with
+  split/coalesce (order-0 grants; higher orders kept for headroom),
+* :class:`SizeClassArenaAllocationPolicy` — the pool partitioned into
+  fixed arenas; grants come from the emptiest arena (most-free-first),
+  which clusters frees and keeps whole arenas reclaimable.
+
+Every policy is deterministic: the same take/give sequence produces
+the same indices, whatever the host interpreter or hash seeds do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set
+
+from ..errors import FluidMemError
+
+__all__ = [
+    "AllocationPolicy",
+    "LifoAllocationPolicy",
+    "FirstFitAllocationPolicy",
+    "BuddyAllocationPolicy",
+    "SizeClassArenaAllocationPolicy",
+]
+
+
+class AllocationPolicy:
+    """Placement strategy over a fixed pool of integer slots.
+
+    Lifecycle: :meth:`bind` once with the pool size, then any
+    interleaving of :meth:`take` / :meth:`give`.  ``take`` returns a
+    free slot index in ``[0, total)`` or ``None`` when the pool is
+    exhausted; ``give`` returns a previously taken slot.  The *owner*
+    (:class:`~repro.mem.FrameAllocator`, the slot-tracked store
+    wrapper, the monitor's eviction buffer) tracks which slots are
+    live — policies only decide *which* free slot to hand out next.
+    """
+
+    name = "abstract"
+
+    def bind(self, total: int) -> None:
+        raise NotImplementedError
+
+    def take(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def give(self, index: int) -> None:
+        raise NotImplementedError
+
+
+class LifoAllocationPolicy(AllocationPolicy):
+    """The shipped scheme: most-recently-freed slot first.
+
+    Mirrors :class:`~repro.mem.FrameAllocator`'s built-in free stack
+    exactly — same indices in the same order — so the default policy
+    is byte-identical to a policy-free allocator.
+    """
+
+    name = "lifo"
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._next_unused = 0
+        self._free_stack: List[int] = []
+
+    def bind(self, total: int) -> None:
+        if total <= 0:
+            raise FluidMemError(f"pool size must be > 0, got {total}")
+        self._total = total
+
+    def take(self) -> Optional[int]:
+        if self._free_stack:
+            return self._free_stack.pop()
+        if self._next_unused < self._total:
+            index = self._next_unused
+            self._next_unused += 1
+            return index
+        return None
+
+    def give(self, index: int) -> None:
+        self._free_stack.append(index)
+
+
+class FirstFitAllocationPolicy(AllocationPolicy):
+    """Lowest free index first (classic first-fit slab).
+
+    Keeps the live set packed toward the bottom of the pool, so the
+    high end stays contiguous and cheap to reclaim wholesale.
+    """
+
+    name = "first-fit"
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._next_unused = 0
+        self._free_heap: List[int] = []
+
+    def bind(self, total: int) -> None:
+        if total <= 0:
+            raise FluidMemError(f"pool size must be > 0, got {total}")
+        self._total = total
+
+    def take(self) -> Optional[int]:
+        if self._free_heap and (
+            self._next_unused >= self._total
+            or self._free_heap[0] < self._next_unused
+        ):
+            return heapq.heappop(self._free_heap)
+        if self._next_unused < self._total:
+            index = self._next_unused
+            self._next_unused += 1
+            return index
+        if self._free_heap:
+            return heapq.heappop(self._free_heap)
+        return None
+
+    def give(self, index: int) -> None:
+        heapq.heappush(self._free_heap, index)
+
+
+class BuddyAllocationPolicy(AllocationPolicy):
+    """Power-of-two buddy system granting order-0 slots.
+
+    The pool is decomposed into maximal aligned power-of-two blocks;
+    a ``take`` splits the smallest-order block available (lowest
+    address on ties) down to order 0, and a ``give`` coalesces the
+    freed slot with its buddy as far up as it can.  Higher-order free
+    blocks are exactly the reclaimable contiguous extents — the
+    fragmentation signal a provider compacting remote memory watches.
+    """
+
+    name = "buddy"
+
+    def __init__(self, max_order: int = 12) -> None:
+        if max_order < 0:
+            raise FluidMemError(f"max_order must be >= 0, got {max_order}")
+        self.max_order = max_order
+        self._total = 0
+        #: order -> set of free block base indices (sets give O(1)
+        #: buddy lookup; the paired heap gives deterministic minima).
+        self._free_sets: List[Set[int]] = []
+        self._free_heaps: List[List[int]] = []
+
+    def bind(self, total: int) -> None:
+        if total <= 0:
+            raise FluidMemError(f"pool size must be > 0, got {total}")
+        self._total = total
+        orders = self.max_order + 1
+        self._free_sets = [set() for _ in range(orders)]
+        self._free_heaps = [[] for _ in range(orders)]
+        # Greedy decomposition of [0, total) into aligned blocks.
+        base = 0
+        remaining = total
+        while remaining > 0:
+            order = self.max_order
+            while order > 0 and (
+                (1 << order) > remaining or base % (1 << order) != 0
+            ):
+                order -= 1
+            self._push(order, base)
+            base += 1 << order
+            remaining -= 1 << order
+
+    def _push(self, order: int, base: int) -> None:
+        self._free_sets[order].add(base)
+        heapq.heappush(self._free_heaps[order], base)
+
+    def _pop_min(self, order: int) -> int:
+        # Lazy deletion: coalescing removes bases from the set only.
+        heap = self._free_heaps[order]
+        free = self._free_sets[order]
+        while True:
+            base = heapq.heappop(heap)
+            if base in free:
+                free.remove(base)
+                return base
+
+    def take(self) -> Optional[int]:
+        order = 0
+        while order <= self.max_order and not self._free_sets[order]:
+            order += 1
+        if order > self.max_order:
+            return None
+        base = self._pop_min(order)
+        # Split down to order 0, freeing the upper halves.
+        while order > 0:
+            order -= 1
+            self._push(order, base + (1 << order))
+        return base
+
+    def give(self, index: int) -> None:
+        order = 0
+        base = index
+        while order < self.max_order:
+            buddy = base ^ (1 << order)
+            # A buddy straddling the pool end never existed as a block.
+            if buddy + (1 << order) > self._total:
+                break
+            if buddy not in self._free_sets[order]:
+                break
+            self._free_sets[order].remove(buddy)
+            base = min(base, buddy)
+            order += 1
+        self._push(order, base)
+
+    def free_blocks(self) -> Dict[int, int]:
+        """order -> count of free blocks (the coalescing telemetry)."""
+        return {
+            order: len(blocks)
+            for order, blocks in enumerate(self._free_sets)
+            if blocks
+        }
+
+
+class SizeClassArenaAllocationPolicy(AllocationPolicy):
+    """Fixed arenas; grants come from the emptiest arena.
+
+    The pool is split into ``arena_slots``-sized arenas.  A ``take``
+    picks the arena with the most free slots (lowest index on ties)
+    and hands out its lowest free slot — allocation pressure
+    concentrates in few arenas, so lightly-used arenas drain to empty
+    and become reclaimable as whole units.
+    """
+
+    name = "arena"
+
+    def __init__(self, arena_slots: int = 64) -> None:
+        if arena_slots < 1:
+            raise FluidMemError(
+                f"arena_slots must be >= 1, got {arena_slots}"
+            )
+        self.arena_slots = arena_slots
+        self._total = 0
+        self._arena_free: List[List[int]] = []  # min-heaps of free slots
+        self._arena_free_count: List[int] = []
+
+    def bind(self, total: int) -> None:
+        if total <= 0:
+            raise FluidMemError(f"pool size must be > 0, got {total}")
+        self._total = total
+        arenas = (total + self.arena_slots - 1) // self.arena_slots
+        self._arena_free = []
+        self._arena_free_count = []
+        for arena in range(arenas):
+            low = arena * self.arena_slots
+            high = min(low + self.arena_slots, total)
+            slots = list(range(low, high))
+            self._arena_free.append(slots)  # already heap-ordered
+            self._arena_free_count.append(len(slots))
+
+    def take(self) -> Optional[int]:
+        best = -1
+        best_free = 0
+        for arena, free in enumerate(self._arena_free_count):
+            if free > best_free:
+                best = arena
+                best_free = free
+        if best < 0:
+            return None
+        self._arena_free_count[best] -= 1
+        return heapq.heappop(self._arena_free[best])
+
+    def give(self, index: int) -> None:
+        arena = index // self.arena_slots
+        heapq.heappush(self._arena_free[arena], index)
+        self._arena_free_count[arena] += 1
+
+    def arena_occupancy(self) -> List[float]:
+        """Per-arena fill fraction (the reclaimability telemetry)."""
+        out = []
+        for arena, free in enumerate(self._arena_free_count):
+            low = arena * self.arena_slots
+            high = min(low + self.arena_slots, self._total)
+            size = high - low
+            out.append((size - free) / size if size else 0.0)
+        return out

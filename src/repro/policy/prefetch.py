@@ -1,0 +1,189 @@
+"""Prefetch policies for the monitor's async-read path.
+
+The paper sketches prefetching as §V-A future work; the reproduction
+shipped one hard-coded scheme (pull the next N sequential pages).
+This module turns the *candidate generation* into a policy:
+
+* :class:`NoopPrefetcher` — never prefetch (the paper's shipped
+  design; the baseline every other policy races against),
+* :class:`SequentialPrefetcher` — next ``depth`` pages, exactly the
+  behaviour previously hard-coded in ``Monitor._maybe_prefetch``,
+* :class:`LeapPrefetcher` — the majority-trend detector from Leap
+  (Al Maruf & Chowdhury, ATC'20): keep a window of recent fault
+  deltas, find the majority delta with Boyer–Moore voting, and
+  prefetch ``depth`` pages along that stride.  A window with no
+  majority yields nothing — random access patterns stop polluting
+  the LRU with wasted reads.
+
+The monitor stays the enforcement point: policies only *propose*
+addresses (bounded to the faulting region); eligibility filters
+(already resident, first touch, on the write list, not in the store,
+already in flight) and the issue/complete bookkeeping live in
+``Monitor._maybe_prefetch``, identically for every policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import FluidMemError
+from ..mem.addr import PAGE_SIZE
+
+__all__ = [
+    "Prefetcher",
+    "NoopPrefetcher",
+    "SequentialPrefetcher",
+    "LeapPrefetcher",
+    "resolve_prefetcher",
+]
+
+
+class Prefetcher:
+    """Candidate generator keyed by registration token.
+
+    ``token`` identifies one VM registration (the monitor passes
+    ``id(registration)``); per-VM state must be keyed on it so two
+    tenants' access streams never blur into one trend.
+    """
+
+    name = "abstract"
+
+    def record_fault(self, token: int, addr: int) -> None:
+        """Observe one demand miss (the swap-in stream)."""
+
+    def candidates(self, token: int, addr: int, region) -> List[int]:
+        """Propose prefetch addresses for the fault at ``addr``.
+
+        Every returned address must lie inside ``region`` (membership
+        via ``in``); order is the issue order.
+        """
+        raise NotImplementedError
+
+    def forget(self, token: int) -> None:
+        """Drop per-registration state (VM deregistered/detached)."""
+
+
+class NoopPrefetcher(Prefetcher):
+    """Never prefetch — the paper's shipped design."""
+
+    name = "none"
+
+    def candidates(self, token: int, addr: int, region) -> List[int]:
+        return []
+
+
+class SequentialPrefetcher(Prefetcher):
+    """Next-``depth`` sequential pages (the previous built-in)."""
+
+    name = "sequential"
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise FluidMemError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+
+    def candidates(self, token: int, addr: int, region) -> List[int]:
+        out = []
+        for step in range(1, self.depth + 1):
+            candidate = addr + step * PAGE_SIZE
+            if candidate not in region:
+                break
+            out.append(candidate)
+        return out
+
+
+def _majority(values: List[int]) -> Optional[int]:
+    """Boyer–Moore majority vote: the element occurring in more than
+    half of ``values``, or None when no such element exists."""
+    if not values:
+        return None
+    candidate = values[0]
+    count = 0
+    for value in values:
+        if count == 0:
+            candidate = value
+            count = 1
+        elif value == candidate:
+            count += 1
+        else:
+            count -= 1
+    if sum(1 for value in values if value == candidate) * 2 > len(values):
+        return candidate
+    return None
+
+
+class LeapPrefetcher(Prefetcher):
+    """Leap's majority-trend window detector.
+
+    Per registration, keep the last ``window`` fault addresses; the
+    deltas between consecutive faults vote (Boyer–Moore) for a trend.
+    A strict-majority delta ``d`` (in pages, any direction, including
+    strides > 1) proposes ``addr + k*d`` for ``k`` in ``1..depth``;
+    no majority — e.g. uniform random access — proposes nothing.
+    """
+
+    name = "leap"
+
+    def __init__(self, depth: int, window: int = 32) -> None:
+        if depth < 1:
+            raise FluidMemError(f"depth must be >= 1, got {depth}")
+        if window < 2:
+            raise FluidMemError(f"window must be >= 2, got {window}")
+        self.depth = depth
+        self.window = window
+        self._history: Dict[int, Deque[int]] = {}
+
+    def record_fault(self, token: int, addr: int) -> None:
+        history = self._history.get(token)
+        if history is None:
+            history = self._history[token] = deque(maxlen=self.window)
+        history.append(addr)
+
+    def trend(self, token: int) -> Optional[int]:
+        """The majority inter-fault delta in bytes, or None."""
+        history = self._history.get(token)
+        if history is None or len(history) < 2:
+            return None
+        deltas = [
+            later - earlier
+            for earlier, later in zip(history, list(history)[1:])
+        ]
+        delta = _majority(deltas)
+        if delta is None or delta == 0:
+            return None
+        return delta
+
+    def candidates(self, token: int, addr: int, region) -> List[int]:
+        delta = self.trend(token)
+        if delta is None:
+            return []
+        out = []
+        for step in range(1, self.depth + 1):
+            candidate = addr + step * delta
+            if candidate not in region:
+                break
+            out.append(candidate)
+        return out
+
+    def forget(self, token: int) -> None:
+        self._history.pop(token, None)
+
+
+def resolve_prefetcher(policy: str, depth: int) -> Optional[Prefetcher]:
+    """Build the monitor's prefetcher from its config knobs.
+
+    Returns ``None`` when no prefetching should happen — the "none"
+    policy, or any policy at depth 0 (the shipped default, so a
+    default config costs exactly one ``is None`` check per fault).
+    """
+    if policy == "none" or depth <= 0:
+        return None
+    if policy == "sequential":
+        return SequentialPrefetcher(depth)
+    if policy == "leap":
+        return LeapPrefetcher(depth)
+    raise FluidMemError(
+        f"unknown prefetch policy {policy!r}; choose from "
+        "('none', 'sequential', 'leap')"
+    )

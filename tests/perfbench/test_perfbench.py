@@ -26,6 +26,7 @@ TINY_SIZES = {
     "engine_procs": 2,
     "monitor_accesses": 200,
     "fig3_accesses": 60,
+    "prefetcher_ops": 2_000,
 }
 
 
@@ -38,6 +39,7 @@ def test_run_suite_document_shape():
     assert result["engine_events_per_sec"] > 0
     assert result["monitor_ops_per_sec"] > 0
     assert result["fig3_quick_seconds"] > 0
+    assert result["prefetcher_ops_per_sec"] > 0
 
 
 def test_bench_engine_rate_scales_with_events():
@@ -45,7 +47,8 @@ def test_bench_engine_rate_scales_with_events():
     assert rate > 0
 
 
-def _document(engine=1_000_000.0, monitor=15_000.0, fig3=1.0, **extra):
+def _document(engine=1_000_000.0, monitor=15_000.0, fig3=1.0,
+              prefetcher=150_000.0, **extra):
     document = {
         "schema": PERFBENCH_SCHEMA,
         "mode": "quick",
@@ -53,6 +56,7 @@ def _document(engine=1_000_000.0, monitor=15_000.0, fig3=1.0, **extra):
         "engine_events_per_sec": engine,
         "monitor_ops_per_sec": monitor,
         "fig3_quick_seconds": fig3,
+        "prefetcher_ops_per_sec": prefetcher,
     }
     document.update(extra)
     return document
@@ -61,13 +65,15 @@ def _document(engine=1_000_000.0, monitor=15_000.0, fig3=1.0, **extra):
 def test_compare_flags_rate_and_seconds_regressions():
     baseline = _document()
     # Rates halve and seconds double: exactly at a 2x factor.
-    current = _document(engine=400_000.0, monitor=15_000.0, fig3=2.5)
+    current = _document(engine=400_000.0, monitor=15_000.0, fig3=2.5,
+                        prefetcher=60_000.0)
     rows = compare(current, baseline, max_regression=2.0)
     verdicts = {metric: ok for metric, _c, _r, _f, ok in rows}
     assert verdicts == {
         "engine_events_per_sec": False,  # 2.5x slower
         "monitor_ops_per_sec": True,
         "fig3_quick_seconds": False,  # 2.5x slower
+        "prefetcher_ops_per_sec": False,  # 2.5x slower
     }
 
 

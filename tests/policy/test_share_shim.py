@@ -1,0 +1,36 @@
+"""The repro.core.policy -> repro.policy.share deprecation shim."""
+
+import warnings
+
+import pytest
+
+
+def test_old_import_path_warns_and_resolves():
+    import repro.core.policy as old
+
+    with pytest.warns(DeprecationWarning, match="repro.core.policy"):
+        shim_policy = old.SharePolicy
+    with pytest.warns(DeprecationWarning):
+        shim_spec = old.ShareSpec
+
+    from repro.policy.share import SharePolicy, ShareSpec
+
+    assert shim_policy is SharePolicy
+    assert shim_spec is ShareSpec
+
+
+def test_new_import_paths_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.core import SharePolicy as from_core
+        from repro.policy import SharePolicy as from_policy
+        from repro.policy.share import SharePolicy as from_share
+
+    assert from_core is from_policy is from_share
+
+
+def test_shim_rejects_unknown_names():
+    import repro.core.policy as old
+
+    with pytest.raises(AttributeError):
+        old.does_not_exist
