@@ -199,5 +199,15 @@ class WorkloadError(ReproError):
     """Errors from workload generators."""
 
 
+class ScenarioError(ReproError):
+    """Errors from the declarative scenario platform (``repro.scenario``).
+
+    Raised on schema violations (unknown fields, bad policy names, out
+    of range values — each issue listed with its JSON path and, where a
+    vocabulary exists, a did-you-mean suggestion) and on scenario
+    compilation/runtime failures.
+    """
+
+
 class BenchError(ReproError):
     """Errors from the benchmark harness."""

@@ -1,20 +1,31 @@
 """Every experiment the CLI advertises must run in quick mode and emit
-a well-formed ``--metrics`` document.
+a well-formed ``--metrics`` document — and every bundled scenario
+template must validate, run quick, and emit a schema-valid
+``repro-scenario-metrics/1`` report.
 
 The experiment list is taken from ``--list-experiments`` itself (not
-from the module constant) so a new experiment that is registered but
-broken — or runnable but unlisted — fails here rather than shipping
-silently.
+from the module constant) and the template list from the ``scenarios/``
+directory itself, so a new experiment or template that is present but
+broken fails here rather than shipping silently.
 """
 
 import contextlib
 import io
 import json
 import numbers
+import os
 
 import pytest
 
 from repro.bench.cli import EXPERIMENTS, METRICS_SCHEMA, main
+from repro.scenario import (
+    REPORT_SCHEMA,
+    SCENARIO_KINDS,
+    load_scenario,
+    validate_report,
+)
+from repro.scenario.cli import main as scenario_main
+from repro.scenario.cli import scenarios_dir, template_names
 
 
 def _listed_experiments():
@@ -107,3 +118,102 @@ def test_market_quick_run_reports_per_tenant_qos(tmp_path):
     assert snapshot["histograms"][
         "tenant_fault_latency_us{tenant=premium-db}"
     ]["count"] >= 100  # hundreds of VMs generate real traffic
+
+
+# ---------------------------------------------------------------------------
+# Scenario-template smoke suite
+# ---------------------------------------------------------------------------
+
+TEMPLATES = template_names()
+
+#: The template library the tentpole promises.  Discovery stays live
+#: (any new template is smoked automatically); the named set is pinned
+#: so a deleted template fails loudly.
+EXPECTED_TEMPLATES = {
+    "paper-repro", "scaleout-8shard", "chaos-soak", "market-fleet",
+    "web-diurnal", "ml-sweep", "kv-mix",
+}
+
+
+def test_template_library_is_complete():
+    assert set(TEMPLATES) >= EXPECTED_TEMPLATES
+
+
+def test_every_template_file_is_discovered():
+    directory = scenarios_dir()
+    assert directory is not None
+    files = {
+        name[:-len(".json")]
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    }
+    assert files == set(TEMPLATES)
+
+
+@pytest.mark.parametrize("template", TEMPLATES)
+def test_template_validates(template):
+    directory = scenarios_dir()
+    scenario = load_scenario(os.path.join(directory, f"{template}.json"))
+    assert scenario.name == template
+    assert scenario.kind in SCENARIO_KINDS
+    assert scenario.description
+
+
+def test_validate_command_accepts_the_whole_library():
+    directory = scenarios_dir()
+    paths = [
+        os.path.join(directory, f"{name}.json") for name in TEMPLATES
+    ]
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        assert scenario_main(["validate", *paths]) == 0
+    assert stdout.getvalue().count("ok    ") == len(paths)
+
+
+@pytest.mark.parametrize("template", TEMPLATES)
+def test_template_quick_run_emits_valid_report(template, tmp_path):
+    report_path = tmp_path / f"{template}.json"
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = scenario_main([
+            "run", template, "--quick", "--report", str(report_path),
+        ])
+    assert code == 0
+    assert "KPIs:" in stdout.getvalue()
+    with open(report_path) as handle:
+        document = json.load(handle)
+    validate_report(document)
+    assert document["schema"] == REPORT_SCHEMA == "repro-scenario-metrics/1"
+    assert document["scenario"] == template
+    assert document["quick"] is True
+    for value in document["kpis"].values():
+        assert isinstance(value, (numbers.Real, bool, str))
+
+
+def test_new_workloads_have_distinct_kpi_profiles(tmp_path):
+    """The three genuinely new workloads must *behave* differently:
+    diurnal web serving is cache-friendly and bursty, the ML sweep
+    thrashes with a flat load line, and the KV mix sits in between
+    with surge-driven tail pressure."""
+    kpis = {}
+    for template in ("web-diurnal", "ml-sweep", "kv-mix"):
+        path = tmp_path / f"{template}.json"
+        with contextlib.redirect_stdout(io.StringIO()):
+            assert scenario_main([
+                "run", template, "--quick", "--report", str(path),
+            ]) == 0
+        with open(path) as handle:
+            kpis[template] = json.load(handle)["kpis"]
+    web, ml, kv = (
+        kpis["web-diurnal"], kpis["ml-sweep"], kpis["kv-mix"]
+    )
+    # Hit rates order the three workloads: zipfian web > kv mix > sweep.
+    assert web["hit_pct"] > kv["hit_pct"] > ml["hit_pct"]
+    assert web["hit_pct"] > 60.0
+    assert ml["hit_pct"] < 30.0
+    # The diurnal curve + spikes make web bursty; the sweep is flat.
+    assert web["peak_to_mean"] > 1.5
+    assert ml["peak_to_mean"] < 1.3
+    # Only the KV mix schedules demand surges.
+    assert kv["surge_ticks"] > 0
+    assert web["surge_ticks"] == ml["surge_ticks"] == 0

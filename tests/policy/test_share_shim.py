@@ -34,3 +34,38 @@ def test_shim_rejects_unknown_names():
 
     with pytest.raises(AttributeError):
         old.does_not_exist
+
+
+def test_shim_reexports_both_names_with_deprecation_warning():
+    """The regression pin: the shim must keep resolving *both* public
+    names to the live classes, each access under a DeprecationWarning
+    whose message points at the new import path."""
+    import repro.core.policy as old
+    from repro.policy.share import SharePolicy, ShareSpec
+
+    live = {"SharePolicy": SharePolicy, "ShareSpec": ShareSpec}
+    assert set(old.__all__) == set(live)
+    for name, expected in live.items():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolved = getattr(old, name)
+        assert resolved is expected
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1, name
+        message = str(deprecations[0].message)
+        assert "repro.core.policy is deprecated" in message
+        assert "repro.policy" in message and name in message
+
+
+def test_shim_warns_on_every_access_not_just_the_first():
+    """PEP 562 __getattr__ fires per lookup; the shim must not cache
+    the resolved name into the module and silence later users."""
+    import repro.core.policy as old
+
+    for _ in range(2):
+        with pytest.warns(DeprecationWarning):
+            old.SharePolicy
+    assert "SharePolicy" not in vars(old)

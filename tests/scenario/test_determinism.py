@@ -1,0 +1,86 @@
+"""The byte-identity contract: same scenario + seed, same report bytes.
+
+Pins seed-42 ``web-diurnal --quick`` three ways: workers 1 vs workers
+4 byte-for-byte, against the committed baseline the CI
+``scenario-smoke`` job ``cmp``s, and the market template across
+partition counts.
+"""
+
+import contextlib
+import io
+import os
+
+import pytest
+
+from repro.scenario.cli import main as scenario_main
+
+BASELINE = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "benchmarks", "baselines",
+    "scenario-web-diurnal-quick-seed42.json",
+)
+
+
+def _run_report(tmp_path, label, *argv):
+    path = tmp_path / f"{label}.json"
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        assert scenario_main([
+            "run", *argv, "--quick", "--seed", "42",
+            "--report", str(path),
+        ]) == 0
+    return path.read_bytes(), stdout.getvalue()
+
+
+def test_web_diurnal_workers_1_vs_4_byte_identical(tmp_path):
+    serial, serial_out = _run_report(
+        tmp_path, "w1", "web-diurnal", "--workers", "1"
+    )
+    fanned, fanned_out = _run_report(
+        tmp_path, "w4", "web-diurnal", "--workers", "4"
+    )
+    assert serial == fanned
+    # stdout must match too: nothing may leak the worker count.
+    assert serial_out == fanned_out
+
+
+def test_web_diurnal_matches_committed_baseline(tmp_path):
+    report, _ = _run_report(tmp_path, "base", "web-diurnal")
+    with open(BASELINE, "rb") as handle:
+        assert report == handle.read(), (
+            "web-diurnal quick seed-42 drifted from the committed "
+            "baseline; if the change is intentional, regenerate "
+            "benchmarks/baselines/scenario-web-diurnal-quick-seed42.json"
+        )
+
+
+def test_market_partitions_1_vs_2_byte_identical(tmp_path):
+    serial, _ = _run_report(
+        tmp_path, "p1", "market-fleet", "--partitions", "1"
+    )
+    sharded, _ = _run_report(
+        tmp_path, "p2", "market-fleet", "--partitions", "2"
+    )
+    assert serial == sharded
+
+
+@pytest.mark.parametrize("template", ("ml-sweep", "kv-mix"))
+def test_fleet_templates_stable_across_worker_counts(template, tmp_path):
+    serial, _ = _run_report(tmp_path, "s", template, "--workers", "1")
+    fanned, _ = _run_report(tmp_path, "f", template, "--workers", "3")
+    assert serial == fanned
+
+
+def test_seed_changes_the_report(tmp_path):
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    with contextlib.redirect_stdout(io.StringIO()):
+        assert scenario_main([
+            "run", "web-diurnal", "--quick", "--seed", "42",
+            "--report", str(path_a),
+        ]) == 0
+        assert scenario_main([
+            "run", "web-diurnal", "--quick", "--seed", "43",
+            "--report", str(path_b),
+        ]) == 0
+    assert path_a.read_bytes() != path_b.read_bytes()
