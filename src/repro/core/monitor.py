@@ -32,6 +32,7 @@ from ..errors import (
     MonitorStateError,
     StoreUnavailableError,
     TransientStoreError,
+    UffdError,
 )
 from ..faults.retry import retry_call
 from ..kernel import UffdFault, UffdOps, UffdRegion, Userfaultfd
@@ -41,6 +42,7 @@ from ..obs import NULL_OBS, Observability
 from ..policy.prefetch import resolve_prefetcher
 from ..policy.registry import make_alloc_policy, validate_policy_names
 from ..sim import Environment, LatencyRecorder, Resource
+from ..sim import core as _simcore
 from ..vm import QemuProcess
 from .config import FluidMemConfig
 from .lru_buffer import LruBuffer
@@ -156,8 +158,29 @@ class Monitor:
         )
         #: Which handler resolved each in-flight fault (obs label);
         #: keyed by the fault so concurrent handlers never clobber
-        #: each other's classification.
+        #: each other's classification.  The flat burst path
+        #: (:meth:`_service_fault_fast`) classifies with a local
+        #: variable instead — no per-fault dict churn.
         self._fault_paths: Dict[UffdFault, str] = {}
+        # Lazily cached bound observers + epilogue histograms for the
+        # flat burst path.  Each is created at its first actual record,
+        # matching the granular path's registry-creation points exactly
+        # (eager creation would change the --metrics instrument set and
+        # break the batch-equivalence pins, DESIGN.md §17).
+        self._ob_dispatch = None
+        self._ob_lookup = None
+        self._ob_insert_hash = None
+        self._ob_insert_lru = None
+        self._ob_zeropage = None
+        self._ob_copy = None
+        self._ob_wake = None
+        self._ob_read = None
+        self._ob_update = None
+        self._ob_remap = None
+        self._ob_write = None
+        self._h_fault_latency = None
+        self._h_evict_latency = None
+        self._h_path_latency: Dict[str, object] = {}
 
         validate_policy_names(
             self.config.alloc_policy, self.config.prefetch_policy
@@ -236,10 +259,26 @@ class Monitor:
             yield from self._run_concurrent()
             return
         # The paper's single-threaded monitor loop: one fault at a
-        # time, in event order.
+        # time, in event order.  Burst drain (DESIGN.md §17): when a
+        # fault burst is already queued (e.g. several vCPUs faulted
+        # while a previous fault was being serviced), the guarded
+        # ``try_get_batch`` consumes the next event with zero heap
+        # traffic; each fault is still serviced one at a time, in the
+        # exact order the granular rendezvous would have produced.
+        events = self.uffd.events
+        env = self.env
         while self._running:
-            fault = yield self.uffd.events.get()
-            yield from self._service_fault(fault)
+            fault = events.try_get_batch() if events.items else None
+            if fault is None:
+                fault = yield events.get()
+            if (
+                _simcore.FASTPATH_ON
+                and _simcore.BATCH_ON
+                and env.scheduler is None
+            ):
+                yield from self._service_fault_fast(fault)
+            else:
+                yield from self._service_fault(fault)
 
     def _run_concurrent(self) -> Generator:
         """Lightweight-threaded handlers (arXiv 2107.13848): the
@@ -284,6 +323,12 @@ class Monitor:
                 fault.resolved._defused = True  # may have no waiter
                 fault.resolved.fail(exc)
             return
+        except BaseException:
+            # A handler raising mid-flight (KeyNotFound escalation,
+            # invariant violation, interrupt) must not leak the
+            # fault's path-label entry.
+            self._fault_paths.pop(fault, None)
+            raise
         latency = self.env.now - start
         self.fault_latency.record(latency)
         path = self._fault_paths.pop(fault, None)
@@ -296,6 +341,387 @@ class Monitor:
             registry.histogram(
                 "path_latency_us", path=path, vm=self.name
             ).observe(latency)
+            self.obs.tracer.complete(
+                "fault", start, latency, cat="fault",
+                track=self.name, path=path, addr=f"{fault.addr:#x}",
+            )
+        self.writeback.check_stale()
+
+    def _mk_observer(self, attr: str, path: CodePath):
+        """Create + cache the bound observer for one code path."""
+        observe = self.profiler.observer(path)
+        setattr(self, attr, observe)
+        return observe
+
+    def _service_fault_fast(self, fault: UffdFault) -> Generator:
+        """Flat burst-resolution fault service (DESIGN.md §17).
+
+        A byte-equivalent inlining of :meth:`_service_fault` →
+        :meth:`_handle_fault` → the spurious / zero-fill / async-read
+        resolution paths: the same RNG draws in the same order from the
+        same streams, the same heap interactions, the same counter,
+        check, and metrics effects.  What changes is interpreter
+        overhead — no nested generator chain, cached bound observers,
+        no per-fault path-label dict churn — and, while the batch
+        window is open (empty heap, no run-until cap: nothing can
+        interleave), the pre-wake critical path settles as ONE clock
+        commit built by in-order accumulation instead of per-charge
+        advances.  Rare branches fall back to the granular helpers
+        before any divergence has happened.
+
+        Only dispatched with the fast-path and batch switches on and
+        no schedule policy installed (:meth:`_run` re-checks per
+        fault); with either switch off the granular
+        :meth:`_service_fault` runs instead, and the two must produce
+        byte-identical seeded results — the batch-equivalence rule the
+        determinism pins enforce.
+        """
+        env = self.env
+        ops = self.ops
+        start = env._now
+        path = None
+        try:
+            registration = self._by_handle.get(fault.region)
+            if registration is None or not registration.active:
+                raise FluidMemError(
+                    f"fault {fault!r} for an unregistered region"
+                )
+            if registration.quarantined:
+                raise StoreUnavailableError(
+                    f"VM pid={registration.qemu.pid} is quarantined: "
+                    f"backend {registration.store.name!r} declared dead"
+                )
+            self.counters.incr("faults")
+            lat = self.config.latency
+            gauss = self._rng.gauss
+            uffd_lat = ops.latency
+            addr = fault.addr
+            # Cohort window: with an empty heap and no run-until cap,
+            # no event can fire between this fault's charges — they
+            # accumulate on a local clock (in charge order, preserving
+            # the granular float sequence) and commit at wake time.
+            window = not env._heap and env._until_cap is None
+            clock = start
+            sample = gauss(lat.dispatch_mean, lat.dispatch_sigma)
+            if sample < 0.05:
+                sample = 0.05
+            if window:
+                clock += sample
+            elif not env.try_advance(sample):
+                yield env.timeout(sample)
+            (self._ob_dispatch or self._mk_observer(
+                "_ob_dispatch", CodePath.EVENT_DISPATCH))(sample)
+            table = registration.table
+
+            if addr in table._entries:
+                # Spurious: a prefetch landed while the event sat in
+                # the queue — just wake the vCPU.
+                path = "spurious"
+                if self._prefetched_addrs:
+                    token = (id(registration), addr)
+                    if token in self._prefetched_addrs:
+                        self._prefetched_addrs.discard(token)
+                        self.counters.incr("prefetch_hits")
+                wake_us = uffd_lat.wake_us
+                if window:
+                    clock += wake_us
+                    if not env.try_advance_batch(clock):
+                        env.sync_to(clock)  # pragma: no cover - defensive
+                    if fault.resolved.triggered:
+                        raise UffdError(f"{fault!r} already woken")
+                    fault.resolved.succeed()
+                    ops.counters.incr("wake")
+                    (self._ob_wake or self._mk_observer(
+                        "_ob_wake", CodePath.WAKE))(wake_us)
+                elif env.try_advance(wake_us):
+                    if fault.resolved.triggered:
+                        raise UffdError(f"{fault!r} already woken")
+                    fault.resolved.succeed()
+                    ops.counters.incr("wake")
+                    (self._ob_wake or self._mk_observer(
+                        "_ob_wake", CodePath.WAKE))(wake_us)
+                else:
+                    yield from self._timed(CodePath.WAKE, ops.wake(fault))
+                self.counters.incr("spurious_faults")
+            else:
+                key = registration.key_for(addr)
+                if self.config.zero_page_tracker:
+                    first = self.tracker.is_first_access(key)
+                else:
+                    first = False
+
+                if first:
+                    # Figure 2's red path, as one cohort: insert-hash,
+                    # UFFD_ZEROPAGE, insert-LRU, wake — five charges,
+                    # one commit when the window is open.
+                    path = "zero_fill"
+                    sample = gauss(
+                        lat.insert_page_hash_mean,
+                        lat.insert_page_hash_sigma,
+                    )
+                    if sample < 0.05:
+                        sample = 0.05
+                    if window:
+                        clock += sample
+                    elif not env.try_advance(sample):
+                        yield env.timeout(sample)
+                    (self._ob_insert_hash or self._mk_observer(
+                        "_ob_insert_hash", CodePath.INSERT_PAGE_HASH_NODE,
+                    ))(sample)
+                    self.tracker.mark_seen(key)
+                    cost = uffd_lat.sample_zeropage(ops._rng)
+                    if window:
+                        clock += cost
+                        ops.finish_zeropage(table, addr)
+                    else:
+                        if not env.try_advance(cost):
+                            yield env.timeout(cost)
+                        ops.finish_zeropage(table, addr)
+                    (self._ob_zeropage or self._mk_observer(
+                        "_ob_zeropage", CodePath.UFFD_ZEROPAGE))(cost)
+                    sample = gauss(
+                        lat.insert_lru_mean, lat.insert_lru_sigma
+                    )
+                    if sample < 0.05:
+                        sample = 0.05
+                    if window:
+                        clock += sample
+                    elif not env.try_advance(sample):
+                        yield env.timeout(sample)
+                    (self._ob_insert_lru or self._mk_observer(
+                        "_ob_insert_lru", CodePath.INSERT_LRU_CACHE_NODE,
+                    ))(sample)
+                    self.lru.insert(addr, registration)
+                    if self._check_on:
+                        self.check.pages.on_zero_fill(key)
+                    wake_us = uffd_lat.wake_us
+                    if window:
+                        clock += wake_us
+                        if not env.try_advance_batch(clock):
+                            env.sync_to(clock)  # pragma: no cover
+                        if fault.resolved.triggered:
+                            raise UffdError(f"{fault!r} already woken")
+                        fault.resolved.succeed()
+                        ops.counters.incr("wake")
+                        (self._ob_wake or self._mk_observer(
+                            "_ob_wake", CodePath.WAKE))(wake_us)
+                    elif env.try_advance(wake_us):
+                        if fault.resolved.triggered:
+                            raise UffdError(f"{fault!r} already woken")
+                        fault.resolved.succeed()
+                        ops.counters.incr("wake")
+                        (self._ob_wake or self._mk_observer(
+                            "_ob_wake", CodePath.WAKE))(wake_us)
+                    else:
+                        yield from self._timed(
+                            CodePath.WAKE, ops.wake(fault)
+                        )
+                    self.counters.incr("zero_page_faults")
+                    # Post-wake (blue path) eviction interleaves with
+                    # the guest — stays event-driven, but flat.
+                    yield from self._evict_burst(self.lru.capacity, False)
+                    if self.victim_policy is not None:
+                        yield from self._enforce_policy_caps(
+                            registration, False
+                        )
+                else:
+                    # Read fault: restore the page from remote memory.
+                    sample = gauss(
+                        lat.lookup_page_hash_mean,
+                        lat.lookup_page_hash_sigma,
+                    )
+                    if sample < 0.05:
+                        sample = 0.05
+                    if window:
+                        clock += sample
+                    elif not env.try_advance(sample):
+                        yield env.timeout(sample)
+                    (self._ob_lookup or self._mk_observer(
+                        "_ob_lookup", CodePath.LOOKUP_PAGE_HASH))(sample)
+                    config = self.config
+                    handled = False
+                    if not config.zero_page_tracker and \
+                            self.tracker.is_first_access(key):
+                        if window:
+                            if not env.try_advance_batch(clock):
+                                env.sync_to(clock)  # pragma: no cover
+                            window = False
+                        yield from self._first_touch_via_store(
+                            fault, registration, key
+                        )
+                        handled = True
+                    elif config.write_list_steal:
+                        steal = self.writeback.steal(key)
+                        if steal is not None:
+                            if window:
+                                if not env.try_advance_batch(clock):
+                                    env.sync_to(clock)  # pragma: no cover
+                                window = False
+                            yield from self._resolve_from_steal(
+                                fault, registration, steal
+                            )
+                            handled = True
+                    elif self.writeback.holds(key):
+                        if window:
+                            if not env.try_advance_batch(clock):
+                                env.sync_to(clock)  # pragma: no cover
+                            window = False
+                        yield from self.writeback.wait_durable(key)
+                        self.counters.incr("waits_for_writeback")
+
+                    if handled:
+                        pass
+                    elif not config.async_read:
+                        if window:
+                            if not env.try_advance_batch(clock):
+                                env.sync_to(clock)  # pragma: no cover
+                            window = False
+                        yield from self._read_sync_path(
+                            fault, registration, key
+                        )
+                    else:
+                        # §V-B async read, inlined: issue the read,
+                        # evict under it, copy + wake.
+                        path = "async_fetch"
+                        if window:
+                            if not env.try_advance_batch(clock):
+                                env.sync_to(clock)  # pragma: no cover
+                            window = False
+                        issued_at = env._now
+                        if self._check_on:
+                            self.check.pages.on_read_issued(key)
+                        handle = registration.store.read_async(key)
+                        lru = self.lru
+                        yield from self._evict_burst(
+                            lru.capacity - 1, True
+                        )
+                        sample = gauss(
+                            lat.update_page_cache_mean,
+                            lat.update_page_cache_sigma,
+                        )
+                        if sample < 0.05:
+                            sample = 0.05
+                        if not env.try_advance(sample):
+                            yield env.timeout(sample)
+                        (self._ob_update or self._mk_observer(
+                            "_ob_update", CodePath.UPDATE_PAGE_CACHE,
+                        ))(sample)
+                        sample = gauss(
+                            lat.insert_lru_mean, lat.insert_lru_sigma
+                        )
+                        if sample < 0.05:
+                            sample = 0.05
+                        if not env.try_advance(sample):
+                            yield env.timeout(sample)
+                        (self._ob_insert_lru or self._mk_observer(
+                            "_ob_insert_lru",
+                            CodePath.INSERT_LRU_CACHE_NODE,
+                        ))(sample)
+                        try:
+                            page = yield handle.event
+                        except KeyNotFoundError as exc:
+                            if self._check_on:
+                                self.check.pages.on_read_failed(key)
+                            raise FluidMemError(
+                                f"remote memory lost page {addr:#x} "
+                                f"(key {key:#x}) on backend "
+                                f"{registration.store.name!r} — an "
+                                "evicting store (e.g. undersized "
+                                "Memcached) cannot back FluidMem"
+                            ) from exc
+                        except TransientStoreError as exc:
+                            self.counters.incr("async_read_failures")
+                            try:
+                                page = yield from self._fetch_with_retry(
+                                    registration, key, prior_attempts=1,
+                                    initial_error=exc,
+                                )
+                            except Exception:
+                                if self._check_on:
+                                    self.check.pages.on_read_failed(key)
+                                raise
+                        (self._ob_read or self._mk_observer(
+                            "_ob_read", CodePath.READ_PAGE,
+                        ))(env._now - issued_at)
+                        page = self._as_page(page, addr)
+                        # _install_unless_present, inlined.
+                        if addr in table._entries:
+                            self.counters.incr("duplicate_reads_dropped")
+                            installed = False
+                        else:
+                            cost = uffd_lat.sample_copy(ops._rng)
+                            if not env.try_advance(cost):
+                                yield env.timeout(cost)
+                            mapped = ops.finish_copy(
+                                table, addr, page, skip_if_present=True
+                            )
+                            (self._ob_copy or self._mk_observer(
+                                "_ob_copy", CodePath.UFFD_COPY))(cost)
+                            if addr not in lru._entries:
+                                lru.insert(addr, registration)
+                            installed = mapped is page
+                        if self._check_on:
+                            if installed:
+                                self.check.pages.on_read_installed(key)
+                            else:
+                                self.check.pages.on_read_dropped(key)
+                        wake_us = uffd_lat.wake_us
+                        if env.try_advance(wake_us):
+                            if fault.resolved.triggered:
+                                raise UffdError(f"{fault!r} already woken")
+                            fault.resolved.succeed()
+                            ops.counters.incr("wake")
+                            (self._ob_wake or self._mk_observer(
+                                "_ob_wake", CodePath.WAKE))(wake_us)
+                        else:
+                            yield from self._timed(
+                                CodePath.WAKE, ops.wake(fault)
+                            )
+                        self.counters.incr("remote_reads")
+                        if self.victim_policy is not None:
+                            yield from self._enforce_policy_caps(
+                                registration, True
+                            )
+                        if self.prefetcher is not None:
+                            self._maybe_prefetch(fault, registration)
+        except StoreUnavailableError as exc:
+            # Graceful degradation, mirroring _service_fault.
+            self._fault_paths.pop(fault, None)
+            self.counters.incr("faults_failed_unavailable")
+            if self._obs_on:
+                self.obs.tracer.instant(
+                    "fault_failed", self.env.now, cat="fault",
+                    track=self.name, addr=f"{fault.addr:#x}",
+                    error=type(exc).__name__,
+                )
+            if fault.resolved.callbacks is not None:
+                fault.resolved._defused = True  # may have no waiter
+                fault.resolved.fail(exc)
+            return
+        except BaseException:
+            self._fault_paths.pop(fault, None)
+            raise
+        latency = env._now - start
+        self.fault_latency.record(latency)
+        if self._fault_paths:
+            # A granular fallback helper classified this fault.
+            path = self._fault_paths.pop(fault, path)
+        if self._obs_on:
+            path = path or "unclassified"
+            hist = self._h_fault_latency
+            if hist is None:
+                hist = self._h_fault_latency = self.obs.registry.histogram(
+                    "fault_latency_us", vm=self.name
+                )
+            hist.observe(latency)
+            phist = self._h_path_latency.get(path)
+            if phist is None:
+                phist = self._h_path_latency[path] = (
+                    self.obs.registry.histogram(
+                        "path_latency_us", path=path, vm=self.name
+                    )
+                )
+            phist.observe(latency)
             self.obs.tracer.complete(
                 "fault", start, latency, cat="fault",
                 track=self.name, path=path, addr=f"{fault.addr:#x}",
@@ -1251,6 +1677,91 @@ class Monitor:
             self.obs.registry.histogram(
                 "path_latency_us", path="eviction", vm=self.name
             ).observe(self.env.now - evict_started)
+
+    def _evict_burst(self, target: int, interleaved: bool) -> Generator:
+        """Flat eviction cohort: :meth:`_evict_until` with the
+        :meth:`_evict_one` → :meth:`_evict_entry` generator chain
+        unrolled into one loop (DESIGN.md §17).
+
+        Byte-equivalent to the granular chain — same RNG draws, same
+        charge order, same counter/check/metrics effects per victim —
+        minus two generator frames and the repeated attribute lookups
+        per evicted page.  Only the flat burst path calls this; the
+        granular service path keeps the original chain.
+        """
+        lru = self.lru
+        if len(lru) <= target:
+            return
+        env = self.env
+        ops = self.ops
+        victim_policy = self.victim_policy
+        async_wb = self.config.async_writeback
+        check_on = self._check_on
+        obs_on = self._obs_on
+        sample_remap = ops.latency.sample_remap
+        uffd_rng = ops._rng
+        try_advance = env.try_advance
+        finish_remap_out = ops.finish_remap_out
+        record_remap = self._ob_remap or self._mk_observer(
+            "_ob_remap", CodePath.UFFD_REMAP
+        )
+        incr = self.counters.incr
+        buffer_table = self.buffer_table
+        enqueue = self.writeback.enqueue
+        entries = lru._entries
+        while len(entries) > target:
+            if victim_policy is not None:
+                candidate = victim_policy.select_victim(lru)
+            else:
+                candidate = lru.pop_eviction_candidate()
+            if candidate is None:
+                return
+            vaddr, registration = candidate
+            evict_started = env._now
+            if self._prefetched_addrs:
+                token = (id(registration), vaddr)
+                if token in self._prefetched_addrs:
+                    self._prefetched_addrs.discard(token)
+                    incr("prefetches_wasted")
+            buffer_vaddr = self._take_buffer_slot()
+            cost = sample_remap(uffd_rng, interleaved)
+            if not try_advance(cost):
+                yield env.timeout(cost)
+            page = finish_remap_out(
+                registration.table, vaddr, buffer_table, buffer_vaddr
+            )
+            record_remap(cost)
+            key = registration.key_for(vaddr)
+            incr("evictions")
+            if async_wb:
+                if check_on:
+                    self.check.pages.on_evicted(key, durable=False)
+                enqueue(
+                    WritebackEntry(
+                        key, page, buffer_vaddr, registration, env._now
+                    )
+                )
+            else:
+                issued_at = env._now
+                yield from self._put_with_retry(registration, key, page)
+                if check_on:
+                    self.check.pages.on_evicted(key, durable=True)
+                (self._ob_write or self._mk_observer(
+                    "_ob_write", CodePath.WRITE_PAGE,
+                ))(env._now - issued_at)
+                pte = buffer_table.unmap(buffer_vaddr)
+                ops.frames.free(pte.frame)
+                self._release_buffer_slot(buffer_vaddr)
+            if obs_on:
+                hist = self._h_evict_latency
+                if hist is None:
+                    hist = self._h_evict_latency = (
+                        self.obs.registry.histogram(
+                            "path_latency_us", path="eviction",
+                            vm=self.name,
+                        )
+                    )
+                hist.observe(env._now - evict_started)
 
     # -- helpers ---------------------------------------------------------------------
 

@@ -99,6 +99,25 @@ class Profiler:
             observe = self._observe[path] = histogram.observe
         observe(latency_us)
 
+    def observer(self, path: CodePath):
+        """The cached bound ``Histogram.observe`` for ``path``.
+
+        Burst-resolution callers (the monitor's flat fault path,
+        DESIGN.md §17) record several samples per fault; holding the
+        bound observer skips the per-call path lookup that
+        :meth:`record` pays.  Cached observers are invalidated by
+        :meth:`reset` — re-fetch after a reset.
+        """
+        try:
+            return self._observe[path]
+        except KeyError:
+            histogram = self._registry.histogram(
+                CODEPATH_METRIC, path=path.value, **self._labels
+            )
+            self._recorded[path] = histogram
+            observe = self._observe[path] = histogram.observe
+            return observe
+
     def recorder(self, path: CodePath) -> Histogram:
         """The histogram for ``path`` (mean/stdev/percentile API)."""
         try:

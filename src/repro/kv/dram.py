@@ -14,7 +14,9 @@ from typing import Any, Dict, Generator
 from ..errors import KeyNotFoundError
 from ..mem import PAGE_SIZE
 from ..sim import Environment
-from .api import KeyValueBackend, PeekableValue
+from ..sim import core as _simcore
+from ..sim.core import PRIORITY_URGENT, Event
+from .api import KeyValueBackend, PeekableValue, ReadHandle, _park_failure
 
 __all__ = ["DramStore"]
 
@@ -47,6 +49,75 @@ class DramStore(KeyValueBackend):
             raise KeyNotFoundError(key)
         self.counters.incr("reads")
         return entry.value
+
+    def read_async(self, key: int) -> ReadHandle:
+        """Top half of a read without the per-read driver process.
+
+        The generic :meth:`KeyValueBackend.read_async` spawns a full
+        :class:`~repro.sim.core.Process` per read — an ``Initialize``
+        heap event, a generator frame, and a process-completion heap
+        event.  A DRAM read is RNG-free with a fixed ``COPY_US``
+        charge, so under the burst switches (DESIGN.md §17) the whole
+        bottom half collapses to two callbacks:
+
+        * a bare start event scheduled exactly where ``Initialize``
+          would sit — ``(now, PRIORITY_URGENT, seq)`` — whose callback
+          charges ``COPY_US`` (``try_advance`` else a chained timeout),
+        * a settle step that resolves the handle's event with the same
+          value/exception, counters, and timestamp the driver process
+          would have produced.
+
+        The only heap event this drops is the driver process's own
+        no-callback completion event, which changes nothing observable;
+        the equivalence pins (tests/bench) hold this byte-identical to
+        the granular path.
+        """
+        env = self.env
+        if (
+            not _simcore.FASTPATH_ON
+            or not _simcore.BATCH_ON
+            or env.scheduler is not None
+            # A subclass that overrides get() (e.g. fault-injecting test
+            # stores) must keep driving reads through it.
+            or type(self).get is not DramStore.get
+        ):
+            return super().read_async(key)
+        handle = ReadHandle(env, key)
+        start = Event.__new__(Event)
+        start.env = env
+        start._value = None
+        start._ok = True
+        start._defused = False
+        start.callbacks = [
+            lambda _evt, begin=self._begin_fast_read, handle=handle: begin(
+                handle
+            )
+        ]
+        env._schedule(start, priority=PRIORITY_URGENT)
+        return handle
+
+    def _begin_fast_read(self, handle: ReadHandle) -> None:
+        """Charge the copy cost, then settle (possibly via a timeout)."""
+        env = self.env
+        if env.try_advance(self.COPY_US):
+            self._settle_fast_read(handle)
+            return
+        timeout = env.timeout(self.COPY_US)
+        timeout.callbacks.append(
+            lambda _evt, settle=self._settle_fast_read, handle=handle: settle(
+                handle
+            )
+        )
+
+    def _settle_fast_read(self, handle: ReadHandle) -> None:
+        """The tail of :meth:`get`, resolved onto the handle's event."""
+        entry = self._table.get(handle.key)
+        if entry is None:
+            self.counters.incr("misses")
+            _park_failure(handle.event, KeyNotFoundError(handle.key))
+            return
+        self.counters.incr("reads")
+        handle.event.succeed(entry.value)
 
     def put(self, key: int, value: Any, nbytes: int = PAGE_SIZE) -> Generator:
         if not self.env.try_advance(self.COPY_US):

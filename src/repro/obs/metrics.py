@@ -125,7 +125,46 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         self._bucket_counts[_bisect_left(self.edges, value)] += 1
-        self._record(value)
+        # Inlined LatencyRecorder.record — statement-for-statement the
+        # same update in the same order, so the running moments stay
+        # bit-identical to the granular call; observe() runs once per
+        # profiled charge, which makes the call dispatch worth shaving.
+        recorder = self._recorder
+        if value < 0:
+            raise ValueError(
+                f"negative latency {value} for {recorder.name!r}"
+            )
+        count = recorder._count + 1
+        recorder._count = count
+        recorder._sum += value
+        delta = value - recorder._welford_mean
+        mean = recorder._welford_mean + delta / count
+        recorder._welford_mean = mean
+        recorder._welford_m2 += delta * (value - mean)
+        if value < recorder._min:
+            recorder._min = value
+        if value > recorder._max:
+            recorder._max = value
+        samples = recorder._samples
+        max_samples = recorder.max_samples
+        if max_samples is None or len(samples) < max_samples:
+            samples.append(value)
+
+    def observe_many(self, values) -> None:
+        """Record a cohort of samples in one call (DESIGN.md §17).
+
+        Strictly sequential — each sample goes through the exact same
+        bucket increment and Welford update as :meth:`observe`, in
+        cohort order, so the summary statistics are bit-identical to N
+        individual calls (a pairwise/parallel merge would round
+        differently).  The only saving is the per-sample call dispatch.
+        """
+        counts = self._bucket_counts
+        edges = self.edges
+        record = self._record
+        for value in values:
+            counts[_bisect_left(edges, value)] += 1
+            record(value)
 
     # -- accessors ---------------------------------------------------------
 

@@ -11,22 +11,25 @@ from .benchmarks import (
     FULL_SIZES,
     PERFBENCH_SCHEMA,
     QUICK_SIZES,
+    bench_burst_resolve,
     bench_engine,
     bench_fig3_quick,
     bench_monitor,
     run_suite,
 )
-from .cli import compare, load_reference, main
+from .cli import compare, load_reference, main, missing_metrics
 
 __all__ = [
     "PERFBENCH_SCHEMA",
     "FULL_SIZES",
     "QUICK_SIZES",
     "bench_engine",
+    "bench_burst_resolve",
     "bench_monitor",
     "bench_fig3_quick",
     "run_suite",
     "compare",
+    "missing_metrics",
     "load_reference",
     "main",
 ]

@@ -34,15 +34,27 @@ from .benchmarks import (
     run_sweep,
 )
 
-__all__ = ["main", "compare", "load_reference", "METRIC_DIRECTIONS"]
+__all__ = [
+    "main",
+    "compare",
+    "missing_metrics",
+    "load_reference",
+    "METRIC_DIRECTIONS",
+]
 
 #: metric name -> "higher" (rates) or "lower" (seconds) is better.
 METRIC_DIRECTIONS = (
     ("engine_events_per_sec", "higher"),
+    ("burst_resolve_ops_per_sec", "higher"),
     ("monitor_ops_per_sec", "higher"),
     ("fig3_quick_seconds", "lower"),
     ("prefetcher_ops_per_sec", "higher"),
 )
+
+
+def _comparable(document: dict, metric: str) -> bool:
+    value = document.get(metric)
+    return isinstance(value, (int, float)) and value > 0
 
 
 def load_reference(path: str, mode: str) -> Optional[dict]:
@@ -76,12 +88,33 @@ def compare(
     """
     rows = []
     for metric, direction in METRIC_DIRECTIONS:
-        ref = reference.get(metric)
-        cur = current.get(metric)
-        if not ref or not cur or ref <= 0 or cur <= 0:
+        if not _comparable(reference, metric) or \
+                not _comparable(current, metric):
             continue
+        ref = reference[metric]
+        cur = current[metric]
         factor = ref / cur if direction == "higher" else cur / ref
         rows.append((metric, cur, ref, factor, factor <= max_regression))
+    return rows
+
+
+def missing_metrics(current: dict, reference: dict) -> List[Tuple[str, str]]:
+    """``(metric, side)`` pairs :func:`compare` had to skip.
+
+    ``side`` names the document the metric is absent from (``"current
+    run"`` or ``"baseline"``) while the other side has it — e.g. a
+    baseline recorded before a benchmark existed.  Metrics absent from
+    both documents are not reported.  Surfacing these keeps a skipped
+    comparison visible instead of silently shrinking the gate.
+    """
+    rows = []
+    for metric, _direction in METRIC_DIRECTIONS:
+        cur_ok = _comparable(current, metric)
+        ref_ok = _comparable(reference, metric)
+        if cur_ok and not ref_ok:
+            rows.append((metric, "baseline"))
+        elif ref_ok and not cur_ok:
+            rows.append((metric, "current run"))
     return rows
 
 
@@ -230,8 +263,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"perfbench ({result['mode']}, seed {result['seed']}"
           + (", fastpath off" if args.no_fastpath else "") + ")")
     for metric, _direction in METRIC_DIRECTIONS:
-        print(f"  {metric:<{width}}  "
-              f"{_format_value(metric, result[metric])}")
+        if metric in result:
+            print(f"  {metric:<{width}}  "
+                  f"{_format_value(metric, result[metric])}")
 
     if args.json is not None:
         _write_json(args.json, result)
@@ -256,6 +290,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"({factor:.2f}x {'worse' if factor > 1 else 'of'} "
                   f"baseline)  {verdict}")
             failed = failed or not ok
+        for metric, side in missing_metrics(result, reference):
+            print(f"  {metric:<{width}}  missing from {side} "
+                  "-- not compared")
         if failed:
             print("perfbench: wall-clock regression beyond threshold",
                   file=sys.stderr)

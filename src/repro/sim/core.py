@@ -74,6 +74,8 @@ __all__ = [
     "PENDING",
     "set_fastpath",
     "fastpath_enabled",
+    "set_batch",
+    "batch_enabled",
 ]
 
 #: Sentinel for an event value that has not been set yet.
@@ -111,6 +113,29 @@ def set_fastpath(enabled: bool) -> bool:
 def fastpath_enabled() -> bool:
     """Current state of the module-wide fast-path switch."""
     return FASTPATH_ON
+
+
+#: Module-wide batch-resolution switch (DESIGN.md §17).  Layered on top
+#: of FASTPATH_ON: batch paths require *both* switches, so
+#: ``REPRO_SIM_FASTPATH=0`` disables batching too, while
+#: ``REPRO_SIM_BATCH=0`` isolates just the burst-resolution layer for
+#: A/B measurement and the batch determinism pins.
+BATCH_ON = os.environ.get("REPRO_SIM_BATCH", "1").lower() not in (
+    "0", "false", "off", "no",
+)
+
+
+def set_batch(enabled: bool) -> bool:
+    """Toggle the batch-resolution paths; returns the previous setting."""
+    global BATCH_ON
+    previous = BATCH_ON
+    BATCH_ON = bool(enabled)
+    return previous
+
+
+def batch_enabled() -> bool:
+    """Current state of the module-wide batch-resolution switch."""
+    return BATCH_ON
 
 
 class Event:
@@ -770,6 +795,57 @@ class Environment:
             return False
         cap = self._until_cap
         if cap is not None and target > cap:
+            return False
+        self._now = target
+        return True
+
+    def batch_window(self) -> bool:
+        """True iff a *batch window* is open: the engine can prove that
+        no other event could fire between now and any future clock
+        position reached by pure advances.
+
+        The window requires an **empty heap** (nothing at all is
+        scheduled, so no event can interleave at any future time), no
+        schedule-exploration policy, no ``run(until=<time>)`` cap, and
+        both the fast-path and batch switches on.  Inside an open window
+        a cohort of N homogeneous operations may be resolved in one
+        pass — one clock advance for the summed cost, pre-drawn RNG
+        samples, bulk metrics observes — because the granular path's
+        intermediate yields provably could not have run anything else
+        (DESIGN.md §17).  Callers must check the window *before*
+        consuming RNG draws for the cohort.
+        """
+        return (
+            FASTPATH_ON
+            and BATCH_ON
+            and self.scheduler is None
+            and not self._heap
+            and self._until_cap is None
+        )
+
+    def try_advance_batch(self, target: float) -> bool:
+        """Jump the clock to the **absolute** time ``target`` iff a
+        batch window is open (see :meth:`batch_window`).
+
+        This is the commit half of cohort resolution: the caller checks
+        :meth:`batch_window`, accumulates ``target`` from :attr:`now` by
+        adding each member's cost *in cohort order* (bit-identical to
+        the float sequence N granular :meth:`try_advance` calls would
+        have produced — summing the costs first and adding once would
+        not be, float addition being non-associative), then commits
+        here.  The empty-heap window guarantees each granular advance
+        would have succeeded, so the jump is provably equivalent.
+        Returns False (mutating nothing) when the window is closed or
+        ``target`` is in the past.
+        """
+        if (
+            not FASTPATH_ON
+            or not BATCH_ON
+            or self.scheduler is not None
+            or target < self._now
+            or self._heap
+            or self._until_cap is not None
+        ):
             return False
         self._now = target
         return True

@@ -10,7 +10,12 @@ tests pin the two contracts that make that claim checkable:
 * (b) ``repro.check`` campaign results are unchanged by the global
   fast-path switch when a SchedulePolicy is installed, because the
   scheduler auto-disables every fast path (the explorer must see every
-  scheduling decision either way).
+  scheduling decision either way);
+* (c) the same two contracts for the burst-resolution layer stacked on
+  top (``REPRO_SIM_BATCH`` / :func:`repro.sim.set_batch`, DESIGN.md
+  §17): seed-42 ``--metrics`` bytes are identical with batching forced
+  off, and campaigns are identical under *every* ``SCHEDULES`` policy
+  because a scheduler auto-disables the batch paths too.
 """
 
 import contextlib
@@ -20,7 +25,8 @@ import pytest
 
 from repro.bench.cli import main as bench_main
 from repro.check.campaign import run_campaign
-from repro.sim import set_fastpath
+from repro.check.explorer import SCHEDULES
+from repro.sim import set_batch, set_fastpath
 
 
 @pytest.fixture
@@ -51,6 +57,31 @@ def test_metrics_byte_identical_with_fastpath_forced_off(tmp_path):
     assert with_fastpath == without_fastpath
 
 
+def _batch_metrics_bytes(tmp_path, tag):
+    path = tmp_path / f"batch-metrics-{tag}.json"
+    with contextlib.redirect_stdout(io.StringIO()):
+        code = bench_main([
+            "fig3", "table1", "tournament",
+            "--quick", "--seed", "42", "--metrics", str(path),
+        ])
+    assert code == 0
+    return path.read_bytes()
+
+
+def test_metrics_byte_identical_with_batch_forced_off(tmp_path):
+    """The batch-equivalence rule (DESIGN.md §17): the burst layer on
+    its own — fast paths stay on — may not move a single byte of the
+    seeded --metrics document, fig3 through the policy-lab
+    tournament."""
+    with_batch = _batch_metrics_bytes(tmp_path, "on")
+    previous = set_batch(False)
+    try:
+        without_batch = _batch_metrics_bytes(tmp_path, "off")
+    finally:
+        set_batch(previous)
+    assert with_batch == without_batch
+
+
 def _campaign_summaries():
     report = run_campaign(
         scenarios=("writeback", "kv"),
@@ -69,3 +100,25 @@ def test_campaign_unchanged_by_fastpath_switch_under_scheduler():
     finally:
         set_fastpath(previous)
     assert with_fastpath == without_fastpath
+
+
+def _campaign_summaries_all_schedules():
+    report = run_campaign(
+        scenarios=("writeback",),
+        seeds=(0,),
+        schedules=tuple(sorted(SCHEDULES)),
+    )
+    assert report.ok
+    return report.summaries
+
+
+def test_campaign_unchanged_by_batch_switch_under_every_schedule():
+    """Every SchedulePolicy auto-disables the batch paths: a campaign
+    over the full SCHEDULES grid must not notice the switch."""
+    with_batch = _campaign_summaries_all_schedules()
+    previous = set_batch(False)
+    try:
+        without_batch = _campaign_summaries_all_schedules()
+    finally:
+        set_batch(previous)
+    assert with_batch == without_batch

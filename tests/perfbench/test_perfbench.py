@@ -14,9 +14,11 @@ import pytest
 
 from repro.perfbench import (
     PERFBENCH_SCHEMA,
+    bench_burst_resolve,
     bench_engine,
     compare,
     load_reference,
+    missing_metrics,
     run_suite,
 )
 from repro.perfbench import cli as perfbench_cli
@@ -24,6 +26,7 @@ from repro.perfbench import cli as perfbench_cli
 TINY_SIZES = {
     "engine_events": 2_000,
     "engine_procs": 2,
+    "burst_ops": 2_000,
     "monitor_accesses": 200,
     "fig3_accesses": 60,
     "prefetcher_ops": 2_000,
@@ -37,6 +40,7 @@ def test_run_suite_document_shape():
     assert result["seed"] == 42
     assert result["sizes"]["engine_events"] == 2_000
     assert result["engine_events_per_sec"] > 0
+    assert result["burst_resolve_ops_per_sec"] > 0
     assert result["monitor_ops_per_sec"] > 0
     assert result["fig3_quick_seconds"] > 0
     assert result["prefetcher_ops_per_sec"] > 0
@@ -47,13 +51,26 @@ def test_bench_engine_rate_scales_with_events():
     assert rate > 0
 
 
+def test_bench_burst_resolve_runs_with_batch_on_and_off():
+    from repro.sim import set_batch
+
+    assert bench_burst_resolve(ops=2_000) > 0
+    previous = set_batch(False)
+    try:
+        # The guarded primitives fall back granularly; still a rate.
+        assert bench_burst_resolve(ops=2_000) > 0
+    finally:
+        set_batch(previous)
+
+
 def _document(engine=1_000_000.0, monitor=15_000.0, fig3=1.0,
-              prefetcher=150_000.0, **extra):
+              prefetcher=150_000.0, burst=900_000.0, **extra):
     document = {
         "schema": PERFBENCH_SCHEMA,
         "mode": "quick",
         "seed": 42,
         "engine_events_per_sec": engine,
+        "burst_resolve_ops_per_sec": burst,
         "monitor_ops_per_sec": monitor,
         "fig3_quick_seconds": fig3,
         "prefetcher_ops_per_sec": prefetcher,
@@ -71,10 +88,30 @@ def test_compare_flags_rate_and_seconds_regressions():
     verdicts = {metric: ok for metric, _c, _r, _f, ok in rows}
     assert verdicts == {
         "engine_events_per_sec": False,  # 2.5x slower
+        "burst_resolve_ops_per_sec": True,
         "monitor_ops_per_sec": True,
         "fig3_quick_seconds": False,  # 2.5x slower
         "prefetcher_ops_per_sec": False,  # 2.5x slower
     }
+
+
+def test_compare_skips_but_missing_metrics_reports():
+    baseline = _document()
+    del baseline["burst_resolve_ops_per_sec"]  # pre-burst-bench baseline
+    current = _document()
+    compared = {metric for metric, *_rest in compare(current, baseline, 2.0)}
+    assert "burst_resolve_ops_per_sec" not in compared
+    assert missing_metrics(current, baseline) == [
+        ("burst_resolve_ops_per_sec", "baseline")
+    ]
+    # And the other direction: the current run lacks a baseline metric.
+    partial = _document()
+    del partial["prefetcher_ops_per_sec"]
+    assert missing_metrics(partial, _document()) == [
+        ("prefetcher_ops_per_sec", "current run")
+    ]
+    # Absent from both sides: not reported.
+    assert missing_metrics(baseline, dict(baseline)) == []
 
 
 def test_compare_accepts_improvements_and_threshold():
@@ -150,6 +187,17 @@ def test_cli_compare_passes_against_equal_baseline(canned_suite, tmp_path):
     code, text = _run_cli(["--quick", "--compare", str(baseline)])
     assert code == 0
     assert "REGRESSION" not in text
+
+
+def test_cli_compare_reports_baseline_missing_metric(canned_suite, tmp_path):
+    baseline = _document()
+    del baseline["burst_resolve_ops_per_sec"]
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(baseline))
+    code, text = _run_cli(["--quick", "--compare", str(path)])
+    assert code == 0
+    assert "burst_resolve_ops_per_sec" in text
+    assert "missing from baseline" in text
 
 
 def test_cli_compare_fails_on_regression(canned_suite, tmp_path):

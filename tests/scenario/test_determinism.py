@@ -13,6 +13,7 @@ import os
 import pytest
 
 from repro.scenario.cli import main as scenario_main
+from repro.sim import set_batch
 
 BASELINE = os.path.join(
     os.path.dirname(__file__), os.pardir, os.pardir,
@@ -52,6 +53,19 @@ def test_web_diurnal_matches_committed_baseline(tmp_path):
             "baseline; if the change is intentional, regenerate "
             "benchmarks/baselines/scenario-web-diurnal-quick-seed42.json"
         )
+
+
+def test_web_diurnal_batch_off_matches_committed_baseline(tmp_path):
+    """The burst layer may not move a scenario report either: with
+    ``set_batch(False)`` the quick seed-42 run must still reproduce the
+    committed baseline byte-for-byte (DESIGN.md §17)."""
+    previous = set_batch(False)
+    try:
+        report, _ = _run_report(tmp_path, "nobatch", "web-diurnal")
+    finally:
+        set_batch(previous)
+    with open(BASELINE, "rb") as handle:
+        assert report == handle.read()
 
 
 def test_market_partitions_1_vs_2_byte_identical(tmp_path):
